@@ -1,0 +1,716 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5), plus the extra ablations listed in DESIGN.md and a
+   Bechamel microbenchmark section for the core data structures.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe fig7 fig9  -- run selected experiments
+
+   Absolute numbers come from the simulated platform (see EXPERIMENTS.md
+   for the calibration); the shapes are what reproduce the paper. *)
+
+module Fixtures = Hinfs_harness.Fixtures
+module Experiment = Hinfs_harness.Experiment
+module Report = Hinfs_harness.Report
+module Workload = Hinfs_workloads.Workload
+module Filebench = Hinfs_workloads.Filebench
+module Fio = Hinfs_workloads.Fio
+module Postmark = Hinfs_workloads.Postmark
+module Tpcc = Hinfs_workloads.Tpcc
+module Kernel = Hinfs_workloads.Kernel
+module Trace = Hinfs_trace.Trace
+module Stats = Hinfs_stats.Stats
+module Config = Hinfs_nvmm.Config
+
+let ppf = Fmt.stdout
+
+let spec = Experiment.default_spec
+
+(* Shorter windows for the large grids. *)
+let grid_duration = 100_000_000L
+let sweep_duration = 60_000_000L
+
+let filebench_workloads () =
+  [
+    ("fileserver", fun () -> Filebench.fileserver ());
+    ("webserver", fun () -> Filebench.webserver ());
+    ("webproxy", fun () -> Filebench.webproxy ());
+    ("varmail", fun () -> Filebench.varmail ());
+  ]
+
+let ratio_to_pmfs rows =
+  (* rows: (fs_name, ops_per_sec); normalise to the pmfs row. *)
+  match List.assoc_opt "pmfs" rows with
+  | Some pmfs when pmfs > 0.0 -> List.map (fun (fs, v) -> (fs, v /. pmfs)) rows
+  | _ -> rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: time breakdown of fio on PMFS across I/O sizes.           *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  Report.heading ppf
+    "Figure 1: time breakdown of fio on PMFS (r:w = 1:2, random I/O)";
+  let sizes = [ 64; 1024; 4096; 16384; 65536; 262144 ] in
+  let rows =
+    List.map
+      (fun io_size ->
+        let workload =
+          Fio.make ~params:{ Fio.default_params with Fio.io_size } ()
+        in
+        let _result, stats =
+          Experiment.run_workload ~spec ~threads:1 ~duration:grid_duration
+            Fixtures.Pmfs_fs workload
+        in
+        let total = Int64.to_float (Stats.total_time stats) in
+        let pct cat =
+          if total <= 0.0 then 0.0
+          else 100.0 *. Int64.to_float (Stats.time stats cat) /. total
+        in
+        let other =
+          pct Stats.Other +. pct Stats.Journal +. pct Stats.Block_layer
+        in
+        [
+          Fmt.str "%d B" io_size;
+          Report.f1 (pct Stats.Read_access);
+          Report.f1 (pct Stats.Write_access);
+          Report.f1 other;
+        ])
+      sizes
+  in
+  Report.table ppf
+    ~header:[ "io size"; "read access %"; "write access %"; "others %" ]
+    rows;
+  Fmt.pf ppf
+    "@.Paper: write access dominates for I/O >= 4 KB (>80%%), and still >= \
+     16%% at 64 B.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: percentage of fsync bytes per workload.                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  Report.heading ppf "Figure 2: percentage of fsync bytes per workload";
+  let fsync_ratio_of stats =
+    ( 100.0 *. Stats.fsync_byte_ratio stats,
+      Int64.to_float (Stats.user_bytes_written stats) /. 1048576.0 )
+  in
+  let micro =
+    List.map
+      (fun (name, make) ->
+        let _r, stats =
+          Experiment.run_workload ~spec ~threads:2 ~duration:grid_duration
+            Fixtures.Pmfs_fs (make ())
+        in
+        (name, fsync_ratio_of stats))
+      (filebench_workloads ())
+  in
+  let jobs =
+    List.map
+      (fun (name, job) ->
+        let _r, stats = Experiment.run_job ~spec Fixtures.Pmfs_fs job in
+        (name, fsync_ratio_of stats))
+      [
+        ("postmark", Postmark.make ());
+        ("tpcc", Tpcc.make ());
+        ("kernel-make", Kernel.make_build ());
+      ]
+  in
+  let traces =
+    List.map
+      (fun trace ->
+        let _r, stats = Experiment.run_trace Fixtures.Pmfs_fs trace in
+        (Trace.name trace, fsync_ratio_of stats))
+      (Trace.all ())
+  in
+  let rows =
+    List.map
+      (fun (name, (ratio, mb)) -> [ name; Report.f1 ratio; Report.f1 mb ])
+      (micro @ jobs @ traces)
+  in
+  Report.table ppf ~header:[ "workload"; "fsync bytes %"; "MB written" ] rows;
+  Fmt.pf ppf
+    "@.Paper: TPC-C > 90%%, varmail/facebook high, LASR = 0%%, \
+     fileserver/webproxy/kernel ~ 0%%.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: Buffer Benefit Model accuracy.                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  Report.heading ppf "Figure 6: Buffer Benefit Model accuracy";
+  let varmail =
+    let _r, stats =
+      Experiment.run_workload ~spec ~threads:2 ~duration:grid_duration
+        Fixtures.Hinfs_fs (Filebench.varmail ())
+    in
+    ("varmail", 100.0 *. Stats.bbm_accuracy stats, Stats.bbm_predictions stats)
+  in
+  let tpcc =
+    let _r, stats = Experiment.run_job ~spec Fixtures.Hinfs_fs (Tpcc.make ()) in
+    ("tpcc", 100.0 *. Stats.bbm_accuracy stats, Stats.bbm_predictions stats)
+  in
+  let traces =
+    List.map
+      (fun trace ->
+        let _r, stats = Experiment.run_trace Fixtures.Hinfs_fs trace in
+        ( Trace.name trace,
+          100.0 *. Stats.bbm_accuracy stats,
+          Stats.bbm_predictions stats ))
+      [ Trace.usr0 (); Trace.usr1 (); Trace.facebook () ]
+  in
+  let rows =
+    List.map
+      (fun (name, accuracy, n) -> [ name; Report.f1 accuracy; string_of_int n ])
+      ([ varmail; tpcc ] @ traces)
+  in
+  Report.table ppf ~header:[ "workload"; "accuracy %"; "predictions" ] rows;
+  Fmt.pf ppf "@.Paper: accuracy close to 90%% even in the worst case.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: overall filebench throughput, normalised to PMFS.         *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  Report.heading ppf
+    "Figure 7: overall throughput (filebench, 4 threads), normalised to PMFS";
+  List.iter
+    (fun (wname, make) ->
+      let rows =
+        List.map
+          (fun kind ->
+            let result, _stats =
+              Experiment.run_workload ~spec ~duration:grid_duration kind
+                (make ())
+            in
+            (Fixtures.name kind, result.Workload.ops_per_sec))
+          Fixtures.paper_five
+      in
+      let normalised = ratio_to_pmfs rows in
+      Report.subheading ppf wname;
+      Report.table ppf ~header:[ "fs"; "ops/s"; "vs pmfs"; "" ]
+        (List.map2
+           (fun (fs, ops) (_, ratio) ->
+             [
+               fs;
+               Report.f0 ops;
+               Report.f2 ratio;
+               Report.bar ratio ~max_value:3.0 ~width:30;
+             ])
+           rows normalised);
+      Fmt.pf ppf "@.")
+    (filebench_workloads ());
+  Fmt.pf ppf
+    "Paper: HiNFS best everywhere (up to +184%% on fileserver); EXT+NVMMBD \
+     competitive with PMFS only on webproxy; HiNFS ~ PMFS on webserver and \
+     varmail.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: scalability, 1-10 threads.                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  Report.heading ppf "Figure 8: throughput for 1-10 threads (ops/s)";
+  let thread_points = [ 1; 2; 4; 6; 8; 10 ] in
+  List.iter
+    (fun (wname, make) ->
+      Report.subheading ppf wname;
+      let rows =
+        List.map
+          (fun kind ->
+            let cells =
+              List.map
+                (fun threads ->
+                  let result, _ =
+                    Experiment.run_workload ~spec ~threads
+                      ~duration:sweep_duration kind (make ())
+                  in
+                  Report.f0 result.Workload.ops_per_sec)
+                thread_points
+            in
+            Fixtures.name kind :: cells)
+          Fixtures.paper_five
+      in
+      Report.table ppf
+        ~header:("fs" :: List.map (fun t -> Fmt.str "%dthr" t) thread_points)
+        rows;
+      Fmt.pf ppf "@.")
+    (filebench_workloads ());
+  Fmt.pf ppf
+    "Paper: HiNFS scales best; PMFS/EXT4-DAX saturate on NVMM write \
+     bandwidth for fileserver; webserver/varmail track PMFS.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: sensitivity to I/O size (fileserver), incl. HiNFS-NCLFW.  *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  Report.heading ppf
+    "Figure 9: fileserver sensitivity to I/O size (a: ops/s, b: NVMM write \
+     size)";
+  let sizes = [ 64; 512; 1024; 4096; 16384; 65536 ] in
+  let kinds = [ Fixtures.Pmfs_fs; Fixtures.Hinfs_nclfw; Fixtures.Hinfs_fs ] in
+  let results =
+    List.map
+      (fun io_size ->
+        let make () =
+          Filebench.fileserver
+            ~params:
+              {
+                Filebench.default_params with
+                Filebench.io_size;
+                Filebench.append_size = min io_size 16384;
+              }
+            ()
+        in
+        let cells =
+          List.map
+            (fun kind ->
+              let result, stats =
+                Experiment.run_workload ~spec ~duration:sweep_duration kind
+                  (make ())
+              in
+              ( result.Workload.ops_per_sec,
+                Int64.to_float (Stats.nvmm_bytes_written stats) /. 1048576.0 ))
+            kinds
+        in
+        (io_size, cells))
+      sizes
+  in
+  Report.subheading ppf "(a) throughput, ops/s";
+  Report.table ppf
+    ~header:("io size" :: List.map Fixtures.name kinds)
+    (List.map
+       (fun (io, cells) ->
+         Fmt.str "%d B" io :: List.map (fun (ops, _) -> Report.f0 ops) cells)
+       results);
+  Report.subheading ppf "(b) NVMM write size, MB";
+  Report.table ppf
+    ~header:("io size" :: List.map Fixtures.name kinds)
+    (List.map
+       (fun (io, cells) ->
+         Fmt.str "%d B" io :: List.map (fun (_, mb) -> Report.f1 mb) cells)
+       results);
+  (* Supplementary panel: the fileserver above streams files sequentially,
+     so buffered blocks are fully dirty by writeback time and CLFW's
+     granularity has little to bite on. Random sub-block writes over a
+     working set larger than the buffer are the paper's motivating case
+     ("many small block-unaligned lazy-persistent writes"): evicted blocks
+     are sparsely dirty, and NCLFW flushes (and fetches) whole blocks. *)
+  Report.subheading ppf
+    "(c) random sub-block writes (fio, 64 MB file > 26 MB buffer): NVMM MB \
+     written";
+  let fio_sizes = [ 64; 256; 1024; 4096 ] in
+  let fio_rows =
+    List.map
+      (fun io_size ->
+        let make () =
+          Fio.make
+            ~params:
+              {
+                Fio.default_params with
+                Fio.io_size;
+                Fio.file_size = 64 * 1024 * 1024;
+                Fio.read_fraction = 0.0;
+              }
+            ()
+        in
+        let cells =
+          List.map
+            (fun kind ->
+              let _result, stats =
+                Experiment.run_workload ~spec ~duration:sweep_duration kind
+                  (make ())
+              in
+              Int64.to_float (Stats.nvmm_bytes_written stats) /. 1048576.0)
+            [ Fixtures.Hinfs_nclfw; Fixtures.Hinfs_fs ]
+        in
+        match cells with
+        | [ nclfw; clfw ] ->
+          [
+            Fmt.str "%d B" io_size;
+            Report.f1 nclfw;
+            Report.f1 clfw;
+            Report.f2 (nclfw /. Float.max clfw 0.001);
+          ]
+        | _ -> assert false)
+      fio_sizes
+  in
+  Report.table ppf
+    ~header:[ "io size"; "hinfs-nclfw MB"; "hinfs MB"; "nclfw/clfw" ]
+    fio_rows;
+  Fmt.pf ppf
+    "@.Paper: CLFW cuts NVMM write size sharply for sub-block I/O (~30%% \
+     ops/s gain); the gap closes at and above 4 KB; HiNFS's lead over PMFS \
+     grows with I/O size.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: sensitivity to the DRAM buffer size.                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  Report.heading ppf
+    "Figure 10: throughput vs DRAM buffer size (fraction of workload size)";
+  let ratios = [ 0.1; 0.2; 0.4; 0.6; 0.8; 1.0 ] in
+  let cases =
+    [
+      ("fileserver", (fun () -> Filebench.fileserver ()), 64 * 1024 * 1024);
+      ("webproxy", (fun () -> Filebench.webproxy ()), 16 * 1024 * 1024);
+    ]
+  in
+  List.iter
+    (fun (wname, make, workload_size) ->
+      Report.subheading ppf wname;
+      let reference kind =
+        let result, _ =
+          Experiment.run_workload ~spec ~duration:sweep_duration kind (make ())
+        in
+        result.Workload.ops_per_sec
+      in
+      let pmfs = reference Fixtures.Pmfs_fs in
+      let ext2 = reference Fixtures.Ext2_nvmmbd in
+      let rows =
+        List.map
+          (fun ratio ->
+            let buffer_bytes =
+              max (64 * 4096)
+                (int_of_float (ratio *. float_of_int workload_size))
+            in
+            let spec = { spec with Experiment.buffer_bytes } in
+            let result, _ =
+              Experiment.run_workload ~spec ~duration:sweep_duration
+                Fixtures.Hinfs_fs (make ())
+            in
+            [
+              Report.f1 ratio;
+              Report.f0 result.Workload.ops_per_sec;
+              Report.f2 (result.Workload.ops_per_sec /. pmfs);
+            ])
+          ratios
+      in
+      Report.table ppf
+        ~header:[ "buffer/workload"; "hinfs ops/s"; "vs pmfs" ]
+        rows;
+      Fmt.pf ppf "reference: pmfs %s ops/s, ext2+nvmmbd %s ops/s@.@."
+        (Report.f0 pmfs) (Report.f0 ext2))
+    cases;
+  Fmt.pf ppf
+    "Paper: fileserver improves steadily with buffer size; webproxy is \
+     insensitive (strong locality + short-lived files).@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: sensitivity to NVMM write latency (single thread).       *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  Report.heading ppf
+    "Figure 11: throughput vs NVMM write latency (1 thread, ops/s)";
+  let latencies = [ 50; 100; 200; 400; 800 ] in
+  let kinds = [ Fixtures.Pmfs_fs; Fixtures.Ext2_nvmmbd; Fixtures.Hinfs_fs ] in
+  List.iter
+    (fun (wname, make) ->
+      Report.subheading ppf wname;
+      let rows =
+        List.map
+          (fun kind ->
+            let cells =
+              List.map
+                (fun nvmm_write_ns ->
+                  let spec = { spec with Experiment.nvmm_write_ns } in
+                  let result, _ =
+                    Experiment.run_workload ~spec ~threads:1
+                      ~duration:sweep_duration kind (make ())
+                  in
+                  Report.f0 result.Workload.ops_per_sec)
+                latencies
+            in
+            Fixtures.name kind :: cells)
+          kinds
+      in
+      Report.table ppf
+        ~header:("fs" :: List.map (fun l -> Fmt.str "%dns" l) latencies)
+        rows;
+      Fmt.pf ppf "@.")
+    [
+      ("fileserver", fun () -> Filebench.fileserver ());
+      ("webproxy", fun () -> Filebench.webproxy ());
+    ];
+  Fmt.pf ppf
+    "Paper: HiNFS's advantage grows with latency (up to ~6x over PMFS on \
+     webproxy at 800 ns) and it is never worse, even at 50 ns.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: trace replay, time breakdown by op class.                *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  Report.heading ppf
+    "Figure 12: trace replay time (normalised to PMFS; \
+     read/write/unlink/fsync breakdown in ms)";
+  let kinds = Fixtures.paper_five @ [ Fixtures.Hinfs_wb ] in
+  List.iter
+    (fun trace ->
+      Report.subheading ppf (Trace.name trace);
+      let results =
+        List.map
+          (fun kind ->
+            let r, _stats = Experiment.run_trace kind trace in
+            (kind, r))
+          kinds
+      in
+      let pmfs_total =
+        match List.find_opt (fun (k, _) -> k = Fixtures.Pmfs_fs) results with
+        | Some (_, r) -> Int64.to_float r.Trace.r_elapsed_ns
+        | None -> 1.0
+      in
+      Report.table ppf
+        ~header:
+          [ "fs"; "total ms"; "vs pmfs"; "read"; "write"; "unlink"; "fsync" ]
+        (List.map
+           (fun (kind, r) ->
+             [
+               Fixtures.name kind;
+               Report.ms r.Trace.r_elapsed_ns;
+               Report.f2 (Int64.to_float r.Trace.r_elapsed_ns /. pmfs_total);
+               Report.ms r.Trace.r_read_ns;
+               Report.ms r.Trace.r_write_ns;
+               Report.ms r.Trace.r_unlink_ns;
+               Report.ms r.Trace.r_fsync_ns;
+             ])
+           results);
+      Fmt.pf ppf "@.")
+    (Trace.all ());
+  Fmt.pf ppf
+    "Paper: HiNFS cuts execution time ~35-38%% vs PMFS on Usr0/Usr1/LASR \
+     (write time drops most) and matches PMFS on Facebook; HiNFS-WB is \
+     worse than HiNFS on sync-heavy traces. See EXPERIMENTS.md for where \
+     our additive-latency model deviates on the WB ablation.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: macro benchmarks, elapsed time normalised to PMFS.       *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  Report.heading ppf
+    "Figure 13: macro benchmark elapsed time (normalised to PMFS)";
+  let kinds = Fixtures.paper_five @ [ Fixtures.Hinfs_wb ] in
+  List.iter
+    (fun (jname, job) ->
+      Report.subheading ppf jname;
+      let results =
+        List.map
+          (fun kind ->
+            let r, _ = Experiment.run_job ~spec kind job in
+            (kind, r))
+          kinds
+      in
+      let pmfs_total =
+        match List.find_opt (fun (k, _) -> k = Fixtures.Pmfs_fs) results with
+        | Some (_, r) -> Int64.to_float r.Workload.jr_elapsed_ns
+        | None -> 1.0
+      in
+      Report.table ppf ~header:[ "fs"; "elapsed ms"; "vs pmfs"; "" ]
+        (List.map
+           (fun (kind, r) ->
+             let ratio =
+               Int64.to_float r.Workload.jr_elapsed_ns /. pmfs_total
+             in
+             [
+               Fixtures.name kind;
+               Report.ms r.Workload.jr_elapsed_ns;
+               Report.f2 ratio;
+               Report.bar ratio ~max_value:4.0 ~width:30;
+             ])
+           results);
+      Fmt.pf ppf "@.")
+    [
+      ("postmark", Postmark.make ());
+      ("tpcc", Tpcc.make ());
+      ("kernel-grep", Kernel.grep ());
+      ("kernel-make", Kernel.make_build ());
+    ];
+  Fmt.pf ppf
+    "Paper: HiNFS cuts Postmark/Kernel-Make time by ~60/64%%; TPC-C and \
+     Kernel-Grep are level with PMFS; EXT2 beats EXT4 (journal overhead).@."
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2 and 3.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tab2 () =
+  Report.heading ppf "Table 2: emulated platform configuration";
+  let config = Experiment.config_of spec in
+  Fmt.pf ppf "%a@." Config.pp config;
+  Fmt.pf ppf
+    "HiNFS buffer %d MB; EXT page cache %d pages; default %d worker \
+     threads; measurement window %.0f ms (virtual).@."
+    (spec.Experiment.buffer_bytes / 1048576)
+    spec.Experiment.cache_pages spec.Experiment.threads
+    (Int64.to_float spec.Experiment.duration_ns /. 1e6)
+
+let tab3 () =
+  Report.heading ppf "Table 3: file systems under comparison";
+  Report.table ppf ~header:[ "name"; "description" ]
+    (List.map
+       (fun kind -> [ Fixtures.name kind; Fixtures.description kind ])
+       (Fixtures.paper_five
+       @ [ Fixtures.Hinfs_nclfw; Fixtures.Hinfs_wb; Fixtures.Hinfs_fifo;
+           Fixtures.Hinfs_lfu ]))
+
+(* ------------------------------------------------------------------ *)
+(* Extra ablation: LRW vs FIFO replacement.                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablate_repl () =
+  Report.heading ppf "Ablation: LRW vs FIFO buffer replacement";
+  let rows =
+    List.concat_map
+      (fun (wname, make) ->
+        List.map
+          (fun kind ->
+            let result, stats =
+              Experiment.run_workload ~spec ~duration:sweep_duration kind
+                (make ())
+            in
+            [
+              wname;
+              Fixtures.name kind;
+              Report.f0 result.Workload.ops_per_sec;
+              Report.pct (Stats.buffer_write_hit_ratio stats);
+            ])
+          [ Fixtures.Hinfs_fs; Fixtures.Hinfs_fifo; Fixtures.Hinfs_lfu ])
+      [
+        ("fileserver", fun () -> Filebench.fileserver ());
+        ("webproxy", fun () -> Filebench.webproxy ());
+      ]
+  in
+  Report.table ppf ~header:[ "workload"; "policy"; "ops/s"; "write hits" ] rows;
+  Fmt.pf ppf
+    "@.The paper argues LRW suffices given skewed workloads (§3.2) and \
+     leaves LFU/ARC/2Q to future work; FIFO is the strawman and sampled \
+     LFU the 'sophisticated' candidate.@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the core data structures (wall clock).  *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  Report.heading ppf "Microbenchmarks (Bechamel, real time per run)";
+  let open Bechamel in
+  let btree_insert =
+    Test.make ~name:"btree.insert-1k"
+      (Staged.stage (fun () ->
+           let t = Hinfs_structures.Btree.create ~degree:16 () in
+           for i = 0 to 999 do
+             Hinfs_structures.Btree.insert t ((i * 7919) land 0xFFFF) i
+           done))
+  in
+  let btree =
+    let t = Hinfs_structures.Btree.create ~degree:16 () in
+    for i = 0 to 9999 do
+      Hinfs_structures.Btree.insert t i i
+    done;
+    t
+  in
+  let btree_find =
+    Test.make ~name:"btree.find"
+      (Staged.stage (fun () -> ignore (Hinfs_structures.Btree.find btree 7777)))
+  in
+  let radix =
+    let t = Hinfs_structures.Radix_tree.create () in
+    for i = 0 to 9999 do
+      Hinfs_structures.Radix_tree.insert t i i
+    done;
+    t
+  in
+  let radix_find =
+    Test.make ~name:"radix.find"
+      (Staged.stage (fun () ->
+           ignore (Hinfs_structures.Radix_tree.find radix 7777)))
+  in
+  let clbitmap_runs =
+    let m =
+      Hinfs.Clbitmap.add_range
+        (Hinfs.Clbitmap.add_range Hinfs.Clbitmap.empty ~first:3 ~last:17)
+        ~first:40 ~last:55
+    in
+    Test.make ~name:"clbitmap.iter_runs"
+      (Staged.stage (fun () ->
+           Hinfs.Clbitmap.iter_runs m ~nlines:64
+             (fun ~first:_ ~count:_ ~set:_ -> ())))
+  in
+  let zipf_gen = Hinfs_sim.Zipf.create ~n:100_000 ~theta:0.9 in
+  let zipf_rng = Hinfs_sim.Rng.create ~seed:7L in
+  let zipf_sample =
+    Test.make ~name:"zipf.sample"
+      (Staged.stage (fun () ->
+           ignore (Hinfs_sim.Zipf.sample zipf_gen zipf_rng)))
+  in
+  let tests =
+    [ btree_insert; btree_find; radix_find; clbitmap_runs; zipf_sample ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"structures" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ time_per_run ] -> rows := (name, time_per_run) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, t) -> Fmt.pf ppf "%-32s %10.1f ns/run@." name t)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Driver.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("tab2", tab2);
+    ("tab3", tab3);
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("ablate-repl", ablate_repl);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Sys.time () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        let start = Sys.time () in
+        f ();
+        Fmt.pf ppf "[%s done in %.1f s cpu]@." name (Sys.time () -. start)
+      | None ->
+        Fmt.epr "unknown experiment %S (available: %s)@." name
+          (String.concat ", " (List.map fst experiments));
+        exit 1)
+    requested;
+  Fmt.pf ppf "@.All requested experiments completed (%.1f s cpu).@."
+    (Sys.time () -. t0)

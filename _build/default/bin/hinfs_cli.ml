@@ -1,0 +1,137 @@
+(* hinfs-cli: run a single workload/job/trace against a chosen file system
+   with configurable emulator parameters. The figure-grade grids live in
+   bench/main.exe; this tool is for exploring one cell at a time. *)
+
+module Fixtures = Hinfs_harness.Fixtures
+module Experiment = Hinfs_harness.Experiment
+module Workload = Hinfs_workloads.Workload
+module Filebench = Hinfs_workloads.Filebench
+module Fio = Hinfs_workloads.Fio
+module Postmark = Hinfs_workloads.Postmark
+module Tpcc = Hinfs_workloads.Tpcc
+module Kernel = Hinfs_workloads.Kernel
+module Trace = Hinfs_trace.Trace
+module Stats = Hinfs_stats.Stats
+
+open Cmdliner
+
+let fs_kind_conv =
+  let all =
+    [
+      ("hinfs", Fixtures.Hinfs_fs);
+      ("hinfs-nclfw", Fixtures.Hinfs_nclfw);
+      ("hinfs-wb", Fixtures.Hinfs_wb);
+      ("hinfs-fifo", Fixtures.Hinfs_fifo);
+      ("hinfs-lfu", Fixtures.Hinfs_lfu);
+      ("pmfs", Fixtures.Pmfs_fs);
+      ("ext4-dax", Fixtures.Ext4_dax);
+      ("ext2", Fixtures.Ext2_nvmmbd);
+      ("ext4", Fixtures.Ext4_nvmmbd);
+    ]
+  in
+  Arg.enum all
+
+let fs_arg =
+  let doc = "File system under test." in
+  Arg.(value & opt fs_kind_conv Fixtures.Hinfs_fs & info [ "f"; "fs" ] ~doc)
+
+let threads_arg =
+  let doc = "Worker threads." in
+  Arg.(value & opt int 4 & info [ "t"; "threads" ] ~doc)
+
+let duration_arg =
+  let doc = "Measurement window in virtual milliseconds." in
+  Arg.(value & opt int 200 & info [ "d"; "duration-ms" ] ~doc)
+
+let latency_arg =
+  let doc = "NVMM write latency in nanoseconds." in
+  Arg.(value & opt int 200 & info [ "nvmm-write-ns" ] ~doc)
+
+let buffer_arg =
+  let doc = "HiNFS DRAM buffer size in MB." in
+  Arg.(value & opt int 24 & info [ "buffer-mb" ] ~doc)
+
+let spec_of latency buffer_mb =
+  {
+    Experiment.default_spec with
+    Experiment.nvmm_write_ns = latency;
+    Experiment.buffer_bytes = buffer_mb * 1024 * 1024;
+  }
+
+let print_stats stats =
+  Fmt.pr "@.%a@." Stats.pp_breakdown stats;
+  Fmt.pr "user bytes: %Ld written / %Ld read; fsync bytes: %Ld (%.1f%%)@."
+    (Stats.user_bytes_written stats)
+    (Stats.user_bytes_read stats) (Stats.fsync_bytes stats)
+    (100.0 *. Stats.fsync_byte_ratio stats);
+  Fmt.pr "NVMM bytes written: %Ld (background %Ld), read: %Ld@."
+    (Stats.nvmm_bytes_written stats)
+    (Stats.nvmm_bytes_written_bg stats)
+    (Stats.nvmm_bytes_read stats);
+  if Stats.buffer_write_hits stats + Stats.buffer_write_misses stats > 0 then
+    Fmt.pr
+      "buffer: %.1f%% write hits, %d stalls, %d evictions, %d dead drops, \
+       lazy/eager = %d/%d, model accuracy %.1f%% (%d)@."
+      (100.0 *. Stats.buffer_write_hit_ratio stats)
+      (Stats.writeback_stalls stats)
+      (Stats.evictions stats)
+      (Stats.dead_block_drops stats)
+      (Stats.lazy_writes stats) (Stats.eager_writes stats)
+      (100.0 *. Stats.bbm_accuracy stats)
+      (Stats.bbm_predictions stats)
+
+let workload_of = function
+  | "fileserver" -> `Rate (Filebench.fileserver ())
+  | "webserver" -> `Rate (Filebench.webserver ())
+  | "webproxy" -> `Rate (Filebench.webproxy ())
+  | "varmail" -> `Rate (Filebench.varmail ())
+  | "fio" -> `Rate (Fio.make ())
+  | "postmark" -> `Job (Postmark.make ())
+  | "tpcc" -> `Job (Tpcc.make ())
+  | "kernel-grep" -> `Job (Kernel.grep ())
+  | "kernel-make" -> `Job (Kernel.make_build ())
+  | "usr0" -> `Trace (Trace.usr0 ())
+  | "usr1" -> `Trace (Trace.usr1 ())
+  | "lasr" -> `Trace (Trace.lasr ())
+  | "facebook" -> `Trace (Trace.facebook ())
+  | other -> Fmt.failwith "unknown workload %S" other
+
+let workload_arg =
+  let doc =
+    "Workload: fileserver, webserver, webproxy, varmail, fio, postmark, \
+     tpcc, kernel-grep, kernel-make, usr0, usr1, lasr, facebook."
+  in
+  Arg.(value & pos 0 string "fileserver" & info [] ~docv:"WORKLOAD" ~doc)
+
+let run fs threads duration_ms latency buffer_mb workload_name =
+  let spec = spec_of latency buffer_mb in
+  Fmt.pr "# %s on %s (%s)@." workload_name (Fixtures.name fs)
+    (Fixtures.description fs);
+  (match workload_of workload_name with
+  | `Rate w ->
+    let result, stats =
+      Experiment.run_workload ~spec ~threads
+        ~duration:(Int64.of_int (duration_ms * 1_000_000))
+        fs w
+    in
+    Fmt.pr "%a@." Workload.pp_result result;
+    print_stats stats
+  | `Job job ->
+    let result, stats = Experiment.run_job ~spec fs job in
+    Fmt.pr "%a@." Workload.pp_job_result result;
+    print_stats stats
+  | `Trace trace ->
+    let result, stats = Experiment.run_trace ~spec fs trace in
+    Fmt.pr "%a@." Trace.pp_replay_result result;
+    print_stats stats);
+  0
+
+let cmd =
+  let doc = "Run one HiNFS-reproduction workload cell" in
+  Cmd.v
+    (Cmd.info "hinfs-cli" ~doc)
+    Term.(
+      const run $ fs_arg $ threads_arg $ duration_arg $ latency_arg
+      $ buffer_arg $ workload_arg)
+
+let () = exit (Cmd.eval' cmd)

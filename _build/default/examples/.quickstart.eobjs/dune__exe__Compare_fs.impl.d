@@ -1,0 +1,1 @@
+examples/compare_fs.ml: Array Fmt Hinfs_harness Hinfs_workloads List Sys

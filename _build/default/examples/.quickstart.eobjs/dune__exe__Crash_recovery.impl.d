@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes Fmt Hinfs Hinfs_nvmm Hinfs_pmfs Hinfs_sim Hinfs_stats Hinfs_vfs Option

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Fmt Hinfs Hinfs_nvmm Hinfs_sim Hinfs_stats Hinfs_vfs Int64

@@ -1,0 +1,60 @@
+(* Ordered-mode crash consistency, demonstrated: a lazy write that was
+   never fsynced rolls back to the last synced state after a crash; an
+   fsynced write survives. The crash is injected by dropping the device's
+   volatile cacheline overlay, exactly what power loss does to a CPU
+   cache in front of NVMM.
+
+     dune exec examples/crash_recovery.exe *)
+
+module Engine = Hinfs_sim.Engine
+module Stats = Hinfs_stats.Stats
+module Config = Hinfs_nvmm.Config
+module Device = Hinfs_nvmm.Device
+module Pmfs = Hinfs_pmfs.Pmfs
+module Layout = Hinfs_pmfs.Layout
+module Types = Hinfs_vfs.Types
+module Vfs = Hinfs_vfs.Vfs
+
+let () =
+  let engine = Engine.create () in
+  Engine.spawn engine ~name:"crash-recovery" (fun () ->
+      let stats = Stats.create () in
+      let config =
+        Config.validate
+          { Config.default with Config.nvmm_size = 32 * 1024 * 1024 }
+      in
+      let device = Device.create engine stats config in
+      let fs = Hinfs.Fs.mkfs_and_mount device ~daemons:false () in
+      let h = Hinfs.Fs.handle fs in
+
+      (* A file with a durable prefix... *)
+      let fd = h.Vfs.open_ "/journal.db" { Types.creat with Types.read = true } in
+      let durable = Bytes.make 4096 'D' in
+      ignore (h.Vfs.write fd durable 4096);
+      h.Vfs.fsync fd;
+      Fmt.pr "wrote 4096 bytes and fsynced them.@.";
+
+      (* ...then a big lazy extension that is never synced. *)
+      let volatile = Bytes.make 16384 'V' in
+      ignore (h.Vfs.write fd volatile 16384);
+      Fmt.pr "appended 16384 lazy bytes (buffered in DRAM, size = %d).@."
+        (h.Vfs.fstat fd).Types.size;
+
+      (* Power loss. *)
+      Device.crash device;
+      Fmt.pr "@.*** crash: volatile CPU-cache state dropped ***@.@.";
+
+      (* Remount (as PMFS — the persistent format is shared) and recover. *)
+      let fs2 = Pmfs.mount device () in
+      Fmt.pr "recovery rolled back %d uncommitted transaction(s).@."
+        (Pmfs.recovered_txns fs2);
+      let ino = Option.get (Pmfs.lookup fs2 ~dir:Layout.root_ino "journal.db") in
+      let size = Pmfs.inode_size fs2 ino in
+      Fmt.pr "file size after recovery: %d (the fsynced prefix).@." size;
+      let buf = Bytes.create size in
+      ignore (Pmfs.read fs2 ~ino ~off:0 ~len:size ~into:buf ~into_off:0);
+      assert (Bytes.equal buf durable);
+      Fmt.pr "prefix content verified: ordered mode held — no committed \
+              metadata ever pointed at unwritten data.@.";
+      Pmfs.unmount fs2);
+  Engine.run engine

@@ -1,0 +1,1 @@
+lib/blockdev/blockdev.ml: Bytes Fmt Hinfs_nvmm Hinfs_sim Hinfs_stats Int64

@@ -1,0 +1,1 @@
+lib/blockdev/blockdev.mli: Bytes Hinfs_nvmm Hinfs_stats

@@ -1,0 +1,77 @@
+(* NVMMBD: a RAM-disk-like block device on top of the NVMM device model.
+
+   This reproduces the paper's NVMMBD emulator (a modified brd driver): the
+   traditional file systems (EXT2/EXT4) run on top of it and therefore pay
+   - the generic block layer software overhead per request, and
+   - full-block transfers even for small updates.
+
+   Requests are block-granular. Writes stream to the medium with NVMM cost
+   (the brd "disk" is NVMM); reads are DRAM-speed. The per-request overhead
+   is charged to the [Block_layer] stats category. *)
+
+module Proc = Hinfs_sim.Proc
+module Stats = Hinfs_stats.Stats
+module Device = Hinfs_nvmm.Device
+module Config = Hinfs_nvmm.Config
+
+type t = {
+  device : Device.t;
+  block_size : int;
+  nblocks : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create device =
+  let config = Device.config device in
+  {
+    device;
+    block_size = config.Config.block_size;
+    nblocks = Config.blocks config;
+    reads = 0;
+    writes = 0;
+  }
+
+let device t = t.device
+let block_size t = t.block_size
+let nblocks t = t.nblocks
+let read_requests t = t.reads
+let write_requests t = t.writes
+
+let check_block t block =
+  if block < 0 || block >= t.nblocks then
+    Fmt.invalid_arg "Blockdev: block %d out of range [0, %d)" block t.nblocks
+
+let charge_request t =
+  let ns = (Device.config t.device).Config.block_request_ns in
+  Stats.add_time (Device.stats t.device) Stats.Block_layer (Int64.of_int ns);
+  Proc.delay_int ns
+
+let read_block t ~cat block ~into ~off =
+  check_block t block;
+  if off < 0 || off + t.block_size > Bytes.length into then
+    invalid_arg "Blockdev.read_block: bad destination range";
+  charge_request t;
+  t.reads <- t.reads + 1;
+  Device.read t.device ~cat ~addr:(block * t.block_size) ~len:t.block_size
+    ~into ~off
+
+let write_block ?(background = false) t ~cat block ~src ~off =
+  check_block t block;
+  if off < 0 || off + t.block_size > Bytes.length src then
+    invalid_arg "Blockdev.write_block: bad source range";
+  charge_request t;
+  t.writes <- t.writes + 1;
+  Device.write_nt ~background t.device ~cat ~addr:(block * t.block_size) ~src
+    ~off ~len:t.block_size
+
+(* Untimed helpers for mkfs and tests. *)
+
+let peek_block t block =
+  check_block t block;
+  Device.peek t.device ~addr:(block * t.block_size) ~len:t.block_size
+
+let poke_block t block ~src ~off =
+  check_block t block;
+  Device.poke t.device ~addr:(block * t.block_size) ~src ~off
+    ~len:t.block_size

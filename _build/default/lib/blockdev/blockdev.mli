@@ -1,0 +1,30 @@
+(** NVMMBD: RAM-disk-like block device over the NVMM device model (the
+    paper's modified brd driver). Every request pays the generic block layer
+    overhead; transfers are whole blocks. *)
+
+type t
+
+val create : Hinfs_nvmm.Device.t -> t
+val device : t -> Hinfs_nvmm.Device.t
+val block_size : t -> int
+val nblocks : t -> int
+val read_requests : t -> int
+val write_requests : t -> int
+
+val read_block :
+  t -> cat:Hinfs_stats.Stats.category -> int -> into:Bytes.t -> off:int -> unit
+
+val write_block :
+  ?background:bool ->
+  t ->
+  cat:Hinfs_stats.Stats.category ->
+  int ->
+  src:Bytes.t ->
+  off:int ->
+  unit
+
+val peek_block : t -> int -> Bytes.t
+(** Untimed coherent read (tests, mkfs). *)
+
+val poke_block : t -> int -> src:Bytes.t -> off:int -> unit
+(** Untimed raw write (tests, mkfs). *)

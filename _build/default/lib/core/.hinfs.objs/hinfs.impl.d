@@ -1,0 +1,1 @@
+lib/core/hinfs.ml: Benefit Buffer_pool Clbitmap Fs Hconfig

@@ -1,0 +1,1 @@
+lib/core/benefit.ml: Clbitmap Hashtbl Hinfs_stats Int64

@@ -1,0 +1,1 @@
+lib/core/benefit.mli: Clbitmap Hinfs_stats

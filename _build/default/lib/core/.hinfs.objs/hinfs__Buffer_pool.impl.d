@@ -1,0 +1,1 @@
+lib/core/buffer_pool.ml: Array Bytes Clbitmap Hconfig Hinfs_structures List Queue

@@ -1,0 +1,1 @@
+lib/core/clbitmap.ml: Fmt Int64

@@ -1,0 +1,1 @@
+lib/core/clbitmap.mli: Format

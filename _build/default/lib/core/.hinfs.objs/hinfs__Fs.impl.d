@@ -1,0 +1,1 @@
+lib/core/fs.ml: Benefit Buffer_pool Bytes Clbitmap Fun Hashtbl Hconfig Hinfs_journal Hinfs_nvmm Hinfs_pmfs Hinfs_sim Hinfs_stats Hinfs_structures Hinfs_vfs Int64 List Printf

@@ -1,0 +1,1 @@
+lib/core/fs.mli: Buffer_pool Bytes Hconfig Hinfs_nvmm Hinfs_pmfs Hinfs_stats Hinfs_vfs

@@ -1,0 +1,164 @@
+(* The DRAM write buffer pool (paper §3.2).
+
+   A fixed population of 4 KB DRAM blocks. Blocks in use are linked on the
+   global LRW (Least Recently Written) list — front = least recently
+   written, back = MRW — which the background writeback threads consume
+   from the front. Free blocks sit on a free list.
+
+   Each block carries its Cacheline Bitmaps:
+   - [present]: lines with valid data in DRAM,
+   - [dirty]:   lines awaiting writeback (dirty ⊆ present),
+   - [home_valid]: lines of the NVMM home block that hold valid data (all
+     set when the home block pre-existed; grows as lines are flushed). A
+     block may only be freed once home_valid covers every line, so NVMM
+     reads after eviction never see stale medium bytes. *)
+
+module Dlist = Hinfs_structures.Dlist
+
+type block = {
+  id : int;
+  data : Bytes.t;
+  node : int Dlist.node; (* membership in the LRW list (value = id) *)
+  mutable ino : int;
+  mutable fblock : int;
+  mutable home : int; (* NVMM home block number *)
+  mutable present : Clbitmap.t;
+  mutable dirty : Clbitmap.t;
+  mutable home_valid : Clbitmap.t;
+  mutable last_written : int64;
+  mutable write_count : int; (* writes since binding (sampled-LFU policy) *)
+  mutable pinned : int; (* foreground use / in-flight writeback *)
+  mutable in_use : bool;
+}
+
+type t = {
+  blocks : block array;
+  block_size : int;
+  lines_per_block : int;
+  free : int Queue.t;
+  lrw : int Dlist.t;
+  mutable free_count : int;
+}
+
+let create ~capacity ~block_size ~lines_per_block =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: empty pool";
+  let blocks =
+    Array.init capacity (fun id ->
+        {
+          id;
+          data = Bytes.create block_size;
+          node = Dlist.make_node id;
+          ino = 0;
+          fblock = 0;
+          home = 0;
+          present = Clbitmap.empty;
+          dirty = Clbitmap.empty;
+          home_valid = Clbitmap.empty;
+          last_written = 0L;
+          write_count = 0;
+          pinned = 0;
+          in_use = false;
+        })
+  in
+  let free = Queue.create () in
+  Array.iter (fun b -> Queue.add b.id free) blocks;
+  {
+    blocks;
+    block_size;
+    lines_per_block;
+    free;
+    lrw = Dlist.create ();
+    free_count = capacity;
+  }
+
+let capacity t = Array.length t.blocks
+let free_count t = t.free_count
+let used_count t = capacity t - t.free_count
+let block t id = t.blocks.(id)
+let lines_per_block t = t.lines_per_block
+
+let free_fraction t = float_of_int t.free_count /. float_of_int (capacity t)
+
+(* Take a free block and bind it to (ino, fblock, home). *)
+let alloc t ~ino ~fblock ~home ~now =
+  match Queue.take_opt t.free with
+  | None -> None
+  | Some id ->
+    t.free_count <- t.free_count - 1;
+    let b = t.blocks.(id) in
+    assert (not b.in_use);
+    b.ino <- ino;
+    b.fblock <- fblock;
+    b.home <- home;
+    b.present <- Clbitmap.empty;
+    b.dirty <- Clbitmap.empty;
+    b.home_valid <- Clbitmap.empty;
+    b.last_written <- now;
+    b.write_count <- 0;
+    b.pinned <- 0;
+    b.in_use <- true;
+    Dlist.push_back t.lrw b.node;
+    Some b
+
+let free t b =
+  if not b.in_use then invalid_arg "Buffer_pool.free: block not in use";
+  if b.pinned > 0 then invalid_arg "Buffer_pool.free: block pinned";
+  b.in_use <- false;
+  if Dlist.is_linked b.node then Dlist.remove t.lrw b.node;
+  Queue.add b.id t.free;
+  t.free_count <- t.free_count + 1
+
+(* Record a write. Under LRW the block moves to the MRW end; under FIFO
+   (ablation) recency never changes the order; under sampled LFU we only
+   bump the write counter. *)
+let touch_written t ?(policy = Hconfig.Lrw) b ~now =
+  b.last_written <- now;
+  b.write_count <- b.write_count + 1;
+  match policy with
+  | Hconfig.Lrw -> Dlist.move_to_back t.lrw b.node
+  | Hconfig.Fifo | Hconfig.Lfu -> ()
+
+(* How many LRW-end candidates the sampled-LFU policy inspects. *)
+let lfu_sample = 32
+
+(* Victim selection. LRW/FIFO take the head of the list; sampled LFU scans
+   the first [lfu_sample] unpinned candidates and evicts the least
+   frequently written (Redis-style approximation of LFU, which the paper
+   names as a candidate "sophisticated" policy). *)
+let pick_victim ?(policy = Hconfig.Lrw) t =
+  match policy with
+  | Hconfig.Lrw | Hconfig.Fifo ->
+    let found = ref None in
+    (try
+       Dlist.iter t.lrw (fun id ->
+           let b = t.blocks.(id) in
+           if b.pinned = 0 then begin
+             found := Some b;
+             raise Exit
+           end)
+     with Exit -> ());
+    !found
+  | Hconfig.Lfu ->
+    let best = ref None in
+    let seen = ref 0 in
+    (try
+       Dlist.iter t.lrw (fun id ->
+           let b = t.blocks.(id) in
+           if b.pinned = 0 then begin
+             incr seen;
+             (match !best with
+             | Some current when current.write_count <= b.write_count -> ()
+             | _ -> best := Some b);
+             if !seen >= lfu_sample then raise Exit
+           end)
+     with Exit -> ());
+    !best
+
+(* Iterate blocks from LRW to MRW. [f] may pin/flush but must not free the
+   block it is visiting during iteration (collect ids first if freeing). *)
+let iter_lrw t f = Dlist.iter t.lrw (fun id -> f t.blocks.(id))
+
+let lrw_ids t =
+  let acc = ref [] in
+  Dlist.iter t.lrw (fun id -> acc := id :: !acc);
+  List.rev !acc

@@ -1,0 +1,848 @@
+(* HiNFS: the high performance NVMM file system (the paper's contribution).
+
+   Layered on the PMFS persistent format, HiNFS adds:
+   - the NVMM-aware Write Buffer (§3.2): lazy-persistent writes land in a
+     DRAM buffer pool with an LRW replacement list, hiding NVMM's long
+     write latency behind the critical path;
+   - CLFW (§3.2.1): fetch and writeback at cacheline granularity, tracked
+     by per-block Cacheline Bitmaps;
+   - direct reads (§3.3.1): reads copy straight from DRAM and/or NVMM to
+     the user buffer, merging at cacheline-run granularity;
+   - direct eager-persistent writes (§3.3.2): the Eager-Persistent Write
+     Checker (open flags / sync mount = case 1, the Buffer Benefit Model
+     with ghost buffer = case 2) routes writes that would not benefit from
+     buffering straight to NVMM with non-temporal stores;
+   - background writeback daemons (§3.2): woken below the Low_f free
+     watermark or every 5 s, reclaim to High_f, and clean blocks older
+     than 30 s;
+   - ordered-mode journaling (§4.1): a lazy write's metadata lives in a
+     per-file pending undo-log transaction that is committed only once all
+     the file's buffered dirty blocks have been written back, so committed
+     metadata never references unwritten data.
+
+   Knobs in {!Hconfig} provide the paper's ablations: HiNFS-NCLFW
+   (clfw = false) and HiNFS-WB (checker = false). *)
+
+module Proc = Hinfs_sim.Proc
+module Engine = Hinfs_sim.Engine
+module Condvar = Hinfs_sim.Condvar
+module Stats = Hinfs_stats.Stats
+module Device = Hinfs_nvmm.Device
+module Config = Hinfs_nvmm.Config
+module Allocator = Hinfs_nvmm.Allocator
+module Log = Hinfs_journal.Cacheline_log
+module Btree = Hinfs_structures.Btree
+module Errno = Hinfs_vfs.Errno
+module Types = Hinfs_vfs.Types
+module Pmfs = Hinfs_pmfs.Pmfs
+module Layout = Hinfs_pmfs.Layout
+
+type file_state = {
+  f_ino : int;
+  index : int Btree.t; (* DRAM Block Index: fblock -> pool block id *)
+  model : Benefit.file_model;
+  mutable dirty_blocks : int; (* buffered blocks with dirty cachelines *)
+  mutable pending_txn : Log.txn option;
+  mutable pending_allocs : int list; (* NVMM blocks allocated under the
+                                        pending txn, for abort reclaim *)
+  mutable writers : int; (* writes in flight (commit barrier) *)
+}
+
+type t = {
+  pmfs : Pmfs.t;
+  hcfg : Hconfig.t;
+  pool : Buffer_pool.t;
+  files : (int, file_state) Hashtbl.t;
+  wb_wakeup : Condvar.t; (* writeback daemons sleep here *)
+  free_cv : Condvar.t; (* foreground stalls for free buffer blocks *)
+  sync_mount : bool;
+  mutable daemons : int;
+  mutable stopping : bool;
+}
+
+let pmfs t = t.pmfs
+let device t = Pmfs.device t.pmfs
+let stats t = Device.stats (device t)
+let config t = Device.config (device t)
+let hconfig t = t.hcfg
+let pool t = t.pool
+let now t = Engine.now (Device.engine (device t))
+
+let block_size t = (config t).Config.block_size
+let cacheline t = (config t).Config.cacheline_size
+let lines_per_block t = block_size t / cacheline t
+
+(* --- creation --- *)
+
+let create ?(hcfg = Hconfig.default) ?(sync_mount = false) pmfs =
+  let hcfg = Hconfig.validate hcfg in
+  let device = Pmfs.device pmfs in
+  let config = Device.config device in
+  let capacity = max 8 (hcfg.Hconfig.buffer_bytes / config.Config.block_size) in
+  {
+    pmfs;
+    hcfg;
+    pool =
+      Buffer_pool.create ~capacity ~block_size:config.Config.block_size
+        ~lines_per_block:(config.Config.block_size / config.Config.cacheline_size);
+    files = Hashtbl.create 256;
+    wb_wakeup = Condvar.create (Device.engine device);
+    free_cv = Condvar.create (Device.engine device);
+    sync_mount;
+    daemons = 0;
+    stopping = false;
+  }
+
+let file_state t ino =
+  match Hashtbl.find_opt t.files ino with
+  | Some fs -> fs
+  | None ->
+    let fs =
+      {
+        f_ino = ino;
+        index = Btree.create ~degree:16 ();
+        model = Benefit.create_file_model ();
+        dirty_blocks = 0;
+        pending_txn = None;
+        pending_allocs = [];
+        writers = 0;
+      }
+    in
+    Hashtbl.replace t.files ino fs;
+    fs
+
+let buffered_block t fst fblock =
+  match Btree.find fst.index fblock with
+  | None -> None
+  | Some id ->
+    let b = Buffer_pool.block t.pool id in
+    if b.Buffer_pool.in_use && b.Buffer_pool.ino = fst.f_ino
+       && b.Buffer_pool.fblock = fblock
+    then Some b
+    else None
+
+(* --- timing helpers --- *)
+
+let charge t cat ns =
+  if ns > 0 then begin
+    Stats.add_time (stats t) cat (Int64.of_int ns);
+    Proc.delay_int ns
+  end
+
+let charge_dram_write t cat bytes =
+  let cl = cacheline t in
+  charge t cat (((bytes + cl - 1) / cl) * (config t).Config.dram_write_ns)
+
+let charge_dram_read t cat bytes =
+  let cl = cacheline t in
+  charge t cat (((bytes + cl - 1) / cl) * (config t).Config.dram_read_ns)
+
+(* --- pending transaction management --- *)
+
+let get_pending_txn t fst =
+  match fst.pending_txn with
+  | Some txn -> txn
+  | None ->
+    let txn = Log.begin_txn (Pmfs.log t.pmfs) in
+    fst.pending_txn <- Some txn;
+    txn
+
+(* Commit the pending transaction. Callers must ensure all the file's
+   buffered dirty data has been persisted (ordered mode). *)
+let commit_pending t fst =
+  match fst.pending_txn with
+  | None -> ()
+  | Some txn ->
+    fst.pending_txn <- None;
+    fst.pending_allocs <- [];
+    Log.commit (Pmfs.log t.pmfs) txn
+
+(* Commit if the ordered-mode invariant allows it right now. *)
+let maybe_commit t fst =
+  if fst.dirty_blocks = 0 && fst.writers = 0 then commit_pending t fst
+
+(* Abort the pending transaction and reclaim the NVMM blocks it had
+   allocated (unlink of a never-synced file). *)
+let abort_pending t fst =
+  match fst.pending_txn with
+  | None -> ()
+  | Some txn ->
+    fst.pending_txn <- None;
+    Log.abort (Pmfs.log t.pmfs) txn;
+    let balloc = (Pmfs.ctx t.pmfs).Hinfs_pmfs.Fs_ctx.balloc in
+    List.iter (fun block -> Allocator.free balloc block) fst.pending_allocs;
+    fst.pending_allocs <- []
+
+(* --- writeback --- *)
+
+let mark_block_dirty t fst b lines =
+  let was_clean = Clbitmap.is_empty b.Buffer_pool.dirty in
+  b.Buffer_pool.dirty <- Clbitmap.union b.Buffer_pool.dirty lines;
+  b.Buffer_pool.present <- Clbitmap.union b.Buffer_pool.present lines;
+  if was_clean && not (Clbitmap.is_empty b.Buffer_pool.dirty) then
+    fst.dirty_blocks <- fst.dirty_blocks + 1;
+  Buffer_pool.touch_written t.pool ~policy:t.hcfg.Hconfig.replacement b
+    ~now:(now t)
+
+(* Write the dirty cachelines of a buffer block back to its NVMM home.
+   Under CLFW only dirty lines stream out, as maximal runs; without CLFW
+   the whole block does.
+
+   Any flush completes the home block: lines never written anywhere are
+   zero-filled, so from the first writeback onward the NVMM copy is safe
+   to expose (a later commit may make the block reachable, and a crash
+   must not reveal stale medium bytes). Blocks that die before their first
+   flush never pay this — the short-lived-file win of §1.
+
+   If [evict], the block is also freed (unless re-dirtied concurrently). *)
+let flush_block ?(background = false) ?(cat = Stats.Write_access) t b ~evict =
+  let fst = file_state t b.Buffer_pool.ino in
+  let dev = device t in
+  let cl = cacheline t in
+  let nlines = lines_per_block t in
+  let home_addr = Pmfs.Data.block_addr t.pmfs b.Buffer_pool.home in
+  b.Buffer_pool.pinned <- b.Buffer_pool.pinned + 1;
+  Fun.protect
+    ~finally:(fun () -> b.Buffer_pool.pinned <- b.Buffer_pool.pinned - 1)
+    (fun () ->
+      let snapshot =
+        if t.hcfg.Hconfig.clfw then b.Buffer_pool.dirty
+        else if Clbitmap.is_empty b.Buffer_pool.dirty then Clbitmap.empty
+        else Clbitmap.full_mask nlines
+      in
+      if not (Clbitmap.is_empty snapshot) then begin
+        Clbitmap.iter_set_runs snapshot ~nlines (fun ~first ~count ->
+            Device.write_nt ~background dev ~cat
+              ~addr:(home_addr + (first * cl))
+              ~src:b.Buffer_pool.data ~off:(first * cl) ~len:(count * cl));
+        Device.mfence dev ~cat;
+        Stats.add_coalesced_cachelines (stats t) (Clbitmap.count snapshot)
+      end;
+      (* Read-and-clear atomically (no yield between): a concurrent flusher
+         of the same block must not double-decrement [dirty_blocks]. *)
+      let pre = b.Buffer_pool.dirty in
+      b.Buffer_pool.dirty <- Clbitmap.diff pre snapshot;
+      b.Buffer_pool.home_valid <-
+        Clbitmap.union b.Buffer_pool.home_valid snapshot;
+      if (not (Clbitmap.is_empty pre))
+         && Clbitmap.is_empty b.Buffer_pool.dirty
+      then fst.dirty_blocks <- fst.dirty_blocks - 1;
+      if (evict || not (Clbitmap.is_empty snapshot))
+         && not (Clbitmap.equal b.Buffer_pool.home_valid
+                   (Clbitmap.full_mask nlines))
+      then begin
+        let missing =
+          Clbitmap.diff (Clbitmap.full_mask nlines) b.Buffer_pool.home_valid
+        in
+        Clbitmap.iter_set_runs missing ~nlines (fun ~first ~count ->
+            let zeros = Bytes.make (count * cl) '\000' in
+            Device.write_nt ~background dev ~cat ~addr:(home_addr + (first * cl))
+              ~src:zeros ~off:0 ~len:(count * cl));
+        if not (Clbitmap.is_empty missing) then Device.mfence dev ~cat;
+        b.Buffer_pool.home_valid <- Clbitmap.full_mask nlines
+      end);
+  if evict && Clbitmap.is_empty b.Buffer_pool.dirty && b.Buffer_pool.pinned = 0
+  then begin
+    ignore (Btree.remove fst.index b.Buffer_pool.fblock);
+    Buffer_pool.free t.pool b;
+    Stats.eviction (stats t);
+    ignore (Condvar.broadcast t.free_cv)
+  end
+
+(* Flush (and optionally evict) every buffered block of a file. *)
+let flush_file ?background ?cat t fst ~evict =
+  let ids = Btree.fold fst.index [] (fun acc _fblock id -> id :: acc) in
+  List.iter
+    (fun id ->
+      let b = Buffer_pool.block t.pool id in
+      if b.Buffer_pool.in_use && b.Buffer_pool.ino = fst.f_ino then
+        flush_block ?background ?cat t b ~evict)
+    ids
+
+(* Flush a file's dirty data and commit its pending metadata: the ordered
+   barrier used by fsync, eager-write conflicts, truncate and unmount. *)
+let sync_file_data t fst =
+  flush_file t fst ~evict:false;
+  commit_pending t fst
+
+(* --- background writeback daemons (§3.2) --- *)
+
+let reclaim_target t =
+  int_of_float
+    (t.hcfg.Hconfig.high_watermark *. float_of_int (Buffer_pool.capacity t.pool))
+
+let low_free t =
+  Buffer_pool.free_fraction t.pool < t.hcfg.Hconfig.low_watermark
+
+let daemon_body t =
+  let rec loop () =
+    if not t.stopping then begin
+      ignore
+        (Condvar.wait_timeout t.wb_wakeup
+           ~timeout:t.hcfg.Hconfig.flush_interval_ns);
+      if not t.stopping then begin
+        (* Reclaim from the LRW end until the high watermark. *)
+        let rec reclaim () =
+          if
+            (not t.stopping)
+            && Buffer_pool.free_count t.pool < reclaim_target t
+          then begin
+            match Buffer_pool.pick_victim ~policy:t.hcfg.Hconfig.replacement t.pool with
+            | None -> ()
+            | Some b ->
+              flush_block ~background:true t b ~evict:true;
+              maybe_commit t (file_state t b.Buffer_pool.ino);
+              reclaim ()
+          end
+        in
+        if low_free t || Buffer_pool.free_count t.pool < reclaim_target t
+        then reclaim ();
+        (* Age-based cleaning: write back (without evicting) blocks whose
+           last write is older than the age threshold. *)
+        let cutoff = Int64.sub (now t) t.hcfg.Hconfig.age_flush_ns in
+        let stale =
+          List.filter
+            (fun id ->
+              let b = Buffer_pool.block t.pool id in
+              b.Buffer_pool.in_use
+              && (not (Clbitmap.is_empty b.Buffer_pool.dirty))
+              && Int64.compare b.Buffer_pool.last_written cutoff <= 0)
+            (Buffer_pool.lrw_ids t.pool)
+        in
+        List.iter
+          (fun id ->
+            let b = Buffer_pool.block t.pool id in
+            if b.Buffer_pool.in_use then begin
+              flush_block ~background:true t b ~evict:false;
+              maybe_commit t (file_state t b.Buffer_pool.ino)
+            end)
+          stale;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let start_daemons t =
+  if t.daemons > 0 then invalid_arg "Hinfs: daemons already running";
+  t.daemons <- t.hcfg.Hconfig.writeback_threads;
+  for i = 1 to t.hcfg.Hconfig.writeback_threads do
+    Proc.spawn ~name:(Printf.sprintf "hinfs-writeback-%d" i) (fun () ->
+        daemon_body t)
+  done
+
+(* Allocate a DRAM buffer block, stalling on the writeback daemons when the
+   pool is exhausted (the foreground stall of §3.2.1). *)
+let alloc_buffer_block t ~ino ~fblock ~home =
+  let rec attempt () =
+    match Buffer_pool.alloc t.pool ~ino ~fblock ~home ~now:(now t) with
+    | Some b ->
+      if low_free t then ignore (Condvar.signal t.wb_wakeup);
+      b
+    | None ->
+      Stats.writeback_stall (stats t);
+      ignore (Condvar.signal t.wb_wakeup);
+      if t.daemons = 0 then begin
+        (* No daemons (unit-test configuration): reclaim inline. *)
+        (match Buffer_pool.pick_victim ~policy:t.hcfg.Hconfig.replacement t.pool with
+        | Some victim ->
+          flush_block t victim ~evict:true;
+          maybe_commit t (file_state t victim.Buffer_pool.ino)
+        | None -> ());
+        attempt ()
+      end
+      else begin
+        ignore (Condvar.wait_timeout t.free_cv ~timeout:1_000_000L);
+        attempt ()
+      end
+  in
+  attempt ()
+
+(* --- write path --- *)
+
+(* Fetch the NVMM-resident parts of [lines] that a partial write needs
+   (CLFW: only boundary lines; NCLFW: the whole block). Lines not valid at
+   home read as zeros. *)
+let fetch_lines t b lines =
+  let dev = device t in
+  let cl = cacheline t in
+  let nlines = lines_per_block t in
+  let home_addr = Pmfs.Data.block_addr t.pmfs b.Buffer_pool.home in
+  let needed = Clbitmap.diff lines b.Buffer_pool.present in
+  let from_home = Clbitmap.inter needed b.Buffer_pool.home_valid in
+  Clbitmap.iter_set_runs from_home ~nlines (fun ~first ~count ->
+      Device.read dev ~cat:Stats.Write_access
+        ~addr:(home_addr + (first * cl))
+        ~len:(count * cl) ~into:b.Buffer_pool.data ~off:(first * cl));
+  let as_zero = Clbitmap.diff needed b.Buffer_pool.home_valid in
+  Clbitmap.iter_set_runs as_zero ~nlines (fun ~first ~count ->
+      Bytes.fill b.Buffer_pool.data (first * cl) (count * cl) '\000');
+  b.Buffer_pool.present <- Clbitmap.union b.Buffer_pool.present lines
+
+(* One block-aligned segment of a lazy-persistent write. *)
+let lazy_write_segment t fst ~fblock ~in_block ~src ~src_off ~len =
+  let cl = cacheline t in
+  let nlines = lines_per_block t in
+  let st = stats t in
+  let b =
+    match buffered_block t fst fblock with
+    | Some b ->
+      Stats.buffer_write_hit st;
+      b
+    | None ->
+      Stats.buffer_write_miss st;
+      (* Bind a DRAM block; allocate the NVMM home up front so the
+         writeback threads know where to flush (§3.2, Fig. 5). *)
+      let home, fresh =
+        match Pmfs.Data.lookup_block t.pmfs ~ino:fst.f_ino ~fblock with
+        | Some home -> (home, false)
+        | None ->
+          let txn = get_pending_txn t fst in
+          let home, fresh, allocated =
+            Pmfs.Data.ensure_block t.pmfs txn ~ino:fst.f_ino ~fblock
+          in
+          fst.pending_allocs <- allocated @ fst.pending_allocs;
+          (home, fresh)
+      in
+      let b = alloc_buffer_block t ~ino:fst.f_ino ~fblock ~home in
+      b.Buffer_pool.home_valid <-
+        (if fresh then Clbitmap.empty else Clbitmap.full_mask nlines);
+      Btree.insert fst.index fblock b.Buffer_pool.id;
+      b
+  in
+  b.Buffer_pool.pinned <- b.Buffer_pool.pinned + 1;
+  Fun.protect
+    ~finally:(fun () -> b.Buffer_pool.pinned <- b.Buffer_pool.pinned - 1)
+    (fun () ->
+      let lines = Clbitmap.of_byte_range ~cacheline_size:cl ~off:in_block ~len in
+      (* Fetch-before-write, at the granularity the config dictates. *)
+      let to_fetch =
+        if t.hcfg.Hconfig.clfw then
+          Clbitmap.boundary_partials ~cacheline_size:cl ~off:in_block ~len
+        else if Clbitmap.equal lines (Clbitmap.full_mask nlines) then
+          Clbitmap.empty
+        else Clbitmap.full_mask nlines
+      in
+      fetch_lines t b to_fetch;
+      charge_dram_write t Stats.Write_access len;
+      Bytes.blit src src_off b.Buffer_pool.data in_block len;
+      let dirty_lines =
+        if t.hcfg.Hconfig.clfw then lines else Clbitmap.full_mask nlines
+      in
+      mark_block_dirty t fst b dirty_lines)
+
+(* One block-aligned segment of an eager-persistent write. If the block is
+   buffered, the paper's consistency rule applies: write into DRAM, then
+   explicitly flush it before returning (§3.3.2). We keep the clean block
+   cached rather than freeing it: reads keep preferring the DRAM copy, so
+   consistency holds either way, and freeing would force the home block's
+   never-written cachelines to be zero-filled right on the eager write's
+   critical path. The writeback daemons still evict it under pressure. *)
+let eager_write_segment t fst ~fblock ~in_block ~src ~src_off ~len =
+  Stats.eager_write (stats t);
+  match buffered_block t fst fblock with
+  | Some b ->
+    b.Buffer_pool.pinned <- b.Buffer_pool.pinned + 1;
+    Fun.protect
+      ~finally:(fun () -> b.Buffer_pool.pinned <- b.Buffer_pool.pinned - 1)
+      (fun () ->
+        let cl = cacheline t in
+        let lines =
+          Clbitmap.of_byte_range ~cacheline_size:cl ~off:in_block ~len
+        in
+        fetch_lines t b
+          (Clbitmap.boundary_partials ~cacheline_size:cl ~off:in_block ~len);
+        charge_dram_write t Stats.Write_access len;
+        Bytes.blit src src_off b.Buffer_pool.data in_block len;
+        mark_block_dirty t fst b lines);
+    flush_block t b ~evict:false
+  | None ->
+    (* Straight to NVMM: exactly the PMFS data path, minus the size update
+       which the caller handles once for the whole write. *)
+    let bs = block_size t in
+    ignore
+      (Pmfs.write_direct t.pmfs ~ino:fst.f_ino
+         ~off:((fblock * bs) + in_block)
+         ~src ~src_off ~len)
+
+(* Journal backpressure: pending (ordered) transactions hold undo-log
+   slots until their file's buffered data is written back. When the log
+   runs low, kick the writeback daemons; when critically low, drain this
+   file synchronously so its transaction's slots free up. *)
+let journal_backpressure t fst =
+  let log = Pmfs.log t.pmfs in
+  let free = Log.free_slots log in
+  let capacity = Log.capacity log in
+  if free * 10 < capacity then begin
+    ignore (Condvar.signal t.wb_wakeup);
+    if free * 5 < capacity && fst.pending_txn <> None then
+      sync_file_data t fst
+  end
+
+let write t ~ino ~off ~src ~src_off ~len ~sync =
+  if off < 0 || len < 0 then Errno.raise_error EINVAL "bad write range";
+  let fst = file_state t ino in
+  journal_backpressure t fst;
+  let bs = block_size t in
+  let cl = cacheline t in
+  let old_size = Pmfs.inode_size t.pmfs ino in
+  fst.writers <- fst.writers + 1;
+  Fun.protect
+    ~finally:(fun () -> fst.writers <- fst.writers - 1)
+    (fun () ->
+      (* Segment the write and consult the checker per block. *)
+      let segments = ref [] in
+      let rec split done_ =
+        if done_ < len then begin
+          let pos = off + done_ in
+          let fblock = pos / bs in
+          let in_block = pos mod bs in
+          let chunk = min (bs - in_block) (len - done_) in
+          let eager =
+            sync || t.sync_mount
+            || (t.hcfg.Hconfig.checker
+               && Benefit.is_eager fst.model fblock ~now:(now t)
+                    ~eager_decay_ns:t.hcfg.Hconfig.eager_decay_ns)
+          in
+          segments := (fblock, in_block, done_, chunk, eager) :: !segments;
+          split (done_ + chunk)
+        end
+      in
+      split 0;
+      let segments = List.rev !segments in
+      let any_eager = List.exists (fun (_, _, _, _, e) -> e) segments in
+      (* Ghost-buffer accounting for the Benefit Model (all writes). *)
+      List.iter
+        (fun (fblock, in_block, _, chunk, _) ->
+          Benefit.record_write fst.model fblock
+            ~lines:
+              (Clbitmap.of_byte_range ~cacheline_size:cl ~off:in_block
+                 ~len:chunk))
+        segments;
+      if any_eager then begin
+        (* Mixed or eager write. Resolve the metadata-transaction conflict
+           by draining the pending lazy state first (rare: lazy and eager
+           writes interleaving on one file between syncs). *)
+        if fst.pending_txn <> None then sync_file_data t fst;
+        List.iter
+          (fun (fblock, in_block, done_, chunk, _eager) ->
+            (* After the barrier all segments go eager: per-block mixing
+               within one syscall would re-create the conflict. *)
+            eager_write_segment t fst ~fblock ~in_block ~src
+              ~src_off:(src_off + done_) ~len:chunk)
+          segments;
+        (* Persist the size extension eagerly (eager segments via
+           write_direct may already have grown it). *)
+        let cur = Pmfs.inode_size t.pmfs ino in
+        if off + len > cur then
+          Log.with_txn (Pmfs.log t.pmfs) (fun txn ->
+              Pmfs.Data.update_size t.pmfs txn ~ino ~size:(off + len);
+              Pmfs.Data.touch_mtime_txn t.pmfs txn ~ino)
+      end
+      else begin
+        List.iter
+          (fun (fblock, in_block, done_, chunk, _) ->
+            Stats.lazy_write (stats t);
+            lazy_write_segment t fst ~fblock ~in_block ~src
+              ~src_off:(src_off + done_) ~len:chunk)
+          segments;
+        (* Metadata: size through the pending (ordered) transaction; a
+           non-extending write only touches mtime, atomically. *)
+        if off + len > old_size then begin
+          let txn = get_pending_txn t fst in
+          Pmfs.Data.update_size t.pmfs txn ~ino ~size:(off + len);
+          Pmfs.Data.touch_mtime_txn t.pmfs txn ~ino
+        end
+        else Pmfs.Data.touch_mtime_atomic t.pmfs ~ino
+      end;
+      len)
+
+(* --- read path (§3.3.1) --- *)
+
+(* Copy one block segment from the buffer block + NVMM home, merging by
+   cacheline runs with as few memcpy operations as possible. *)
+let read_buffered_segment t b ~in_block ~len ~into ~into_off =
+  let dev = device t in
+  let cl = cacheline t in
+  let nlines = lines_per_block t in
+  let home_addr = Pmfs.Data.block_addr t.pmfs b.Buffer_pool.home in
+  let seg_start = in_block and seg_end = in_block + len in
+  let copy_run ~first ~count ~from_dram =
+    (* Clip the run's byte range to the segment. *)
+    let run_start = max seg_start (first * cl) in
+    let run_end = min seg_end ((first + count) * cl) in
+    if run_end > run_start then begin
+      let n = run_end - run_start in
+      let dst_off = into_off + (run_start - seg_start) in
+      if from_dram then begin
+        charge_dram_read t Stats.Read_access n;
+        Bytes.blit b.Buffer_pool.data run_start into dst_off n
+      end
+      else if
+        Clbitmap.is_empty
+          (Clbitmap.inter
+             (Clbitmap.of_byte_range ~cacheline_size:cl ~off:run_start ~len:n)
+             b.Buffer_pool.home_valid)
+      then begin
+        (* Never written anywhere: zero fill. *)
+        charge_dram_read t Stats.Read_access n;
+        Bytes.fill into dst_off n '\000'
+      end
+      else
+        Device.read dev ~cat:Stats.Read_access ~addr:(home_addr + run_start)
+          ~len:n ~into ~off:dst_off
+    end
+  in
+  Clbitmap.iter_runs b.Buffer_pool.present ~nlines (fun ~first ~count ~set ->
+      copy_run ~first ~count ~from_dram:set)
+
+let read t ~ino ~off ~len ~into ~into_off =
+  if off < 0 || len < 0 then Errno.raise_error EINVAL "bad read range";
+  let fst = file_state t ino in
+  let bs = block_size t in
+  let size = Pmfs.inode_size t.pmfs ino in
+  let len = if off >= size then 0 else min len (size - off) in
+  let st = stats t in
+  let rec copy done_ =
+    if done_ < len then begin
+      let pos = off + done_ in
+      let fblock = pos / bs in
+      let in_block = pos mod bs in
+      let chunk = min (bs - in_block) (len - done_) in
+      (match buffered_block t fst fblock with
+      | Some b ->
+        Stats.buffer_read_hit st;
+        b.Buffer_pool.pinned <- b.Buffer_pool.pinned + 1;
+        Fun.protect
+          ~finally:(fun () ->
+            b.Buffer_pool.pinned <- b.Buffer_pool.pinned - 1)
+          (fun () ->
+            read_buffered_segment t b ~in_block ~len:chunk ~into
+              ~into_off:(into_off + done_))
+      | None ->
+        Stats.buffer_read_miss st;
+        ignore
+          (Pmfs.read t.pmfs ~ino ~off:pos ~len:chunk ~into
+             ~into_off:(into_off + done_)));
+      copy (done_ + chunk)
+    end
+  in
+  copy 0;
+  len
+
+(* --- fsync (§3.3.2) --- *)
+
+let fsync t ~ino =
+  let fst = file_state t ino in
+  (* Persist buffered data, then the pending metadata (ordered mode). *)
+  flush_file t fst ~evict:false;
+  commit_pending t fst;
+  (* Update the Buffer Benefit Model with this synchronization. *)
+  let cfg = config t in
+  ignore
+    (Benefit.on_sync fst.model ~now:(now t) ~l_dram:cfg.Config.dram_write_ns
+       ~l_nvmm:cfg.Config.nvmm_write_ns ~stats:(stats t));
+  Device.mfence (device t) ~cat:Stats.Other
+
+(* --- namespace operations ---
+
+   Directory and inode metadata are never buffered (§4.1: "HiNFS does not
+   buffer any file system metadata"), so these mostly delegate to PMFS,
+   with buffer bookkeeping around deletion and truncation. *)
+
+(* A writeback daemon may hold a pin on a block across its flush; freeing
+   must wait it out (flushes are bounded, and the waiter holds no lock the
+   daemons need). *)
+let wait_unpinned b =
+  while b.Buffer_pool.pinned > 0 do
+    Proc.delay 1_000L
+  done
+
+(* Discard a file's buffered blocks without writing them back (the file is
+   dying — the §1 motivation: writes to later-deleted files need never
+   reach NVMM). *)
+let drop_buffers t ino =
+  match Hashtbl.find_opt t.files ino with
+  | None -> ()
+  | Some fst ->
+    let st = stats t in
+    let ids = Btree.fold fst.index [] (fun acc _ id -> id :: acc) in
+    let dropped = ref 0 in
+    List.iter
+      (fun id ->
+        let b = Buffer_pool.block t.pool id in
+        if b.Buffer_pool.in_use && b.Buffer_pool.ino = ino then begin
+          wait_unpinned b;
+          if b.Buffer_pool.in_use && b.Buffer_pool.ino = ino then begin
+            if not (Clbitmap.is_empty b.Buffer_pool.dirty) then incr dropped;
+            b.Buffer_pool.dirty <- Clbitmap.empty;
+            Buffer_pool.free t.pool b
+          end
+        end)
+      ids;
+    Stats.dead_block_drop st !dropped;
+    if !dropped > 0 then ignore (Condvar.broadcast t.free_cv);
+    abort_pending t fst;
+    Hashtbl.remove t.files ino
+
+let unlink t ~dir name =
+  (match Pmfs.lookup t.pmfs ~dir name with
+  | Some ino when Pmfs.inode_kind t.pmfs ino = Layout.Inode.kind_regular ->
+    drop_buffers t ino
+  | _ -> ());
+  Pmfs.unlink t.pmfs ~dir name
+
+let rename t ~src_dir ~src ~dst_dir ~dst =
+  (* If the rename will replace an existing file, its buffers die too. *)
+  (match Pmfs.lookup t.pmfs ~dir:dst_dir dst with
+  | Some ino when Pmfs.inode_kind t.pmfs ino = Layout.Inode.kind_regular ->
+    drop_buffers t ino
+  | _ -> ());
+  Pmfs.rename t.pmfs ~src_dir ~src ~dst_dir ~dst
+
+let truncate t ~ino ~size =
+  let fst = file_state t ino in
+  let bs = block_size t in
+  let keep_blocks = (size + bs - 1) / bs in
+  (* Buffered blocks beyond the new size die; the rest are flushed so the
+     (journaled) truncate applies to a stable persistent state. *)
+  let ids = Btree.fold fst.index [] (fun acc fblock id -> (fblock, id) :: acc) in
+  List.iter
+    (fun (fblock, id) ->
+      let b = Buffer_pool.block t.pool id in
+      if b.Buffer_pool.in_use && b.Buffer_pool.ino = ino
+         && fblock >= keep_blocks
+      then begin
+        wait_unpinned b;
+        if b.Buffer_pool.in_use && b.Buffer_pool.ino = ino then begin
+          if not (Clbitmap.is_empty b.Buffer_pool.dirty) then begin
+            fst.dirty_blocks <- fst.dirty_blocks - 1;
+            b.Buffer_pool.dirty <- Clbitmap.empty
+          end;
+          ignore (Btree.remove fst.index fblock);
+          Buffer_pool.free t.pool b
+        end
+      end)
+    ids;
+  sync_file_data t fst;
+  Pmfs.truncate t.pmfs ~ino ~size
+
+(* --- mmap (§4.2) --- *)
+
+let mmap t ~ino =
+  let fst = file_state t ino in
+  (* Flush all dirty buffered blocks of this file to NVMM, then pin its
+     blocks Eager-Persistent until munmap. Evict so the mapping and the
+     buffer can never diverge. *)
+  flush_file t fst ~evict:true;
+  commit_pending t fst;
+  Benefit.pin_mmap fst.model
+
+let munmap t ~ino =
+  let fst = file_state t ino in
+  Benefit.unpin_mmap fst.model
+
+let msync t ~ino =
+  ignore ino;
+  Device.mfence (device t) ~cat:Stats.Other
+
+(* --- lifecycle --- *)
+
+let sync_all t =
+  Hashtbl.iter (fun _ino fst -> sync_file_data t fst) t.files;
+  Device.mfence (device t) ~cat:Stats.Other
+
+let unmount t =
+  t.stopping <- true;
+  ignore (Condvar.broadcast t.wb_wakeup);
+  sync_all t;
+  Pmfs.unmount t.pmfs
+
+(* --- introspection for tests and benchmarks --- *)
+
+let buffered_blocks t = Buffer_pool.used_count t.pool
+let free_buffer_blocks t = Buffer_pool.free_count t.pool
+
+let dirty_buffered_blocks t =
+  Hashtbl.fold (fun _ fst acc -> acc + fst.dirty_blocks) t.files 0
+
+let pending_txns t =
+  Hashtbl.fold
+    (fun _ fst acc -> if fst.pending_txn <> None then acc + 1 else acc)
+    t.files 0
+
+let is_block_buffered t ~ino ~fblock =
+  match Hashtbl.find_opt t.files ino with
+  | None -> false
+  | Some fst -> buffered_block t fst fblock <> None
+
+let block_state_eager t ~ino ~fblock =
+  match Hashtbl.find_opt t.files ino with
+  | None -> false
+  | Some fst ->
+    Benefit.is_eager fst.model fblock ~now:(now t)
+      ~eager_decay_ns:t.hcfg.Hconfig.eager_decay_ns
+
+(* --- mkfs / mount helpers --- *)
+
+let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?hcfg ?sync_mount
+    ?(daemons = true) () =
+  (* The journal must hold the undo entries of every pending (ordered)
+     transaction; those scale with the number of buffered blocks. Default
+     to ~16 entry slots per buffer block unless told otherwise. *)
+  let journal_blocks =
+    match journal_blocks with
+    | Some j -> Some j
+    | None ->
+      let cfg = Device.config device in
+      let buffer_blocks =
+        (match hcfg with Some h -> h.Hconfig.buffer_bytes | None -> Hconfig.default.Hconfig.buffer_bytes)
+        / cfg.Config.block_size
+      in
+      let slots_per_block = cfg.Config.block_size / 64 in
+      Some (max 64 (buffer_blocks * 16 / slots_per_block))
+  in
+  let pmfs =
+    Pmfs.mkfs_and_mount device ?journal_blocks ?inodes_per_mb
+      ~journal_cleaner:daemons ()
+  in
+  let t = create ?hcfg ?sync_mount pmfs in
+  if daemons then start_daemons t;
+  t
+
+(* --- Backend.S instance --- *)
+
+module Backend : Hinfs_vfs.Backend.S with type t = t = struct
+  type nonrec t = t
+
+  let fs_name _ = "hinfs"
+  let device = device
+  let sync_mount t = t.sync_mount
+  let root_ino _ = Layout.root_ino
+  let lookup t ~dir name = Pmfs.lookup t.pmfs ~dir name
+  let create_file t ~dir name = Pmfs.create_file t.pmfs ~dir name
+  let mkdir t ~dir name = Pmfs.mkdir t.pmfs ~dir name
+  let unlink = unlink
+  let rmdir t ~dir name = Pmfs.rmdir t.pmfs ~dir name
+  let rename = rename
+  let readdir t ~dir = Pmfs.readdir t.pmfs ~dir
+  let stat t ~ino = Pmfs.stat_of t.pmfs ino
+
+  let read t ~ino ~off ~len ~into ~into_off =
+    read t ~ino ~off ~len ~into ~into_off
+
+  let write t ~ino ~off ~src ~src_off ~len ~sync =
+    write t ~ino ~off ~src ~src_off ~len ~sync
+
+  let truncate t ~ino ~size = truncate t ~ino ~size
+  let fsync t ~ino = fsync t ~ino
+  let mmap t ~ino = mmap t ~ino
+  let munmap t ~ino = munmap t ~ino
+  let msync t ~ino = msync t ~ino
+  let sync_all = sync_all
+  let unmount = unmount
+end
+
+module Vfs_layer = Hinfs_vfs.Vfs.Make (Backend)
+
+let handle t = Vfs_layer.handle t

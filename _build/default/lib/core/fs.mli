@@ -1,0 +1,117 @@
+(** HiNFS: the high performance NVMM file system (paper §3).
+
+    Layered on the PMFS persistent format, HiNFS buffers lazy-persistent
+    writes in a DRAM write buffer (LRW-managed, cacheline-granular CLFW),
+    routes reads and eager-persistent writes directly to NVMM, and keeps
+    read consistency through the per-file DRAM Block Index plus per-block
+    Cacheline Bitmaps. Metadata for buffered writes lives in per-file
+    pending undo-log transactions committed only after the data is written
+    back (ordered mode).
+
+    All operations must run inside a simulation process. *)
+
+type t
+
+type file_state
+(** Per-file buffer state (opaque outside this module). *)
+
+(** {1 Mount lifecycle} *)
+
+val create : ?hcfg:Hconfig.t -> ?sync_mount:bool -> Hinfs_pmfs.Pmfs.t -> t
+(** Wrap a mounted PMFS with the HiNFS buffer layer. *)
+
+val start_daemons : t -> unit
+(** Spawn the background writeback threads (call from inside a process). *)
+
+val mkfs_and_mount :
+  Hinfs_nvmm.Device.t ->
+  ?journal_blocks:int ->
+  ?inodes_per_mb:int ->
+  ?hcfg:Hconfig.t ->
+  ?sync_mount:bool ->
+  ?daemons:bool ->
+  unit ->
+  t
+(** mkfs a fresh PMFS layout and mount HiNFS over it. The undo journal is
+    sized with the buffer unless [journal_blocks] is given. [daemons]
+    (default true) starts the writeback threads and the journal cleaner. *)
+
+val unmount : t -> unit
+(** Flush all buffered data, commit pending transactions, stop daemons. *)
+
+val handle : t -> Hinfs_vfs.Vfs.handle
+(** The syscall-level handle (open/read/write/fsync/...). *)
+
+(** {1 Accessors} *)
+
+val pmfs : t -> Hinfs_pmfs.Pmfs.t
+val device : t -> Hinfs_nvmm.Device.t
+val stats : t -> Hinfs_stats.Stats.t
+val hconfig : t -> Hconfig.t
+val pool : t -> Buffer_pool.t
+
+(** {1 Inode-level operations}
+
+    These are what {!Backend} wires into the VFS; exposed for tests and
+    for building custom frontends. *)
+
+val read :
+  t -> ino:int -> off:int -> len:int -> into:Bytes.t -> into_off:int -> int
+
+val write :
+  t -> ino:int -> off:int -> src:Bytes.t -> src_off:int -> len:int ->
+  sync:bool -> int
+(** [sync] marks the write eager-persistent (case 1 of §3.3.2); otherwise
+    the Eager-Persistent Write Checker decides per block. *)
+
+val fsync : t -> ino:int -> unit
+(** Flush the file's dirty buffered blocks, commit its pending metadata
+    transaction, and update the Buffer Benefit Model. *)
+
+val truncate : t -> ino:int -> size:int -> unit
+val unlink : t -> dir:int -> string -> unit
+
+val rename :
+  t -> src_dir:int -> src:string -> dst_dir:int -> dst:string -> unit
+
+val mmap : t -> ino:int -> unit
+(** Flush and evict the file's buffered blocks and pin them
+    Eager-Persistent until {!munmap} (§4.2). *)
+
+val munmap : t -> ino:int -> unit
+val msync : t -> ino:int -> unit
+val sync_all : t -> unit
+
+(** {1 Introspection (tests, benchmarks)} *)
+
+val buffered_blocks : t -> int
+val free_buffer_blocks : t -> int
+val dirty_buffered_blocks : t -> int
+
+val pending_txns : t -> int
+(** Files whose ordered-mode metadata transaction is still open. *)
+
+val is_block_buffered : t -> ino:int -> fblock:int -> bool
+
+val block_state_eager : t -> ino:int -> fblock:int -> bool
+(** The checker's current verdict for the block (decay applied). *)
+
+val drop_buffers : t -> int -> unit
+(** Discard a dying file's buffered blocks without writeback and abort its
+    pending transaction (used by unlink/rename-replace). *)
+
+val flush_file :
+  ?background:bool ->
+  ?cat:Hinfs_stats.Stats.category ->
+  t ->
+  file_state ->
+  evict:bool ->
+  unit
+(** Write back (and optionally evict) every buffered block of a file. *)
+
+val file_state : t -> int -> file_state
+(** Get-or-create the buffer state for an inode. *)
+
+(** {1 VFS backend} *)
+
+module Backend : Hinfs_vfs.Backend.S with type t = t

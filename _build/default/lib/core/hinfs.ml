@@ -1,0 +1,11 @@
+(** HiNFS — a high performance file system for non-volatile main memory
+    (Ou, Shu, Lu; EuroSys 2016), over a simulated NVMM device.
+
+    {!Fs} is the file system itself; the submodules expose the building
+    blocks for tests, benchmarks and extensions. *)
+
+module Fs = Fs
+module Hconfig = Hconfig
+module Clbitmap = Clbitmap
+module Buffer_pool = Buffer_pool
+module Benefit = Benefit

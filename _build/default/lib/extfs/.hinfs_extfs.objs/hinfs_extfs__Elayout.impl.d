@@ -1,0 +1,1 @@
+lib/extfs/elayout.ml: Bytes Fmt Int32 Int64

@@ -1,0 +1,1 @@
+lib/extfs/extfs.ml: Bytes Elayout Hashtbl Hinfs_blockdev Hinfs_journal Hinfs_nvmm Hinfs_pagecache Hinfs_sim Hinfs_stats Hinfs_structures Hinfs_vfs Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/extfs/extfs.mli: Bytes Hinfs_nvmm Hinfs_vfs

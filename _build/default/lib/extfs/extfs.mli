@@ -1,0 +1,91 @@
+(** EXT2/EXT4-like block file system over NVMMBD + the OS page cache — the
+    paper's traditional baselines (Table 3). *)
+
+(** Mount mode:
+    - [Ext2]: no journaling;
+    - [Ext4]: jbd2-style ordered-mode metadata journal with a periodic
+      commit daemon;
+    - [Ext4_dax]: the DAX patch — file data bypasses the page cache and
+      moves directly to NVMM; metadata keeps the cache-and-journal path. *)
+type mode = Ext2 | Ext4 | Ext4_dax
+
+val mode_name : mode -> string
+
+type t
+
+(** {1 mkfs / mount} *)
+
+val mkfs :
+  Hinfs_nvmm.Device.t -> ?journal_blocks:int -> ?inodes_per_mb:int -> unit -> unit
+
+val mount :
+  Hinfs_nvmm.Device.t ->
+  mode:mode ->
+  ?sync_mount:bool ->
+  ?cache_pages:int ->
+  ?commit_interval:int64 ->
+  unit ->
+  t
+(** Replays the journal (EXT4 modes), loads the allocation bitmaps, builds
+    the page cache ([cache_pages] is the "system memory"). *)
+
+val start_daemons : t -> unit
+(** Spawn the pdflush-like flusher and (EXT4 modes) the periodic jbd commit
+    daemon; call from inside a simulation process. *)
+
+val mkfs_and_mount :
+  Hinfs_nvmm.Device.t ->
+  mode:mode ->
+  ?journal_blocks:int ->
+  ?inodes_per_mb:int ->
+  ?sync_mount:bool ->
+  ?cache_pages:int ->
+  ?commit_interval:int64 ->
+  ?daemons:bool ->
+  unit ->
+  t
+
+val unmount : t -> unit
+val sync_all : t -> unit
+
+(** {1 Accessors} *)
+
+val mode : t -> mode
+val device : t -> Hinfs_nvmm.Device.t
+val free_data_blocks : t -> int
+val free_inodes : t -> int
+val journal_commits : t -> int
+
+(** {1 Inode operations} *)
+
+val inode_size : t -> int -> int
+val stat_of : t -> int -> Hinfs_vfs.Types.stat
+
+val read :
+  t -> ino:int -> off:int -> len:int -> into:Bytes.t -> into_off:int -> int
+
+val write :
+  t -> ino:int -> off:int -> src:Bytes.t -> src_off:int -> len:int ->
+  sync:bool -> int
+
+val truncate : t -> ino:int -> size:int -> unit
+val fsync : t -> ino:int -> unit
+
+(** {1 Namespace} *)
+
+val lookup : t -> dir:int -> string -> int option
+val create_file : t -> dir:int -> string -> int
+val mkdir : t -> dir:int -> string -> int
+val unlink : t -> dir:int -> string -> unit
+val rmdir : t -> dir:int -> string -> unit
+
+val rename :
+  t -> src_dir:int -> src:string -> dst_dir:int -> dst:string -> unit
+
+val readdir : t -> dir:int -> (string * int) list
+
+(** {1 VFS} *)
+
+module Backend : Hinfs_vfs.Backend.S with type t = t
+
+val handle : t -> Hinfs_vfs.Vfs.handle

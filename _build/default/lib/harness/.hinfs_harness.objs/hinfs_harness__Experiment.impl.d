@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Fixtures Hinfs_nvmm Hinfs_sim Hinfs_stats Hinfs_trace Hinfs_workloads Option

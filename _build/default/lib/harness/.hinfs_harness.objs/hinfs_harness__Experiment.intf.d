@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Fixtures Hinfs_nvmm Hinfs_stats Hinfs_trace Hinfs_workloads

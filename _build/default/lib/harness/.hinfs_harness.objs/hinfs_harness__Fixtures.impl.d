@@ -1,0 +1,1 @@
+lib/harness/fixtures.ml: Hinfs Hinfs_extfs Hinfs_nvmm Hinfs_pmfs Hinfs_sim Hinfs_stats Hinfs_vfs

@@ -1,0 +1,1 @@
+lib/harness/fixtures.mli: Hinfs_nvmm Hinfs_sim Hinfs_stats Hinfs_vfs

@@ -1,0 +1,101 @@
+(* File systems under test (paper Table 3, plus HiNFS's own ablations). *)
+
+module Engine = Hinfs_sim.Engine
+module Stats = Hinfs_stats.Stats
+module Config = Hinfs_nvmm.Config
+module Device = Hinfs_nvmm.Device
+module Vfs = Hinfs_vfs.Vfs
+module Hconfig = Hinfs.Hconfig
+
+type fs_kind =
+  | Hinfs_fs (* the contribution *)
+  | Hinfs_nclfw (* ablation: no Cacheline Level Fetch/Writeback (Fig 9) *)
+  | Hinfs_wb (* ablation: checker off, buffer everything (Fig 12/13) *)
+  | Hinfs_fifo (* extra ablation: FIFO instead of LRW replacement *)
+  | Hinfs_lfu (* extra ablation: sampled LFU instead of LRW *)
+  | Pmfs_fs
+  | Ext4_dax
+  | Ext2_nvmmbd
+  | Ext4_nvmmbd
+
+let name = function
+  | Hinfs_fs -> "hinfs"
+  | Hinfs_nclfw -> "hinfs-nclfw"
+  | Hinfs_wb -> "hinfs-wb"
+  | Hinfs_fifo -> "hinfs-fifo"
+  | Hinfs_lfu -> "hinfs-lfu"
+  | Pmfs_fs -> "pmfs"
+  | Ext4_dax -> "ext4-dax"
+  | Ext2_nvmmbd -> "ext2+nvmmbd"
+  | Ext4_nvmmbd -> "ext4+nvmmbd"
+
+(* The five systems of the paper's main comparison, in Fig. 7 order. *)
+let paper_five = [ Pmfs_fs; Ext4_dax; Ext2_nvmmbd; Ext4_nvmmbd; Hinfs_fs ]
+
+let description = function
+  | Hinfs_fs -> "NVMM-aware write buffer + direct reads/eager writes"
+  | Hinfs_nclfw -> "HiNFS without cacheline-level fetch/writeback"
+  | Hinfs_wb -> "HiNFS buffering every write (checker disabled)"
+  | Hinfs_fifo -> "HiNFS with FIFO buffer replacement"
+  | Hinfs_lfu -> "HiNFS with sampled-LFU buffer replacement"
+  | Pmfs_fs -> "direct access to NVMM (EuroSys'14)"
+  | Ext4_dax -> "ext4 with the DAX direct-access patch"
+  | Ext2_nvmmbd -> "ext2 on the NVMM block device (no journal)"
+  | Ext4_nvmmbd -> "ext4 on the NVMM block device (ordered journal)"
+
+type env = {
+  engine : Engine.t;
+  stats : Stats.t;
+  device : Device.t;
+  handle : Vfs.handle;
+  kind : fs_kind;
+  teardown : unit -> unit;
+}
+
+(* Mount a fresh file system of the given kind on a fresh device. Must run
+   inside a simulation process (daemons are spawned). *)
+let setup engine ~config ~buffer_bytes ~cache_pages kind =
+  let stats = Stats.create () in
+  let device = Device.create engine stats config in
+  let hinfs_with hcfg =
+    let fs = Hinfs.Fs.mkfs_and_mount device ~hcfg ~daemons:true () in
+    (Hinfs.Fs.handle fs, fun () -> Hinfs.Fs.unmount fs)
+  in
+  let ext_with mode =
+    let fs =
+      Hinfs_extfs.Extfs.mkfs_and_mount device ~mode ~cache_pages ~daemons:true
+        ()
+    in
+    (Hinfs_extfs.Extfs.handle fs, fun () -> Hinfs_extfs.Extfs.unmount fs)
+  in
+  let handle, teardown =
+    match kind with
+    | Hinfs_fs -> hinfs_with { Hconfig.default with Hconfig.buffer_bytes }
+    | Hinfs_nclfw ->
+      hinfs_with
+        { Hconfig.default with Hconfig.buffer_bytes; Hconfig.clfw = false }
+    | Hinfs_wb ->
+      hinfs_with
+        { Hconfig.default with Hconfig.buffer_bytes; Hconfig.checker = false }
+    | Hinfs_fifo ->
+      hinfs_with
+        {
+          Hconfig.default with
+          Hconfig.buffer_bytes;
+          Hconfig.replacement = Hconfig.Fifo;
+        }
+    | Hinfs_lfu ->
+      hinfs_with
+        {
+          Hconfig.default with
+          Hconfig.buffer_bytes;
+          Hconfig.replacement = Hconfig.Lfu;
+        }
+    | Pmfs_fs ->
+      let fs = Hinfs_pmfs.Pmfs.mkfs_and_mount device ~journal_cleaner:true () in
+      (Hinfs_pmfs.Pmfs.handle fs, fun () -> Hinfs_pmfs.Pmfs.unmount fs)
+    | Ext4_dax -> ext_with Hinfs_extfs.Extfs.Ext4_dax
+    | Ext2_nvmmbd -> ext_with Hinfs_extfs.Extfs.Ext2
+    | Ext4_nvmmbd -> ext_with Hinfs_extfs.Extfs.Ext4
+  in
+  { engine; stats; device; handle; kind; teardown }

@@ -1,0 +1,38 @@
+(** File systems under test (paper Table 3, plus HiNFS's ablations). *)
+
+type fs_kind =
+  | Hinfs_fs  (** the contribution *)
+  | Hinfs_nclfw  (** no Cacheline Level Fetch/Writeback (Fig. 9) *)
+  | Hinfs_wb  (** checker off: buffer everything (Fig. 12/13) *)
+  | Hinfs_fifo  (** FIFO replacement instead of LRW (extra ablation) *)
+  | Hinfs_lfu  (** sampled-LFU replacement (extra ablation) *)
+  | Pmfs_fs
+  | Ext4_dax
+  | Ext2_nvmmbd
+  | Ext4_nvmmbd
+
+val name : fs_kind -> string
+val description : fs_kind -> string
+
+val paper_five : fs_kind list
+(** The five systems of the paper's main comparison, in Fig. 7 order. *)
+
+type env = {
+  engine : Hinfs_sim.Engine.t;
+  stats : Hinfs_stats.Stats.t;
+  device : Hinfs_nvmm.Device.t;
+  handle : Hinfs_vfs.Vfs.handle;
+  kind : fs_kind;
+  teardown : unit -> unit;
+}
+
+val setup :
+  Hinfs_sim.Engine.t ->
+  config:Hinfs_nvmm.Config.t ->
+  buffer_bytes:int ->
+  cache_pages:int ->
+  fs_kind ->
+  env
+(** Mount a fresh file system of the given kind on a fresh device (daemons
+    running). Call from inside a simulation process; call [teardown] when
+    done so the daemons stop and the engine can drain. *)

@@ -1,0 +1,48 @@
+(* Table/figure rendering helpers for the benchmark harness. *)
+
+let hr ppf width = Fmt.pf ppf "%s@." (String.make width '-')
+
+let heading ppf title =
+  Fmt.pf ppf "@.==== %s ====@.@." title
+
+let subheading ppf title = Fmt.pf ppf "-- %s --@." title
+
+(* A unit-less horizontal bar for quick visual comparison. *)
+let bar value ~max_value ~width =
+  if max_value <= 0.0 then ""
+  else begin
+    let n =
+      int_of_float (Float.round (value /. max_value *. float_of_int width))
+    in
+    String.make (max 0 (min width n)) '#'
+  end
+
+(* Print a table: header row then aligned rows of strings. *)
+let table ppf ~header rows =
+  let columns = List.length header in
+  let widths = Array.make columns 0 in
+  List.iteri (fun i cell -> widths.(i) <- String.length cell) header;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < columns then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        if i < columns then Fmt.pf ppf "%-*s  " widths.(i) cell)
+      row;
+    Fmt.pf ppf "@."
+  in
+  print_row header;
+  List.iteri (fun i w -> ignore i; ignore w) header;
+  Fmt.pf ppf "%s@."
+    (String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter print_row rows
+
+let f1 v = Fmt.str "%.1f" v
+let f2 v = Fmt.str "%.2f" v
+let f0 v = Fmt.str "%.0f" v
+let ms ns = Fmt.str "%.2f" (Int64.to_float ns /. 1e6)
+let pct v = Fmt.str "%.1f%%" (100.0 *. v)

@@ -1,0 +1,20 @@
+(** Table/figure rendering helpers for the benchmark harness. *)
+
+val hr : Format.formatter -> int -> unit
+val heading : Format.formatter -> string -> unit
+val subheading : Format.formatter -> string -> unit
+
+val bar : float -> max_value:float -> width:int -> string
+(** A unit-less horizontal bar for quick visual comparison. *)
+
+val table : Format.formatter -> header:string list -> string list list -> unit
+(** Aligned table: header row, separator, then the rows. *)
+
+val f0 : float -> string
+val f1 : float -> string
+val f2 : float -> string
+val ms : int64 -> string
+(** Nanoseconds rendered as milliseconds with two decimals. *)
+
+val pct : float -> string
+(** A fraction rendered as a percentage. *)

@@ -1,0 +1,1 @@
+lib/journal/block_journal.ml: Bytes Hashtbl Hinfs_blockdev Hinfs_sim Hinfs_stats Int32 List

@@ -1,0 +1,1 @@
+lib/journal/block_journal.mli: Bytes Hinfs_blockdev

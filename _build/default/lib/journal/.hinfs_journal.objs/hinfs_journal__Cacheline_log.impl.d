@@ -1,0 +1,1 @@
+lib/journal/cacheline_log.ml: Array Bytes Hashtbl Hinfs_nvmm Hinfs_sim Hinfs_stats Int32 Int64 List Queue

@@ -1,0 +1,1 @@
+lib/journal/cacheline_log.mli: Hinfs_nvmm

@@ -1,0 +1,364 @@
+(* PMFS-style fine-grained undo journal (paper §4.1).
+
+   Metadata updates are journaled at cacheline granularity: before updating
+   a metadata range in place, its old contents are appended to the log as
+   64-byte entries whose [valid] flag is written last — relying on the
+   architectural guarantee that writes to one cacheline are not reordered,
+   exactly as PMFS does. Commit writes a commit entry; checkpointing then
+   clears the transaction's entries (data entries strictly before the
+   commit entry, so recovery can never roll back a committed transaction).
+
+   Entry layout (64 B, one cacheline):
+     0..7    target address
+     8..11   transaction id
+     12..15  global sequence number
+     16..17  payload length (<= 44)
+     18      entry type (1 = undo data, 2 = commit)
+     19..62  payload (old contents)
+     63      valid flag (0xA5)
+
+   Recovery scans the whole region for valid entries: transactions with a
+   commit entry are discarded; the rest are rolled back by applying their
+   undo payloads in decreasing sequence order. *)
+
+module Proc = Hinfs_sim.Proc
+module Condvar = Hinfs_sim.Condvar
+module Stats = Hinfs_stats.Stats
+module Device = Hinfs_nvmm.Device
+module Config = Hinfs_nvmm.Config
+
+let entry_size = 64
+let payload_capacity = 44
+let valid_magic = 0xA5
+let type_data = 1
+let type_commit = 2
+
+exception Journal_full
+
+type txn = {
+  id : int;
+  mutable slots : int list; (* data-entry slots, newest first *)
+  mutable ranges : (int * int) list; (* target ranges to flush at commit *)
+  logged : (int * int, unit) Hashtbl.t; (* ranges already journaled *)
+  mutable committed : bool;
+}
+
+type t = {
+  device : Device.t;
+  base : int; (* byte address of the region *)
+  capacity : int; (* number of entry slots *)
+  slot_free : bool array;
+  mutable free_slots : int;
+  mutable cursor : int; (* next-fit slot scan position *)
+  mutable next_txn : int;
+  mutable next_seq : int;
+  mutable live_txns : int;
+  (* background log cleaner (PMFS's pmfs_clean_journal runs in a kthread;
+     checkpointing entries off the critical path is what keeps commit
+     latency low) *)
+  pending_clean : (int list * int) Queue.t; (* (data slots, commit slot) *)
+  mutable cleaner : Condvar.t option;
+  mutable stop_cleaner : bool;
+  (* statistics *)
+  mutable txns_committed : int;
+  mutable entries_written : int;
+}
+
+let cat = Stats.Journal
+
+let create device ~first_block ~blocks =
+  let config = Device.config device in
+  let block_size = config.Config.block_size in
+  if blocks <= 0 then invalid_arg "Cacheline_log.create: empty region";
+  let base = first_block * block_size in
+  let capacity = blocks * block_size / entry_size in
+  {
+    device;
+    base;
+    capacity;
+    slot_free = Array.make capacity true;
+    free_slots = capacity;
+    cursor = 0;
+    next_txn = 1;
+    next_seq = 1;
+    live_txns = 0;
+    pending_clean = Queue.create ();
+    cleaner = None;
+    stop_cleaner = false;
+    txns_committed = 0;
+    entries_written = 0;
+  }
+
+let capacity t = t.capacity
+let free_slots t = t.free_slots
+let live_txns t = t.live_txns
+let txns_committed t = t.txns_committed
+let entries_written t = t.entries_written
+
+let slot_addr t slot = t.base + (slot * entry_size)
+
+(* Zero a retired transaction's entries on the medium and free the slots:
+   data entries first, fence, then the commit entry, so a crash can never
+   expose data entries without their commit. *)
+let clean_txn ?(background = false) t (slots, commit_slot) =
+  let zero = Bytes.make entry_size '\000' in
+  let clear slot =
+    let addr = t.base + (slot * entry_size) in
+    Device.write_cached t.device ~cat ~addr ~src:zero ~off:0 ~len:entry_size;
+    Device.clflush ~background t.device ~cat ~addr ~len:entry_size;
+    t.slot_free.(slot) <- true;
+    t.free_slots <- t.free_slots + 1
+  in
+  List.iter clear slots;
+  Device.mfence t.device ~cat;
+  clear commit_slot;
+  Device.mfence t.device ~cat
+
+let drain_pending ?background t =
+  while not (Queue.is_empty t.pending_clean) do
+    clean_txn ?background t (Queue.pop t.pending_clean)
+  done
+
+let alloc_slot t =
+  (* Under pressure, checkpoint retired transactions inline (PMFS also
+     kicks its cleaner synchronously when the log fills). *)
+  if t.free_slots = 0 then drain_pending t;
+  if t.free_slots = 0 then raise Journal_full;
+  let rec scan i remaining =
+    if remaining = 0 then raise Journal_full
+    else if t.slot_free.(i) then begin
+      t.slot_free.(i) <- false;
+      t.free_slots <- t.free_slots - 1;
+      t.cursor <- (i + 1) mod t.capacity;
+      i
+    end
+    else scan ((i + 1) mod t.capacity) (remaining - 1)
+  in
+  scan t.cursor t.capacity
+
+let release_slot t slot =
+  t.slot_free.(slot) <- true;
+  t.free_slots <- t.free_slots + 1
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  t.live_txns <- t.live_txns + 1;
+  { id; slots = []; ranges = []; logged = Hashtbl.create 8; committed = false }
+
+(* Append one entry and persist it (write line, clflush, fence). *)
+let write_entry t ~txn_id ~entry_type ~addr ~payload =
+  let slot = alloc_slot t in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let entry = Bytes.make entry_size '\000' in
+  Bytes.set_int64_le entry 0 (Int64.of_int addr);
+  Bytes.set_int32_le entry 8 (Int32.of_int txn_id);
+  Bytes.set_int32_le entry 12 (Int32.of_int seq);
+  Bytes.set_uint16_le entry 16 (Bytes.length payload);
+  Bytes.set_uint8 entry 18 entry_type;
+  Bytes.blit payload 0 entry 19 (Bytes.length payload);
+  Bytes.set_uint8 entry 63 valid_magic;
+  let entry_addr = slot_addr t slot in
+  Device.write_cached t.device ~cat ~addr:entry_addr ~src:entry ~off:0
+    ~len:entry_size;
+  Device.clflush t.device ~cat ~addr:entry_addr ~len:entry_size;
+  Device.mfence t.device ~cat;
+  t.entries_written <- t.entries_written + 1;
+  slot
+
+(* Log the current (pre-update) contents of [addr, addr+len) so they can be
+   restored if the transaction does not commit. Must be called before the
+   in-place update. *)
+let log t txn ~addr ~len =
+  if txn.committed then invalid_arg "Cacheline_log.log: txn already committed";
+  if len < 0 then invalid_arg "Cacheline_log.log: negative length";
+  (* Re-logging a range inside one transaction is redundant: undo entries
+     are applied newest-first, so the oldest (first) logged value wins
+     regardless. Skipping duplicates keeps long-lived ordered transactions
+     (HiNFS pending txns) from exhausting the log. *)
+  if Hashtbl.mem txn.logged (addr, len) then ()
+  else begin
+  Hashtbl.replace txn.logged (addr, len) ();
+  let rec chunks off remaining =
+    if remaining > 0 then begin
+      let chunk = min payload_capacity remaining in
+      let old = Device.peek t.device ~addr:(addr + off) ~len:chunk in
+      let slot =
+        write_entry t ~txn_id:txn.id ~entry_type:type_data ~addr:(addr + off)
+          ~payload:old
+      in
+      txn.slots <- slot :: txn.slots;
+      chunks (off + chunk) (remaining - chunk)
+    end
+  in
+  chunks 0 len;
+  if len > 0 then txn.ranges <- (addr, len) :: txn.ranges
+  end
+
+(* Clear a slot's valid flag on the medium and free it. *)
+let clear_slot t slot =
+  let zero = Bytes.make entry_size '\000' in
+  let addr = slot_addr t slot in
+  Device.write_cached t.device ~cat ~addr ~src:zero ~off:0 ~len:entry_size;
+  Device.clflush t.device ~cat ~addr ~len:entry_size;
+  release_slot t slot
+
+let commit t txn =
+  if txn.committed then
+    invalid_arg "Cacheline_log.commit: txn already committed";
+  (* 1. Persist the in-place updates covered by this transaction. *)
+  List.iter
+    (fun (addr, len) -> Device.clflush t.device ~cat ~addr ~len)
+    txn.ranges;
+  Device.mfence t.device ~cat;
+  (* 2. Persist the commit entry: the transaction is now durable. *)
+  let commit_slot =
+    write_entry t ~txn_id:txn.id ~entry_type:type_commit ~addr:0
+      ~payload:Bytes.empty
+  in
+  txn.committed <- true;
+  t.txns_committed <- t.txns_committed + 1;
+  t.live_txns <- t.live_txns - 1;
+  (* 3. Checkpoint: hand the entries to the background cleaner when one is
+     running; otherwise clean inline. *)
+  match t.cleaner with
+  | Some cv ->
+    Queue.add (txn.slots, commit_slot) t.pending_clean;
+    ignore (Condvar.signal cv)
+  | None -> clean_txn t (txn.slots, commit_slot)
+
+(* Abort: restore old contents (volatile first, then persisted) and clear
+   the entries. Used on ENOSPC-style failure paths. *)
+let abort t txn =
+  if txn.committed then invalid_arg "Cacheline_log.abort: txn committed";
+  (* Undo newest-first so the oldest logged value lands last. *)
+  let entries =
+    List.map
+      (fun slot ->
+        let raw =
+          Device.peek t.device ~addr:(slot_addr t slot) ~len:entry_size
+        in
+        (slot, raw))
+      txn.slots
+  in
+  List.iter
+    (fun (_slot, raw) ->
+      let addr = Int64.to_int (Bytes.get_int64_le raw 0) in
+      let len = Bytes.get_uint16_le raw 16 in
+      let payload = Bytes.sub raw 19 len in
+      Device.write_cached t.device ~cat ~addr ~src:payload ~off:0 ~len;
+      Device.clflush t.device ~cat ~addr ~len)
+    entries;
+  Device.mfence t.device ~cat;
+  List.iter (fun slot -> clear_slot t slot) txn.slots;
+  t.live_txns <- t.live_txns - 1
+
+(* --- background cleaner lifecycle --- *)
+
+(* Spawn the log-cleaner process (call from inside a simulation process).
+   It checkpoints committed transactions' entries with background-priority
+   NVMM writes, keeping the commit path short. *)
+let start_cleaner t =
+  if t.cleaner <> None then invalid_arg "Cacheline_log: cleaner running";
+  let cv = Condvar.create (Device.engine t.device) in
+  t.cleaner <- Some cv;
+  Proc.spawn ~name:"journal-cleaner" (fun () ->
+      let rec loop () =
+        if not t.stop_cleaner then begin
+          if Queue.is_empty t.pending_clean then
+            ignore (Condvar.wait_timeout cv ~timeout:100_000_000L);
+          drain_pending ~background:true t;
+          loop ()
+        end
+      in
+      loop ())
+
+(* Stop the cleaner and checkpoint whatever is still queued (unmount must
+   leave no stale valid entries on the medium). *)
+let stop_cleaner t =
+  (match t.cleaner with
+  | Some cv ->
+    t.stop_cleaner <- true;
+    ignore (Condvar.broadcast cv);
+    t.cleaner <- None
+  | None -> ());
+  drain_pending t
+
+(* --- recovery ---
+
+   Runs at mount time on the persistent image (untimed: mount-time work is
+   not part of any measured figure). Returns the number of transactions
+   rolled back. *)
+
+type recovered_entry = {
+  r_slot : int;
+  r_addr : int;
+  r_txn : int;
+  r_seq : int;
+  r_len : int;
+  r_type : int;
+  r_payload : Bytes.t;
+}
+
+let recover device ~first_block ~blocks =
+  let config = Device.config device in
+  let block_size = config.Config.block_size in
+  let base = first_block * block_size in
+  let capacity = blocks * block_size / entry_size in
+  let entries = ref [] in
+  for slot = 0 to capacity - 1 do
+    let raw =
+      Device.peek_persistent device ~addr:(base + (slot * entry_size))
+        ~len:entry_size
+    in
+    if Bytes.get_uint8 raw 63 = valid_magic then
+      entries :=
+        {
+          r_slot = slot;
+          r_addr = Int64.to_int (Bytes.get_int64_le raw 0);
+          r_txn = Int32.to_int (Bytes.get_int32_le raw 8);
+          r_seq = Int32.to_int (Bytes.get_int32_le raw 12);
+          r_len = Bytes.get_uint16_le raw 16;
+          r_type = Bytes.get_uint8 raw 18;
+          r_payload = Bytes.sub raw 19 (Bytes.get_uint16_le raw 16);
+        }
+        :: !entries
+  done;
+  let committed = Hashtbl.create 8 in
+  List.iter
+    (fun e -> if e.r_type = type_commit then Hashtbl.replace committed e.r_txn ())
+    !entries;
+  let to_undo =
+    List.filter
+      (fun e -> e.r_type = type_data && not (Hashtbl.mem committed e.r_txn))
+      !entries
+  in
+  (* Apply undo payloads newest-first: the oldest value wins. *)
+  let ordered =
+    List.sort (fun a b -> compare b.r_seq a.r_seq) to_undo
+  in
+  List.iter
+    (fun e -> Device.poke device ~addr:e.r_addr ~src:e.r_payload ~off:0 ~len:e.r_len)
+    ordered;
+  (* Wipe the journal region. *)
+  let zero_block = Bytes.make block_size '\000' in
+  for b = 0 to blocks - 1 do
+    Device.poke device
+      ~addr:((first_block + b) * block_size)
+      ~src:zero_block ~off:0 ~len:block_size
+  done;
+  let rolled_back = Hashtbl.create 8 in
+  List.iter (fun e -> Hashtbl.replace rolled_back e.r_txn ()) to_undo;
+  Hashtbl.length rolled_back
+
+(* Run [f] inside a transaction; aborts on exception. *)
+let with_txn t f =
+  let txn = begin_txn t in
+  match f txn with
+  | result ->
+    commit t txn;
+    result
+  | exception e ->
+    if not txn.committed then abort t txn;
+    raise e

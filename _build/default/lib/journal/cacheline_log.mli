@@ -1,0 +1,59 @@
+(** PMFS-style cacheline-granular undo journal (paper §4.1).
+
+    Usage protocol, per transaction:
+    + {!begin_txn};
+    + {!log} each metadata range about to change (before changing it);
+    + update the ranges in place with cached writes;
+    + {!commit} — flushes the in-place updates, persists a commit entry,
+      then checkpoints (clears) the transaction's log entries.
+
+    A crash anywhere in this protocol leaves the metadata either fully
+    rolled back (no commit entry found at {!recover} time) or fully applied
+    (commit entry found / entries already cleared).
+
+    Locking requirement (standard for undo logs): a range logged by a live
+    transaction must not be logged or modified by another transaction until
+    the first commits or aborts. The file system guarantees this with its
+    namespace and per-inode locks. *)
+
+type t
+type txn
+
+exception Journal_full
+(** No free log slots: too many concurrent uncommitted transactions for the
+    configured journal size. *)
+
+val create : Hinfs_nvmm.Device.t -> first_block:int -> blocks:int -> t
+
+val capacity : t -> int
+(** Total entry slots. *)
+
+val free_slots : t -> int
+val live_txns : t -> int
+val txns_committed : t -> int
+val entries_written : t -> int
+
+val begin_txn : t -> txn
+
+val log : t -> txn -> addr:int -> len:int -> unit
+(** Persist the current contents of the range as undo entries. Call before
+    updating the range in place. *)
+
+val commit : t -> txn -> unit
+val abort : t -> txn -> unit
+
+val with_txn : t -> (txn -> 'a) -> 'a
+(** Run [f] in a transaction; commits on return, aborts on exception. *)
+
+val start_cleaner : t -> unit
+(** Spawn the background log cleaner (PMFS's journal-cleaning kthread):
+    committed transactions' entries are checkpointed off the critical
+    path. Call from inside a simulation process. *)
+
+val stop_cleaner : t -> unit
+(** Stop the cleaner and checkpoint everything still queued. *)
+
+val recover : Hinfs_nvmm.Device.t -> first_block:int -> blocks:int -> int
+(** Mount-time recovery on the persistent image: rolls back uncommitted
+    transactions, wipes the journal region, returns the number of
+    transactions rolled back. Untimed. *)

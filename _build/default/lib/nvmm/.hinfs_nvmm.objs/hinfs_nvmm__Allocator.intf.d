@@ -1,0 +1,1 @@
+lib/nvmm/allocator.mli:

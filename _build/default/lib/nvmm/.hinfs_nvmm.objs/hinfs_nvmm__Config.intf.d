@@ -1,0 +1,1 @@
+lib/nvmm/config.mli: Format

@@ -1,0 +1,1 @@
+lib/nvmm/device.ml: Bytes Config Fmt Hashtbl Hinfs_sim Hinfs_stats Int32 Int64

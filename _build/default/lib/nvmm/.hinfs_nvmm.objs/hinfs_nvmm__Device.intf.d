@@ -1,0 +1,1 @@
+lib/nvmm/device.mli: Bytes Config Hinfs_sim Hinfs_stats

@@ -1,0 +1,77 @@
+(* Block allocator over a region of the device.
+
+   Allocation state lives in DRAM, as in PMFS: the kernel module keeps its
+   free lists volatile and rebuilds them at mount time by walking the inode
+   trees, so there is nothing to persist here. A next-fit cursor keeps
+   allocation O(1) amortised. *)
+
+type t = {
+  first_block : int;
+  count : int;
+  used : Hinfs_structures.Bitmap.t;
+  mutable cursor : int; (* next-fit start, relative index *)
+}
+
+module Bitmap = Hinfs_structures.Bitmap
+
+let create ~first_block ~count =
+  if first_block < 0 || count <= 0 then
+    invalid_arg "Allocator.create: bad region";
+  { first_block; count; used = Bitmap.create count; cursor = 0 }
+
+let capacity t = t.count
+let free_blocks t = Bitmap.count_clear t.used
+let used_blocks t = Bitmap.count_set t.used
+
+let contains t block =
+  block >= t.first_block && block < t.first_block + t.count
+
+let is_allocated t block =
+  if not (contains t block) then invalid_arg "Allocator: block out of region";
+  Bitmap.get t.used (block - t.first_block)
+
+let alloc t =
+  match Bitmap.find_first_clear ~from:t.cursor t.used with
+  | Some i ->
+    Bitmap.set t.used i;
+    t.cursor <- (if i + 1 >= t.count then 0 else i + 1);
+    Some (t.first_block + i)
+  | None -> (
+    match Bitmap.find_first_clear ~from:0 t.used with
+    | Some i ->
+      Bitmap.set t.used i;
+      t.cursor <- (if i + 1 >= t.count then 0 else i + 1);
+      Some (t.first_block + i)
+    | None -> None)
+
+let alloc_contiguous t n =
+  if n <= 0 then invalid_arg "Allocator.alloc_contiguous: n must be > 0";
+  let claim start =
+    for j = start to start + n - 1 do
+      Bitmap.set t.used j
+    done;
+    t.cursor <- (if start + n >= t.count then 0 else start + n);
+    Some (t.first_block + start)
+  in
+  match Bitmap.find_clear_run ~from:t.cursor t.used ~count:n with
+  | Some start -> claim start
+  | None -> (
+    match Bitmap.find_clear_run ~from:0 t.used ~count:n with
+    | Some start -> claim start
+    | None -> None)
+
+let free t block =
+  if not (contains t block) then invalid_arg "Allocator.free: out of region";
+  let i = block - t.first_block in
+  if not (Bitmap.get t.used i) then
+    invalid_arg "Allocator.free: double free";
+  Bitmap.clear t.used i
+
+let mark_allocated t block =
+  if not (contains t block) then
+    invalid_arg "Allocator.mark_allocated: out of region";
+  Bitmap.set t.used (block - t.first_block)
+
+let reset t =
+  Bitmap.clear_all t.used;
+  t.cursor <- 0

@@ -1,0 +1,25 @@
+(** DRAM-resident block allocator over a device region (PMFS keeps its free
+    lists volatile and rebuilds them at mount; so do we). *)
+
+type t
+
+val create : first_block:int -> count:int -> t
+val capacity : t -> int
+val free_blocks : t -> int
+val used_blocks : t -> int
+val contains : t -> int -> bool
+val is_allocated : t -> int -> bool
+
+val alloc : t -> int option
+(** Allocate one block; returns its absolute block number. *)
+
+val alloc_contiguous : t -> int -> int option
+(** Allocate [n] consecutive blocks; returns the first block number. *)
+
+val free : t -> int -> unit
+(** @raise Invalid_argument on double free or out-of-region block. *)
+
+val mark_allocated : t -> int -> unit
+(** Used when rebuilding allocation state during recovery. *)
+
+val reset : t -> unit

@@ -1,0 +1,89 @@
+(* Timing and geometry parameters of the emulated platform (paper Table 2).
+
+   The paper's emulator adds a configurable delay after each clflush (200 ns
+   default) and caps NVMM write bandwidth by limiting the number of
+   concurrent NVMM-writing threads to N_w = B_NVMM / (1/L_NVMM) (§5.1). We
+   reproduce both: per-cacheline NVMM store latency, plus a slot resource of
+   [nw_slots] concurrent writers.
+
+   DRAM-side costs are per-cacheline memcpy costs; 8 ns per 64 B line is
+   8 GB/s, which makes the default NVMM write bandwidth (1 GB/s) one eighth
+   of DRAM bandwidth exactly as in the paper. *)
+
+type t = {
+  cacheline_size : int;  (* bytes; 64 *)
+  block_size : int;  (* bytes; 4096 *)
+  nvmm_size : int;  (* device capacity in bytes *)
+  nvmm_write_ns : int;  (* extra latency per cacheline stored to NVMM *)
+  nvmm_write_bandwidth : int;  (* sustained bytes/second *)
+  dram_write_ns : int;  (* per-cacheline store to DRAM *)
+  dram_read_ns : int;  (* per-cacheline load from DRAM or NVMM *)
+  mfence_ns : int;  (* ordering fence *)
+  clflush_issue_ns : int;  (* instruction overhead per clflush, on top of
+                              the NVMM store it triggers *)
+  syscall_ns : int;  (* user/kernel switch + file abstraction per syscall *)
+  block_request_ns : int;  (* generic block layer overhead per request *)
+}
+
+let default =
+  {
+    cacheline_size = 64;
+    block_size = 4096;
+    nvmm_size = 256 * 1024 * 1024;
+    nvmm_write_ns = 200;
+    nvmm_write_bandwidth = 1_000_000_000;
+    dram_write_ns = 8;
+    dram_read_ns = 8;
+    mfence_ns = 20;
+    clflush_issue_ns = 40;
+    syscall_ns = 1000;
+    block_request_ns = 8000;
+  }
+
+let validate t =
+  if t.cacheline_size <= 0 || t.cacheline_size land (t.cacheline_size - 1) <> 0
+  then invalid_arg "Config: cacheline_size must be a positive power of two";
+  if t.block_size <= 0 || t.block_size mod t.cacheline_size <> 0 then
+    invalid_arg "Config: block_size must be a multiple of cacheline_size";
+  if t.nvmm_size <= 0 || t.nvmm_size mod t.block_size <> 0 then
+    invalid_arg "Config: nvmm_size must be a multiple of block_size";
+  if t.nvmm_write_ns <= 0 then invalid_arg "Config: nvmm_write_ns must be > 0";
+  if t.nvmm_write_bandwidth <= 0 then
+    invalid_arg "Config: nvmm_write_bandwidth must be > 0";
+  t
+
+let cachelines_per_block t = t.block_size / t.cacheline_size
+
+(* Number of concurrent NVMM-writing slots: N_w = B * L / cacheline, i.e. a
+   thread streaming cachelines at 1/L lines per second uses cacheline/L
+   bytes/s of bandwidth; N_w such threads saturate B (paper §5.1). *)
+let nw_slots t =
+  let per_thread_bytes_per_sec =
+    float_of_int t.cacheline_size /. (float_of_int t.nvmm_write_ns *. 1e-9)
+  in
+  max 1
+    (int_of_float
+       (Float.round
+          (float_of_int t.nvmm_write_bandwidth /. per_thread_bytes_per_sec)))
+
+let cachelines_in t ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    let first = addr / t.cacheline_size in
+    let last = (addr + len - 1) / t.cacheline_size in
+    last - first + 1
+  end
+
+let blocks t = t.nvmm_size / t.block_size
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>NVMM device: %d MB, block %d B, cacheline %d B@,\
+     NVMM write latency %d ns/line, bandwidth %d MB/s (N_w = %d slots)@,\
+     DRAM write %d ns/line, read %d ns/line@,\
+     mfence %d ns, clflush issue %d ns, syscall %d ns, block request %d ns@]"
+    (t.nvmm_size / 1024 / 1024)
+    t.block_size t.cacheline_size t.nvmm_write_ns
+    (t.nvmm_write_bandwidth / 1_000_000)
+    (nw_slots t) t.dram_write_ns t.dram_read_ns t.mfence_ns t.clflush_issue_ns
+    t.syscall_ns t.block_request_ns

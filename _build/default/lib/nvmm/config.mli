@@ -1,0 +1,37 @@
+(** Timing and geometry parameters of the emulated platform (paper Table 2).
+
+    Defaults: 200 ns NVMM write latency, 1 GB/s NVMM write bandwidth (1/8 of
+    the 8 GB/s DRAM implied by the per-line copy costs), 64 B cachelines,
+    4 KB blocks. *)
+
+type t = {
+  cacheline_size : int;
+  block_size : int;
+  nvmm_size : int;
+  nvmm_write_ns : int;
+  nvmm_write_bandwidth : int;
+  dram_write_ns : int;
+  dram_read_ns : int;
+  mfence_ns : int;
+  clflush_issue_ns : int;
+  syscall_ns : int;
+  block_request_ns : int;
+}
+
+val default : t
+
+val validate : t -> t
+(** Returns the config unchanged, or raises [Invalid_argument] describing the
+    first inconsistency. *)
+
+val cachelines_per_block : t -> int
+
+val nw_slots : t -> int
+(** Concurrent NVMM-writer slots implementing the bandwidth cap:
+    [N_w = B_NVMM / (1 / L_NVMM)] per the paper's emulator (§5.1). *)
+
+val cachelines_in : t -> addr:int -> len:int -> int
+(** Number of distinct cachelines touched by the byte range. *)
+
+val blocks : t -> int
+val pp : Format.formatter -> t -> unit

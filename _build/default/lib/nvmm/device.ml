@@ -1,0 +1,320 @@
+(* Byte-addressable NVMM device with an explicit CPU-cache model.
+
+   Two layers of state:
+   - [persistent]: the NVMM medium itself; survives [crash].
+   - [overlay]: cachelines currently dirty in the (volatile) CPU cache.
+     Ordinary stores ([write_cached], [set_u*]) land here and are lost on
+     [crash] until [clflush]ed. Non-temporal stores ([write_nt]) bypass the
+     cache and reach the medium directly, like movnti/clwb streaming copies
+     (PMFS's copy_from_user_inatomic_nocache data path).
+
+   Timing: loads cost DRAM speed (the paper assumes symmetric reads); every
+   cacheline stored to the medium costs [nvmm_write_ns] and must hold one of
+   the N_w bandwidth slots while it streams, reproducing the paper's
+   bandwidth emulator. Waiting for a slot is charged to the caller's stats
+   category, because that is exactly the foreground/background interference
+   the paper discusses (§3.2.1). *)
+
+type t = {
+  engine : Hinfs_sim.Engine.t;
+  stats : Hinfs_stats.Stats.t;
+  config : Config.t;
+  persistent : Bytes.t;
+  overlay : (int, Bytes.t) Hashtbl.t; (* cacheline index -> line content *)
+  bandwidth : Hinfs_sim.Resource.t;
+}
+
+module Engine = Hinfs_sim.Engine
+module Proc = Hinfs_sim.Proc
+module Resource = Hinfs_sim.Resource
+module Stats = Hinfs_stats.Stats
+
+let create engine stats config =
+  let config = Config.validate config in
+  {
+    engine;
+    stats;
+    config;
+    persistent = Bytes.make config.Config.nvmm_size '\000';
+    overlay = Hashtbl.create 4096;
+    bandwidth =
+      Resource.create ~name:"nvmm-write-bandwidth"
+        ~capacity:(Config.nw_slots config);
+  }
+
+let config t = t.config
+let size t = t.config.Config.nvmm_size
+let stats t = t.stats
+let engine t = t.engine
+let bandwidth t = t.bandwidth
+
+let line_size t = t.config.Config.cacheline_size
+
+let check_range t ~addr ~len =
+  if len < 0 then invalid_arg "Device: negative length";
+  if addr < 0 || addr + len > size t then
+    Fmt.invalid_arg "Device: range [%d, %d) out of bounds (size %d)" addr
+      (addr + len) (size t)
+
+let charge t cat f =
+  let t0 = Proc.now () in
+  let result = f () in
+  Stats.add_time t.stats cat (Int64.sub (Proc.now ()) t0);
+  result
+
+(* --- volatile overlay helpers --- *)
+
+let overlay_line t idx =
+  match Hashtbl.find_opt t.overlay idx with
+  | Some line -> line
+  | None ->
+    let line = Bytes.create (line_size t) in
+    Bytes.blit t.persistent (idx * line_size t) line 0 (line_size t);
+    Hashtbl.replace t.overlay idx line;
+    line
+
+let dirty_cachelines t = Hashtbl.length t.overlay
+
+let is_dirty_line t idx = Hashtbl.mem t.overlay idx
+
+(* --- timed data-path operations --- *)
+
+let read t ~cat ~addr ~len ~into ~off =
+  check_range t ~addr ~len;
+  if off < 0 || off + len > Bytes.length into then
+    invalid_arg "Device.read: destination range out of bounds";
+  if len > 0 then begin
+    let lines = Config.cachelines_in t.config ~addr ~len in
+    charge t cat (fun () ->
+        Proc.delay_int (lines * t.config.Config.dram_read_ns));
+    Bytes.blit t.persistent addr into off len;
+    (* Patch bytes whose cachelines are dirty in the CPU cache. *)
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      if is_dirty_line t idx then begin
+        let line = Hashtbl.find t.overlay idx in
+        let line_start = idx * ls in
+        let copy_start = max addr line_start in
+        let copy_end = min (addr + len) (line_start + ls) in
+        Bytes.blit line (copy_start - line_start) into
+          (off + copy_start - addr)
+          (copy_end - copy_start)
+      end
+    done;
+    Stats.add_nvmm_read t.stats len
+  end
+
+let read_alloc t ~cat ~addr ~len =
+  let buf = Bytes.create len in
+  read t ~cat ~addr ~len ~into:buf ~off:0;
+  buf
+
+let write_nt ?(background = false) t ~cat ~addr ~src ~off ~len =
+  check_range t ~addr ~len;
+  if off < 0 || off + len > Bytes.length src then
+    invalid_arg "Device.write_nt: source range out of bounds";
+  if len > 0 then begin
+    let lines = Config.cachelines_in t.config ~addr ~len in
+    charge t cat (fun () ->
+        Resource.with_resource t.bandwidth 1 (fun () ->
+            Proc.delay_int (lines * t.config.Config.nvmm_write_ns)));
+    Bytes.blit src off t.persistent addr len;
+    (* A non-temporal store invalidates any stale cached copy of the lines
+       it covers (it fully bypasses the cache hierarchy). Partially covered
+       lines must merge the new bytes into the cached copy instead. *)
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      match Hashtbl.find_opt t.overlay idx with
+      | None -> ()
+      | Some line ->
+        let line_start = idx * ls in
+        if addr <= line_start && line_start + ls <= addr + len then
+          Hashtbl.remove t.overlay idx
+        else begin
+          let copy_start = max addr line_start in
+          let copy_end = min (addr + len) (line_start + ls) in
+          Bytes.blit src
+            (off + copy_start - addr)
+            line (copy_start - line_start)
+            (copy_end - copy_start)
+        end
+    done;
+    Stats.add_nvmm_written ~background t.stats len
+  end
+
+let write_cached t ~cat ~addr ~src ~off ~len =
+  check_range t ~addr ~len;
+  if off < 0 || off + len > Bytes.length src then
+    invalid_arg "Device.write_cached: source range out of bounds";
+  if len > 0 then begin
+    let lines = Config.cachelines_in t.config ~addr ~len in
+    charge t cat (fun () ->
+        Proc.delay_int (lines * t.config.Config.dram_write_ns));
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      let line = overlay_line t idx in
+      let line_start = idx * ls in
+      let copy_start = max addr line_start in
+      let copy_end = min (addr + len) (line_start + ls) in
+      Bytes.blit src
+        (off + copy_start - addr)
+        line (copy_start - line_start)
+        (copy_end - copy_start)
+    done
+  end
+
+(* Flush the dirty cachelines intersecting [addr, addr+len) to the medium.
+   Clean lines only pay the instruction-issue cost. *)
+let clflush ?(background = false) t ~cat ~addr ~len =
+  check_range t ~addr ~len;
+  if len > 0 then begin
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    let dirty = ref 0 in
+    for idx = first to last do
+      if is_dirty_line t idx then incr dirty
+    done;
+    let total_lines = last - first + 1 in
+    charge t cat (fun () ->
+        Proc.delay_int (total_lines * t.config.Config.clflush_issue_ns);
+        if !dirty > 0 then
+          Resource.with_resource t.bandwidth 1 (fun () ->
+              Proc.delay_int (!dirty * t.config.Config.nvmm_write_ns)));
+    for idx = first to last do
+      match Hashtbl.find_opt t.overlay idx with
+      | None -> ()
+      | Some line ->
+        Bytes.blit line 0 t.persistent (idx * ls) ls;
+        Hashtbl.remove t.overlay idx
+    done;
+    if !dirty > 0 then
+      Stats.add_nvmm_written ~background t.stats (!dirty * ls)
+  end
+
+let mfence t ~cat =
+  charge t cat (fun () -> Proc.delay_int t.config.Config.mfence_ns)
+
+(* --- small typed accessors (metadata fields) --- *)
+
+(* Loads of metadata words are not individually timed: they are cache-hot
+   DRAM-speed accesses whose cost the paper folds into "Others" (which we
+   charge per syscall). Stores go through the cached-write path so that
+   crash semantics remain exact. *)
+
+let peek_byte t addr =
+  let ls = line_size t in
+  match Hashtbl.find_opt t.overlay (addr / ls) with
+  | Some line -> Bytes.get_uint8 line (addr mod ls)
+  | None -> Bytes.get_uint8 t.persistent addr
+
+let peek t ~addr ~len =
+  check_range t ~addr ~len;
+  let buf = Bytes.create len in
+  Bytes.blit t.persistent addr buf 0 len;
+  let ls = line_size t in
+  if len > 0 then begin
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      if is_dirty_line t idx then begin
+        let line = Hashtbl.find t.overlay idx in
+        let line_start = idx * ls in
+        let copy_start = max addr line_start in
+        let copy_end = min (addr + len) (line_start + ls) in
+        Bytes.blit line (copy_start - line_start) buf (copy_start - addr)
+          (copy_end - copy_start)
+      end
+    done
+  end;
+  buf
+
+let peek_persistent t ~addr ~len =
+  check_range t ~addr ~len;
+  Bytes.sub t.persistent addr len
+
+(* Untimed raw store, for mkfs-time initialisation and tests. Writes the
+   medium directly and drops any cached copy. *)
+let poke t ~addr ~src ~off ~len =
+  check_range t ~addr ~len;
+  Bytes.blit src off t.persistent addr len;
+  if len > 0 then begin
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      match Hashtbl.find_opt t.overlay idx with
+      | None -> ()
+      | Some line ->
+        let line_start = idx * ls in
+        let copy_start = max addr line_start in
+        let copy_end = min (addr + len) (line_start + ls) in
+        Bytes.blit src
+          (off + copy_start - addr)
+          line (copy_start - line_start)
+          (copy_end - copy_start)
+    done
+  end
+
+let get_u8 t addr = peek_byte t addr
+
+let get_u16 t addr = Bytes.get_uint16_le (peek t ~addr ~len:2) 0
+let get_u32 t addr = Int32.to_int (Bytes.get_int32_le (peek t ~addr ~len:4) 0) land 0xFFFFFFFF
+let get_u64 t addr = Bytes.get_int64_le (peek t ~addr ~len:8) 0
+let get_int t addr = Int64.to_int (get_u64 t addr)
+
+let set_bytes t ~cat ~addr bytes =
+  write_cached t ~cat ~addr ~src:bytes ~off:0 ~len:(Bytes.length bytes)
+
+let set_u8 t ~cat addr v =
+  let b = Bytes.create 1 in
+  Bytes.set_uint8 b 0 v;
+  set_bytes t ~cat ~addr b
+
+let set_u16 t ~cat addr v =
+  let b = Bytes.create 2 in
+  Bytes.set_uint16_le b 0 v;
+  set_bytes t ~cat ~addr b
+
+let set_u32 t ~cat addr v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  set_bytes t ~cat ~addr b
+
+let set_u64 t ~cat addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  set_bytes t ~cat ~addr b
+
+let set_int t ~cat addr v = set_u64 t ~cat addr (Int64.of_int v)
+
+(* --- crash injection --- *)
+
+let crash t = Hashtbl.reset t.overlay
+
+(* Copy of the persistent medium (what a crash would leave). *)
+let snapshot t = Bytes.copy t.persistent
+
+(* A fresh device initialised from a snapshot: used by crash-consistency
+   tests to mount and inspect the post-crash image while the pre-crash
+   simulation keeps running. *)
+let of_snapshot engine stats config image =
+  let config = Config.validate config in
+  if Bytes.length image <> config.Config.nvmm_size then
+    invalid_arg "Device.of_snapshot: image size mismatch";
+  {
+    engine;
+    stats;
+    config;
+    persistent = Bytes.copy image;
+    overlay = Hashtbl.create 4096;
+    bandwidth =
+      Resource.create ~name:"nvmm-write-bandwidth"
+        ~capacity:(Config.nw_slots config);
+  }
+
+let flush_all_untimed t =
+  Hashtbl.iter
+    (fun idx line -> Bytes.blit line 0 t.persistent (idx * line_size t) (line_size t))
+    t.overlay;
+  Hashtbl.reset t.overlay

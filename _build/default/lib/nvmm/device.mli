@@ -1,0 +1,119 @@
+(** Byte-addressable NVMM device with an explicit CPU-cache model.
+
+    State is split into the persistent medium and a volatile overlay of
+    dirty cachelines (the CPU cache). Ordinary stores land in the overlay
+    and are lost on {!crash} until {!clflush}ed; non-temporal stores
+    ({!write_nt}) reach the medium directly. Data-path operations consume
+    virtual time and must be called from inside a simulation process; every
+    cacheline streamed to the medium holds one of the N_w bandwidth slots. *)
+
+type t
+
+val create :
+  Hinfs_sim.Engine.t -> Hinfs_stats.Stats.t -> Config.t -> t
+
+val config : t -> Config.t
+val size : t -> int
+val stats : t -> Hinfs_stats.Stats.t
+val engine : t -> Hinfs_sim.Engine.t
+
+val bandwidth : t -> Hinfs_sim.Resource.t
+(** The N_w-slot NVMM write bandwidth limiter. *)
+
+(** {1 Timed data-path operations} *)
+
+val read :
+  t ->
+  cat:Hinfs_stats.Stats.category ->
+  addr:int ->
+  len:int ->
+  into:Bytes.t ->
+  off:int ->
+  unit
+(** Load a byte range (cache-coherent view: dirty overlay lines win). *)
+
+val read_alloc :
+  t -> cat:Hinfs_stats.Stats.category -> addr:int -> len:int -> Bytes.t
+
+val write_nt :
+  ?background:bool ->
+  t ->
+  cat:Hinfs_stats.Stats.category ->
+  addr:int ->
+  src:Bytes.t ->
+  off:int ->
+  len:int ->
+  unit
+(** Non-temporal store: persistent immediately, pays NVMM latency and
+    bandwidth. [background] attributes the bytes to background writeback. *)
+
+val write_cached :
+  t ->
+  cat:Hinfs_stats.Stats.category ->
+  addr:int ->
+  src:Bytes.t ->
+  off:int ->
+  len:int ->
+  unit
+(** Ordinary store into the CPU cache: DRAM-speed, volatile until flushed. *)
+
+val clflush :
+  ?background:bool ->
+  t ->
+  cat:Hinfs_stats.Stats.category ->
+  addr:int ->
+  len:int ->
+  unit
+(** Flush the dirty cachelines intersecting the range to the medium. Dirty
+    lines pay NVMM latency under a bandwidth slot; clean lines only pay the
+    issue cost. *)
+
+val mfence : t -> cat:Hinfs_stats.Stats.category -> unit
+
+(** {1 Typed metadata accessors}
+
+    Loads are untimed (cache-hot; the paper folds them into "Others").
+    Stores go through the cached-write path so crash semantics stay exact. *)
+
+val get_u8 : t -> int -> int
+val get_u16 : t -> int -> int
+val get_u32 : t -> int -> int
+val get_u64 : t -> int -> int64
+val get_int : t -> int -> int
+val set_u8 : t -> cat:Hinfs_stats.Stats.category -> int -> int -> unit
+val set_u16 : t -> cat:Hinfs_stats.Stats.category -> int -> int -> unit
+val set_u32 : t -> cat:Hinfs_stats.Stats.category -> int -> int -> unit
+val set_u64 : t -> cat:Hinfs_stats.Stats.category -> int -> int64 -> unit
+val set_int : t -> cat:Hinfs_stats.Stats.category -> int -> int -> unit
+val set_bytes : t -> cat:Hinfs_stats.Stats.category -> addr:int -> Bytes.t -> unit
+
+(** {1 Untimed access (setup, recovery inspection, tests)} *)
+
+val peek : t -> addr:int -> len:int -> Bytes.t
+(** Coherent view (overlay wins), no time charged. *)
+
+val peek_persistent : t -> addr:int -> len:int -> Bytes.t
+(** Medium contents only — what a crash would leave behind. *)
+
+val poke : t -> addr:int -> src:Bytes.t -> off:int -> len:int -> unit
+(** Untimed raw store to the medium (mkfs-time initialisation). *)
+
+val dirty_cachelines : t -> int
+(** Number of cachelines currently dirty in the CPU cache. *)
+
+val is_dirty_line : t -> int -> bool
+
+val crash : t -> unit
+(** Drop the volatile overlay: everything not flushed is lost. *)
+
+val snapshot : t -> Bytes.t
+(** Copy of the persistent medium — the image a crash would leave. *)
+
+val of_snapshot :
+  Hinfs_sim.Engine.t -> Hinfs_stats.Stats.t -> Config.t -> Bytes.t -> t
+(** Fresh device initialised from a {!snapshot} (crash-consistency
+    testing). *)
+
+val flush_all_untimed : t -> unit
+(** Push the whole overlay to the medium without charging time (test/setup
+    helper; real code paths use {!clflush}). *)

@@ -1,0 +1,1 @@
+lib/pagecache/pagecache.ml: Bytes Fun Hinfs_blockdev Hinfs_nvmm Hinfs_sim Hinfs_stats Hinfs_structures Int64 List

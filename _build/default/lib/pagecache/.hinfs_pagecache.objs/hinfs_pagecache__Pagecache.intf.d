@@ -1,0 +1,1 @@
+lib/pagecache/pagecache.mli: Bytes Hinfs_blockdev Hinfs_stats

@@ -1,0 +1,1 @@
+lib/pmfs/block_tree.ml: Bytes Fs_ctx Hinfs_journal Hinfs_nvmm Hinfs_stats Hinfs_vfs Int64 Layout

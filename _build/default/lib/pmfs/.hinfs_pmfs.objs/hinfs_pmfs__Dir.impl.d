@@ -1,0 +1,1 @@
+lib/pmfs/dir.ml: Block_tree Bytes Fs_ctx Hinfs_journal Hinfs_nvmm Hinfs_stats Hinfs_vfs Int32 Layout List String

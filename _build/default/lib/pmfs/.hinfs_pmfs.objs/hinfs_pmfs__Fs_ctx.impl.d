@@ -1,0 +1,1 @@
+lib/pmfs/fs_ctx.ml: Hinfs_journal Hinfs_nvmm Layout

@@ -1,0 +1,1 @@
+lib/pmfs/layout.ml: Bytes Fmt Hinfs_nvmm Hinfs_stats Int32 Int64

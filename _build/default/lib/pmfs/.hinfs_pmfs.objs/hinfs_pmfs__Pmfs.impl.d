@@ -1,0 +1,1 @@
+lib/pmfs/pmfs.ml: Block_tree Bytes Dir Fs_ctx Hinfs_journal Hinfs_nvmm Hinfs_sim Hinfs_stats Hinfs_vfs Int64 Layout

@@ -1,0 +1,1 @@
+lib/pmfs/pmfs.mli: Bytes Fs_ctx Hinfs_journal Hinfs_nvmm Hinfs_stats Hinfs_vfs Layout

@@ -1,0 +1,286 @@
+(* PMFS's per-file block index: a radix tree of NVMM blocks.
+
+   PMFS calls it a B-tree; structurally each 4 KB index node holds 512
+   8-byte block pointers and the tree is keyed by the logical file block
+   number, so it is a radix tree with fanout 512. Height 0 with a non-zero
+   root means the root pointer addresses the single data block of file
+   block 0; height h >= 1 addresses 512^h file blocks. A zero pointer is a
+   hole.
+
+   Crash safety: pointer and inode updates are journaled through the
+   cacheline undo log; freshly allocated index nodes are zeroed with
+   non-temporal stores *before* the (journaled) parent pointer is committed,
+   so an interrupted grow either rolls back completely or lands on a fully
+   initialised node. *)
+
+module Device = Hinfs_nvmm.Device
+module Allocator = Hinfs_nvmm.Allocator
+module Log = Hinfs_journal.Cacheline_log
+module Stats = Hinfs_stats.Stats
+module Errno = Hinfs_vfs.Errno
+
+let mcat = Stats.Other (* index maintenance cost category *)
+
+let ptrs_per_node ctx = ctx.Fs_ctx.geo.Layout.block_size / 8
+
+(* Number of file blocks addressable at the given height. *)
+let tree_capacity ctx height =
+  if height = 0 then 1
+  else begin
+    let p = ptrs_per_node ctx in
+    let rec pow acc h = if h = 0 then acc else pow (acc * p) (h - 1) in
+    pow 1 height
+  end
+
+let ptr_addr ctx node_block slot =
+  Fs_ctx.block_addr ctx node_block + (slot * 8)
+
+let read_ptr ctx node_block slot =
+  Int64.to_int (Device.get_u64 ctx.Fs_ctx.device (ptr_addr ctx node_block slot))
+
+(* Journal the old pointer, then update it in place. *)
+let write_ptr ctx txn node_block slot value =
+  let addr = ptr_addr ctx node_block slot in
+  Log.log ctx.Fs_ctx.log txn ~addr ~len:8;
+  Device.set_u64 ctx.Fs_ctx.device ~cat:mcat addr (Int64.of_int value)
+
+(* Slot index at [level] (1 = leaf pointer level) for a file block. *)
+let slot_at ctx ~level fblock =
+  let p = ptrs_per_node ctx in
+  let rec shift acc l = if l <= 1 then acc else shift (acc / p) (l - 1) in
+  shift fblock level mod p
+
+let alloc_block ctx =
+  match Allocator.alloc ctx.Fs_ctx.balloc with
+  | Some b -> b
+  | None -> Errno.raise_error ENOSPC "NVMM device is full"
+
+(* Allocate and zero a fresh index node; the zeros are persistent before we
+   return (non-temporal stores). *)
+let alloc_index_node ctx =
+  let block = alloc_block ctx in
+  let zero = Bytes.make ctx.Fs_ctx.geo.Layout.block_size '\000' in
+  Device.write_nt ctx.Fs_ctx.device ~cat:mcat
+    ~addr:(Fs_ctx.block_addr ctx block)
+    ~src:zero ~off:0 ~len:(Bytes.length zero);
+  block
+
+(* --- lookup --- *)
+
+let lookup ctx ~ino ~fblock =
+  if fblock < 0 then invalid_arg "Block_tree.lookup: negative file block";
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  let height = Layout.Inode.height device geo ino in
+  let root = Layout.Inode.tree_root device geo ino in
+  if root = 0 then None
+  else if fblock >= tree_capacity ctx height then None
+  else if height = 0 then if fblock = 0 then Some root else None
+  else begin
+    let rec walk node level =
+      let slot = slot_at ctx ~level fblock in
+      let ptr = read_ptr ctx node slot in
+      if ptr = 0 then None
+      else if level = 1 then Some ptr
+      else walk ptr (level - 1)
+    in
+    walk root height
+  end
+
+(* --- growth and insertion --- *)
+
+(* Smallest height whose capacity covers [fblock]. *)
+let needed_height ctx fblock =
+  let rec search h =
+    if fblock < tree_capacity ctx h then h else search (h + 1)
+  in
+  search 0
+
+(* Raise a non-empty tree's height until [fblock] is addressable: the old
+   root becomes slot 0 of each fresh root node. Inode height/root updates go
+   through [txn]; the fresh node's slot-0 store does not (the node is
+   unreachable until the transaction commits). Every allocated block is
+   reported through [allocated] so the caller can reclaim it if the
+   transaction is later aborted. *)
+let grow ctx txn ~ino ~fblock ~allocated =
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  let inode_addr = Layout.Inode.addr geo ino in
+  while fblock >= tree_capacity ctx (Layout.Inode.height device geo ino) do
+    let height = Layout.Inode.height device geo ino in
+    let root = Layout.Inode.tree_root device geo ino in
+    let node = alloc_index_node ctx in
+    allocated := node :: !allocated;
+    Device.set_u64 device ~cat:mcat (ptr_addr ctx node 0) (Int64.of_int root);
+    Device.clflush device ~cat:mcat ~addr:(ptr_addr ctx node 0) ~len:8;
+    Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:24;
+    Layout.Inode.set_height device ~cat:mcat geo ino (height + 1);
+    Layout.Inode.set_tree_root device ~cat:mcat geo ino node
+  done
+
+(* Descend from an index node to the data block for [fblock], allocating
+   missing index nodes and the data block as needed. *)
+let rec descend_ensure ctx txn ~fblock ~allocated node level =
+  let slot = slot_at ctx ~level fblock in
+  let ptr = read_ptr ctx node slot in
+  if level = 1 then
+    if ptr <> 0 then (ptr, false)
+    else begin
+      let data = alloc_block ctx in
+      allocated := data :: !allocated;
+      write_ptr ctx txn node slot data;
+      (data, true)
+    end
+  else if ptr <> 0 then descend_ensure ctx txn ~fblock ~allocated ptr (level - 1)
+  else begin
+    let child = alloc_index_node ctx in
+    allocated := child :: !allocated;
+    write_ptr ctx txn node slot child;
+    descend_ensure ctx txn ~fblock ~allocated child (level - 1)
+  end
+
+(* Find the data block for [fblock], allocating the tree path and the data
+   block as needed. Returns [(block, freshly_allocated, allocated_blocks)]
+   where [allocated_blocks] lists every NVMM block (index nodes + data)
+   allocated by this call — the caller must return them to the allocator if
+   it aborts [txn]. *)
+let ensure ctx txn ~ino ~fblock =
+  if fblock < 0 then invalid_arg "Block_tree.ensure: negative file block";
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  let inode_addr = Layout.Inode.addr geo ino in
+  let root = Layout.Inode.tree_root device geo ino in
+  let allocated = ref [] in
+  let result =
+    if root = 0 then begin
+      (* Empty file: build a fresh path of the needed height. *)
+      let h = needed_height ctx fblock in
+      if h = 0 then begin
+        let data = alloc_block ctx in
+        allocated := data :: !allocated;
+        Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:24;
+        Layout.Inode.set_tree_root device ~cat:mcat geo ino data;
+        (data, true)
+      end
+      else begin
+        let node = alloc_index_node ctx in
+        allocated := node :: !allocated;
+        Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:24;
+        Layout.Inode.set_height device ~cat:mcat geo ino h;
+        Layout.Inode.set_tree_root device ~cat:mcat geo ino node;
+        descend_ensure ctx txn ~fblock ~allocated node h
+      end
+    end
+    else begin
+      grow ctx txn ~ino ~fblock ~allocated;
+      let height = Layout.Inode.height device geo ino in
+      let root = Layout.Inode.tree_root device geo ino in
+      if height = 0 then begin
+        assert (fblock = 0);
+        (root, false)
+      end
+      else descend_ensure ctx txn ~fblock ~allocated root height
+    end
+  in
+  let block, fresh = result in
+  (block, fresh, !allocated)
+
+(* --- iteration and freeing --- *)
+
+(* Visit every allocated data block as (fblock, block). *)
+let iter_blocks ctx ~ino f =
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  let height = Layout.Inode.height device geo ino in
+  let root = Layout.Inode.tree_root device geo ino in
+  if root <> 0 then
+    if height = 0 then f 0 root
+    else begin
+      let p = ptrs_per_node ctx in
+      let rec walk node level base =
+        let span = tree_capacity ctx (level - 1) in
+        for slot = 0 to p - 1 do
+          let ptr = read_ptr ctx node slot in
+          if ptr <> 0 then
+            if level = 1 then f (base + slot) ptr
+            else walk ptr (level - 1) (base + (slot * span))
+        done
+      in
+      walk root height 0
+    end
+
+(* Visit every index node (for allocator rebuild). *)
+let iter_index_nodes ctx ~ino f =
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  let height = Layout.Inode.height device geo ino in
+  let root = Layout.Inode.tree_root device geo ino in
+  if root <> 0 && height > 0 then begin
+    let p = ptrs_per_node ctx in
+    let rec walk node level =
+      f node;
+      if level > 1 then
+        for slot = 0 to p - 1 do
+          let ptr = read_ptr ctx node slot in
+          if ptr <> 0 then walk ptr (level - 1)
+        done
+    in
+    walk root height
+  end
+
+(* Free all tree blocks (index + data) back to the allocator. The inode's
+   root/height/blocks fields are reset through [txn]; the freed blocks need
+   no on-NVMM scrubbing because nothing reachable points at them once the
+   transaction commits (the allocator is rebuilt from live trees at
+   mount). *)
+let free_all ctx txn ~ino =
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  let inode_addr = Layout.Inode.addr geo ino in
+  iter_blocks ctx ~ino (fun _fblock block ->
+      Allocator.free ctx.Fs_ctx.balloc block);
+  iter_index_nodes ctx ~ino (fun node -> Allocator.free ctx.Fs_ctx.balloc node);
+  Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:40;
+  Layout.Inode.set_height device ~cat:mcat geo ino 0;
+  Layout.Inode.set_tree_root device ~cat:mcat geo ino 0;
+  Layout.Inode.set_blocks device ~cat:mcat geo ino 0
+
+(* Free data blocks with fblock >= keep_blocks (truncate). Index nodes that
+   become empty are left in place (they are reclaimed when the file is
+   deleted); pointers to freed data blocks are zeroed through the txn. *)
+let free_from ctx txn ~ino ~keep_blocks =
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  let height = Layout.Inode.height device geo ino in
+  let root = Layout.Inode.tree_root device geo ino in
+  let freed = ref 0 in
+  if root <> 0 then
+    if height = 0 then begin
+      if keep_blocks <= 0 then begin
+        Allocator.free ctx.Fs_ctx.balloc root;
+        incr freed;
+        Log.log ctx.Fs_ctx.log txn ~addr:(Layout.Inode.addr geo ino) ~len:24;
+        Layout.Inode.set_tree_root device ~cat:mcat geo ino 0
+      end
+    end
+    else begin
+      let p = ptrs_per_node ctx in
+      let rec walk node level base =
+        let span = tree_capacity ctx (level - 1) in
+        for slot = 0 to p - 1 do
+          let fblock_base = base + (slot * span) in
+          if fblock_base + span > keep_blocks then begin
+            let ptr = read_ptr ctx node slot in
+            if ptr <> 0 then
+              if level = 1 then begin
+                Allocator.free ctx.Fs_ctx.balloc ptr;
+                incr freed;
+                write_ptr ctx txn node slot 0
+              end
+              else walk ptr (level - 1) fblock_base
+          end
+        done
+      in
+      walk root height 0
+    end;
+  !freed

@@ -1,0 +1,14 @@
+(* Shared mounted-filesystem context threaded through the PMFS layers. *)
+
+type t = {
+  device : Hinfs_nvmm.Device.t;
+  geo : Layout.geometry;
+  log : Hinfs_journal.Cacheline_log.t;
+  balloc : Hinfs_nvmm.Allocator.t; (* data-region block allocator *)
+  ialloc : Hinfs_nvmm.Allocator.t; (* inode number allocator (1-based) *)
+}
+
+let block_addr t block = block * t.geo.Layout.block_size
+
+let stats t = Hinfs_nvmm.Device.stats t.device
+let config t = Hinfs_nvmm.Device.config t.device

@@ -1,0 +1,184 @@
+(* On-NVMM layout of the PMFS-style persistent format.
+
+   Block map:
+     block 0                     superblock
+     [1, 1+journal_blocks)       cacheline undo journal
+     [itable_start, +itable)     inode table (128 B inodes, 1-based)
+     [data_start, total)         data + index blocks
+
+   All metadata fields are little-endian. Inode 1 is the root directory. *)
+
+module Device = Hinfs_nvmm.Device
+module Config = Hinfs_nvmm.Config
+module Stats = Hinfs_stats.Stats
+
+let magic = 0x504D4653 (* "PMFS" *)
+let version = 1
+let inode_size = 128
+
+type geometry = {
+  block_size : int;
+  total_blocks : int;
+  journal_start : int;
+  journal_blocks : int;
+  itable_start : int;
+  itable_blocks : int;
+  data_start : int;
+  inode_count : int;
+}
+
+let root_ino = 1
+
+(* Superblock field offsets (bytes within block 0). *)
+module Sb = struct
+  let magic_off = 0
+  let version_off = 4
+  let total_blocks_off = 8
+  let journal_start_off = 16
+  let journal_blocks_off = 24
+  let itable_start_off = 32
+  let itable_blocks_off = 40
+  let data_start_off = 48
+  let clean_unmount_off = 56
+end
+
+(* Derive a geometry from a device size and tuning knobs. *)
+let geometry_of_config ?(journal_blocks = 64) ?(inodes_per_mb = 512) config =
+  let block_size = config.Config.block_size in
+  let total_blocks = Config.blocks config in
+  let mb = config.Config.nvmm_size / (1024 * 1024) in
+  let inode_count = max 256 (inodes_per_mb * max 1 mb) in
+  let itable_blocks =
+    ((inode_count * inode_size) + block_size - 1) / block_size
+  in
+  let inode_count = itable_blocks * block_size / inode_size in
+  let journal_start = 1 in
+  let itable_start = journal_start + journal_blocks in
+  let data_start = itable_start + itable_blocks in
+  if data_start >= total_blocks then
+    invalid_arg "Layout: device too small for metadata regions";
+  {
+    block_size;
+    total_blocks;
+    journal_start;
+    journal_blocks;
+    itable_start;
+    itable_blocks;
+    data_start;
+    inode_count;
+  }
+
+(* Write the superblock (mkfs-time; untimed). *)
+let write_superblock device geometry ~clean =
+  let b = Bytes.make geometry.block_size '\000' in
+  Bytes.set_int32_le b Sb.magic_off (Int32.of_int magic);
+  Bytes.set_int32_le b Sb.version_off (Int32.of_int version);
+  Bytes.set_int64_le b Sb.total_blocks_off (Int64.of_int geometry.total_blocks);
+  Bytes.set_int64_le b Sb.journal_start_off (Int64.of_int geometry.journal_start);
+  Bytes.set_int64_le b Sb.journal_blocks_off (Int64.of_int geometry.journal_blocks);
+  Bytes.set_int64_le b Sb.itable_start_off (Int64.of_int geometry.itable_start);
+  Bytes.set_int64_le b Sb.itable_blocks_off (Int64.of_int geometry.itable_blocks);
+  Bytes.set_int64_le b Sb.data_start_off (Int64.of_int geometry.data_start);
+  Bytes.set_uint8 b Sb.clean_unmount_off (if clean then 1 else 0);
+  Device.poke device ~addr:0 ~src:b ~off:0 ~len:geometry.block_size
+
+let read_superblock device =
+  let config = Device.config device in
+  let block_size = config.Config.block_size in
+  let b = Device.peek_persistent device ~addr:0 ~len:block_size in
+  let m = Int32.to_int (Bytes.get_int32_le b Sb.magic_off) in
+  if m <> magic then None
+  else begin
+    let geti64 off = Int64.to_int (Bytes.get_int64_le b off) in
+    let itable_blocks = geti64 Sb.itable_blocks_off in
+    Some
+      ( {
+          block_size;
+          total_blocks = geti64 Sb.total_blocks_off;
+          journal_start = geti64 Sb.journal_start_off;
+          journal_blocks = geti64 Sb.journal_blocks_off;
+          itable_start = geti64 Sb.itable_start_off;
+          itable_blocks;
+          data_start = geti64 Sb.data_start_off;
+          inode_count = itable_blocks * block_size / inode_size;
+        },
+        Bytes.get_uint8 b Sb.clean_unmount_off = 1 )
+  end
+
+let set_clean_unmount device ~cat ~clean =
+  Device.set_u8 device ~cat Sb.clean_unmount_off (if clean then 1 else 0);
+  Device.clflush device ~cat ~addr:Sb.clean_unmount_off ~len:1;
+  Device.mfence device ~cat
+
+(* --- inodes --- *)
+
+module Inode = struct
+  (* Field offsets within the 128-byte on-NVMM inode. *)
+  let in_use_off = 0
+  let kind_off = 1
+  let links_off = 2
+  let height_off = 4
+  let size_off = 8
+  let tree_root_off = 16
+  let mtime_off = 24
+  let blocks_off = 32
+
+  let kind_free = 0
+  let kind_regular = 1
+  let kind_directory = 2
+
+  let addr geometry ino =
+    if ino < 1 || ino > geometry.inode_count then
+      Fmt.invalid_arg "Inode.addr: bad ino %d" ino;
+    (geometry.itable_start * geometry.block_size) + ((ino - 1) * inode_size)
+
+  let in_use device geometry ino =
+    Device.get_u8 device (addr geometry ino + in_use_off) = 1
+
+  let kind device geometry ino =
+    Device.get_u8 device (addr geometry ino + kind_off)
+
+  let links device geometry ino =
+    Device.get_u16 device (addr geometry ino + links_off)
+
+  let height device geometry ino =
+    Device.get_u32 device (addr geometry ino + height_off)
+
+  let size device geometry ino =
+    Int64.to_int (Device.get_u64 device (addr geometry ino + size_off))
+
+  let tree_root device geometry ino =
+    Int64.to_int (Device.get_u64 device (addr geometry ino + tree_root_off))
+
+  let mtime device geometry ino =
+    Device.get_u64 device (addr geometry ino + mtime_off)
+
+  let blocks device geometry ino =
+    Int64.to_int (Device.get_u64 device (addr geometry ino + blocks_off))
+
+  (* Setters: plain cached stores; callers wrap them in journal
+     transactions and the journal's commit flushes them. *)
+  let set_in_use device ~cat geometry ino v =
+    Device.set_u8 device ~cat (addr geometry ino + in_use_off) (if v then 1 else 0)
+
+  let set_kind device ~cat geometry ino v =
+    Device.set_u8 device ~cat (addr geometry ino + kind_off) v
+
+  let set_links device ~cat geometry ino v =
+    Device.set_u16 device ~cat (addr geometry ino + links_off) v
+
+  let set_height device ~cat geometry ino v =
+    Device.set_u32 device ~cat (addr geometry ino + height_off) v
+
+  let set_size device ~cat geometry ino v =
+    Device.set_u64 device ~cat (addr geometry ino + size_off) (Int64.of_int v)
+
+  let set_tree_root device ~cat geometry ino v =
+    Device.set_u64 device ~cat (addr geometry ino + tree_root_off) (Int64.of_int v)
+
+  let set_mtime device ~cat geometry ino v =
+    Device.set_u64 device ~cat (addr geometry ino + mtime_off) v
+
+  let set_blocks device ~cat geometry ino v =
+    Device.set_u64 device ~cat (addr geometry ino + blocks_off) (Int64.of_int v)
+end

@@ -1,0 +1,506 @@
+(* PMFS: the direct-access NVMM file system baseline (Dulloor et al.,
+   EuroSys'14), re-implemented on the device model.
+
+   Data path: user data is copied straight between the user buffer and NVMM
+   with non-temporal stores (PMFS's copy_from_user_inatomic_nocache), so
+   every write pays NVMM latency in the critical path — the overhead HiNFS
+   attacks. Reads are direct loads.
+
+   Metadata: journaled at cacheline granularity through the undo log;
+   single-field updates (mtime on a non-extending write) use 8-byte atomic
+   in-place stores instead of a transaction, as PMFS does.
+
+   This module is also the persistent substrate of HiNFS, which layers the
+   DRAM write buffer on top of the same format (paper §4: "HiNFS is
+   implemented based on PMFS"). The [Data] section exposes the lower-level
+   operations HiNFS needs. *)
+
+module Device = Hinfs_nvmm.Device
+module Config = Hinfs_nvmm.Config
+module Allocator = Hinfs_nvmm.Allocator
+module Log = Hinfs_journal.Cacheline_log
+module Stats = Hinfs_stats.Stats
+module Engine = Hinfs_sim.Engine
+module Proc = Hinfs_sim.Proc
+module Errno = Hinfs_vfs.Errno
+module Types = Hinfs_vfs.Types
+
+type t = {
+  ctx : Fs_ctx.t;
+  sync_mount : bool;
+  mutable mounted : bool;
+  recovered_txns : int;
+}
+
+let ctx t = t.ctx
+let geometry t = t.ctx.Fs_ctx.geo
+let device t = t.ctx.Fs_ctx.device
+let log t = t.ctx.Fs_ctx.log
+let recovered_txns t = t.recovered_txns
+let free_data_blocks t = Allocator.free_blocks t.ctx.Fs_ctx.balloc
+let free_inodes t = Allocator.free_blocks t.ctx.Fs_ctx.ialloc
+
+let now t = Engine.now (Device.engine (device t))
+
+(* --- mkfs / mount --- *)
+
+let mkfs device ?journal_blocks ?inodes_per_mb () =
+  let config = Device.config device in
+  let geo = Layout.geometry_of_config ?journal_blocks ?inodes_per_mb config in
+  (* Zero the metadata regions. *)
+  let zero = Bytes.make geo.Layout.block_size '\000' in
+  for b = 0 to geo.Layout.data_start - 1 do
+    Device.poke device
+      ~addr:(b * geo.Layout.block_size)
+      ~src:zero ~off:0 ~len:geo.Layout.block_size
+  done;
+  (* Root directory inode. *)
+  let root = Bytes.make Layout.inode_size '\000' in
+  Bytes.set_uint8 root Layout.Inode.in_use_off 1;
+  Bytes.set_uint8 root Layout.Inode.kind_off Layout.Inode.kind_directory;
+  Bytes.set_uint16_le root Layout.Inode.links_off 2;
+  Device.poke device
+    ~addr:(geo.Layout.itable_start * geo.Layout.block_size)
+    ~src:root ~off:0 ~len:Layout.inode_size;
+  Layout.write_superblock device geo ~clean:true
+
+(* Rebuild DRAM allocation state by walking the live inode trees (PMFS
+   keeps its free lists volatile and reconstructs them at mount). *)
+let rebuild_allocators ctx =
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  for ino = 1 to geo.Layout.inode_count do
+    if Layout.Inode.in_use device geo ino then begin
+      Allocator.mark_allocated ctx.Fs_ctx.ialloc ino;
+      Block_tree.iter_blocks ctx ~ino (fun _fblock block ->
+          Allocator.mark_allocated ctx.Fs_ctx.balloc block);
+      Block_tree.iter_index_nodes ctx ~ino (fun block ->
+          Allocator.mark_allocated ctx.Fs_ctx.balloc block)
+    end
+  done
+
+let mount device ?(sync_mount = false) ?(journal_cleaner = false) () =
+  match Layout.read_superblock device with
+  | None -> Errno.raise_error EINVAL "no PMFS superblock on device"
+  | Some (geo, clean) ->
+    let recovered =
+      if clean then 0
+      else
+        Log.recover device ~first_block:geo.Layout.journal_start
+          ~blocks:geo.Layout.journal_blocks
+    in
+    let log =
+      Log.create device ~first_block:geo.Layout.journal_start
+        ~blocks:geo.Layout.journal_blocks
+    in
+    let balloc =
+      Allocator.create ~first_block:geo.Layout.data_start
+        ~count:(geo.Layout.total_blocks - geo.Layout.data_start)
+    in
+    let ialloc = Allocator.create ~first_block:1 ~count:geo.Layout.inode_count in
+    let ctx = { Fs_ctx.device; geo; log; balloc; ialloc } in
+    rebuild_allocators ctx;
+    Layout.write_superblock device geo ~clean:false;
+    if journal_cleaner then Log.start_cleaner log;
+    { ctx; sync_mount; mounted = true; recovered_txns = recovered }
+
+let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?sync_mount
+    ?journal_cleaner () =
+  mkfs device ?journal_blocks ?inodes_per_mb ();
+  mount device ?sync_mount ?journal_cleaner ()
+
+(* --- inode helpers --- *)
+
+let check_ino t ino =
+  let geo = geometry t in
+  if ino < 1 || ino > geo.Layout.inode_count
+     || not (Layout.Inode.in_use (device t) geo ino)
+  then Errno.raise_error EBADF "bad inode %d" ino
+
+let inode_kind t ino = Layout.Inode.kind (device t) (geometry t) ino
+let inode_size t ino = Layout.Inode.size (device t) (geometry t) ino
+
+let stat_of t ino =
+  check_ino t ino;
+  let device = device t in
+  let geo = geometry t in
+  {
+    Types.ino;
+    kind =
+      (if Layout.Inode.kind device geo ino = Layout.Inode.kind_directory then
+         Types.Directory
+       else Types.Regular);
+    size = Layout.Inode.size device geo ino;
+    nlink = Layout.Inode.links device geo ino;
+    blocks = Layout.Inode.blocks device geo ino;
+    mtime_ns = Layout.Inode.mtime device geo ino;
+  }
+
+(* Charge a DRAM-speed copy that does not touch the device (zero fill). *)
+let charge_copy t cat len =
+  if len > 0 then begin
+    let config = Device.config (device t) in
+    let lines =
+      (len + config.Config.cacheline_size - 1) / config.Config.cacheline_size
+    in
+    let ns = lines * config.Config.dram_read_ns in
+    Stats.add_time (Fs_ctx.stats t.ctx) cat (Int64.of_int ns);
+    Proc.delay_int ns
+  end
+
+(* --- Data: lower-level operations shared with HiNFS --- *)
+
+module Data = struct
+  let block_addr t block = Fs_ctx.block_addr t.ctx block
+
+  let lookup_block t ~ino ~fblock = Block_tree.lookup t.ctx ~ino ~fblock
+
+  (* Find-or-allocate the NVMM home block for [fblock] inside [txn];
+     zero-filling a fresh block's uncovered range is the caller's job.
+     Updates the inode's block count. Returns the blocks allocated by the
+     call (index nodes + data) so an aborting caller can reclaim them. *)
+  let ensure_block t txn ~ino ~fblock =
+    let block, fresh, allocated = Block_tree.ensure t.ctx txn ~ino ~fblock in
+    if fresh then begin
+      let device = device t in
+      let geo = geometry t in
+      let addr = Layout.Inode.addr geo ino + Layout.Inode.blocks_off in
+      Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+      Layout.Inode.set_blocks device ~cat:Stats.Other geo ino
+        (Layout.Inode.blocks device geo ino + 1)
+    end;
+    (block, fresh, allocated)
+
+  (* Journaled size + mtime update. *)
+  let update_size t txn ~ino ~size =
+    let device = device t in
+    let geo = geometry t in
+    let addr = Layout.Inode.addr geo ino + Layout.Inode.size_off in
+    Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+    Layout.Inode.set_size device ~cat:Stats.Other geo ino size
+
+  (* 8-byte atomic mtime update: no transaction needed (PMFS-style). *)
+  let touch_mtime_atomic t ~ino =
+    let device = device t in
+    let geo = geometry t in
+    let addr = Layout.Inode.addr geo ino + Layout.Inode.mtime_off in
+    Device.set_u64 device ~cat:Stats.Other addr (now t);
+    Device.clflush device ~cat:Stats.Other ~addr ~len:8
+
+  let touch_mtime_txn t txn ~ino =
+    let device = device t in
+    let geo = geometry t in
+    let addr = Layout.Inode.addr geo ino + Layout.Inode.mtime_off in
+    Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+    Layout.Inode.set_mtime device ~cat:Stats.Other geo ino (now t)
+
+  (* Zero the uncovered parts of a freshly allocated data block so that
+     reads below EOF never observe stale medium contents. *)
+  let zero_fresh_block ?(background = false) t ~cat ~block ~covered_start
+      ~covered_end =
+    let geo = geometry t in
+    let bs = geo.Layout.block_size in
+    let base = block_addr t block in
+    if covered_start > 0 then begin
+      let zeros = Bytes.make covered_start '\000' in
+      Device.write_nt ~background (device t) ~cat ~addr:base ~src:zeros ~off:0
+        ~len:covered_start
+    end;
+    if covered_end < bs then begin
+      let zeros = Bytes.make (bs - covered_end) '\000' in
+      Device.write_nt ~background (device t) ~cat ~addr:(base + covered_end)
+        ~src:zeros ~off:0 ~len:(bs - covered_end)
+    end
+end
+
+(* --- file read/write --- *)
+
+let read t ~ino ~off ~len ~into ~into_off =
+  check_ino t ino;
+  if off < 0 || len < 0 then Errno.raise_error EINVAL "bad read range";
+  let geo = geometry t in
+  let bs = geo.Layout.block_size in
+  let size = inode_size t ino in
+  let len = if off >= size then 0 else min len (size - off) in
+  let cat = Stats.Read_access in
+  let rec copy done_ =
+    if done_ < len then begin
+      let pos = off + done_ in
+      let fblock = pos / bs in
+      let in_block = pos mod bs in
+      let chunk = min (bs - in_block) (len - done_) in
+      (match Data.lookup_block t ~ino ~fblock with
+      | Some block ->
+        Device.read (device t) ~cat
+          ~addr:(Data.block_addr t block + in_block)
+          ~len:chunk ~into ~off:(into_off + done_)
+      | None ->
+        (* Hole: reads as zeros, still a memcpy's worth of work. *)
+        Bytes.fill into (into_off + done_) chunk '\000';
+        charge_copy t cat chunk);
+      copy (done_ + chunk)
+    end
+  in
+  copy 0;
+  len
+
+(* Direct write with non-temporal stores; used by PMFS writes, by HiNFS
+   eager-persistent writes, and (with [background = true]) by the HiNFS
+   writeback daemons. *)
+let write_direct ?(background = false) ?(cat = Stats.Write_access) t ~ino ~off
+    ~src ~src_off ~len =
+  check_ino t ino;
+  if off < 0 || len < 0 then Errno.raise_error EINVAL "bad write range";
+  let geo = geometry t in
+  let bs = geo.Layout.block_size in
+  let size = inode_size t ino in
+  let txn_ref = ref None in
+  let get_txn () =
+    match !txn_ref with
+    | Some txn -> txn
+    | None ->
+      let txn = Log.begin_txn (log t) in
+      txn_ref := Some txn;
+      txn
+  in
+  let rec copy done_ =
+    if done_ < len then begin
+      let pos = off + done_ in
+      let fblock = pos / bs in
+      let in_block = pos mod bs in
+      let chunk = min (bs - in_block) (len - done_) in
+      let block =
+        match Data.lookup_block t ~ino ~fblock with
+        | Some block -> block
+        | None ->
+          let block, fresh, _allocated =
+            Data.ensure_block t (get_txn ()) ~ino ~fblock
+          in
+          if fresh then
+            Data.zero_fresh_block ~background t ~cat ~block
+              ~covered_start:in_block ~covered_end:(in_block + chunk);
+          block
+      in
+      Device.write_nt ~background (device t) ~cat
+        ~addr:(Data.block_addr t block + in_block)
+        ~src ~off:(src_off + done_) ~len:chunk;
+      copy (done_ + chunk)
+    end
+  in
+  copy 0;
+  (* Data is persistent (non-temporal); order it before metadata. *)
+  Device.mfence (device t) ~cat;
+  let new_size = max size (off + len) in
+  (if new_size <> size then begin
+     let txn = get_txn () in
+     Data.update_size t txn ~ino ~size:new_size;
+     Data.touch_mtime_txn t txn ~ino
+   end
+   else
+     match !txn_ref with
+     | Some txn -> Data.touch_mtime_txn t txn ~ino
+     | None -> Data.touch_mtime_atomic t ~ino);
+  (match !txn_ref with Some txn -> Log.commit (log t) txn | None -> ());
+  len
+
+let write t ~ino ~off ~src ~src_off ~len ~sync =
+  (* PMFS persists every write eagerly; [sync] changes nothing. *)
+  ignore sync;
+  write_direct t ~ino ~off ~src ~src_off ~len
+
+let truncate t ~ino ~size =
+  check_ino t ino;
+  if size < 0 then Errno.raise_error EINVAL "negative size";
+  let geo = geometry t in
+  let bs = geo.Layout.block_size in
+  let old_size = inode_size t ino in
+  if size <> old_size then begin
+    Log.with_txn (log t) (fun txn ->
+        if size < old_size then begin
+          let keep_blocks = (size + bs - 1) / bs in
+          let freed = Block_tree.free_from t.ctx txn ~ino ~keep_blocks in
+          let device = device t in
+          let addr = Layout.Inode.addr geo ino + Layout.Inode.blocks_off in
+          Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+          Layout.Inode.set_blocks device ~cat:Stats.Other geo ino
+            (Layout.Inode.blocks device geo ino - freed);
+          (* Zero the tail of the last kept block so a later size extension
+             cannot expose stale bytes. *)
+          let tail = size mod bs in
+          if tail <> 0 then begin
+            match Data.lookup_block t ~ino ~fblock:(size / bs) with
+            | None -> ()
+            | Some block ->
+              let zeros = Bytes.make (bs - tail) '\000' in
+              Device.write_nt device ~cat:Stats.Other
+                ~addr:(Data.block_addr t block + tail)
+                ~src:zeros ~off:0 ~len:(bs - tail)
+          end
+        end;
+        Data.update_size t txn ~ino ~size;
+        Data.touch_mtime_txn t txn ~ino)
+  end
+
+let fsync t ~ino =
+  check_ino t ino;
+  (* All PMFS data and committed metadata are already persistent; fsync
+     reduces to an ordering fence. *)
+  Device.mfence (device t) ~cat:Stats.Other
+
+(* --- namespace --- *)
+
+let lookup t ~dir name =
+  check_ino t dir;
+  Dir.lookup t.ctx ~dir name
+
+let alloc_inode t ~kind =
+  match Allocator.alloc t.ctx.Fs_ctx.ialloc with
+  | None -> Errno.raise_error ENOSPC "out of inodes"
+  | Some ino ->
+    let device = device t in
+    let geo = geometry t in
+    let addr = Layout.Inode.addr geo ino in
+    Log.with_txn (log t) (fun txn ->
+        Log.log t.ctx.Fs_ctx.log txn ~addr ~len:40;
+        Layout.Inode.set_in_use device ~cat:Stats.Other geo ino true;
+        Layout.Inode.set_kind device ~cat:Stats.Other geo ino kind;
+        Layout.Inode.set_links device ~cat:Stats.Other geo ino
+          (if kind = Layout.Inode.kind_directory then 2 else 1);
+        Layout.Inode.set_height device ~cat:Stats.Other geo ino 0;
+        Layout.Inode.set_size device ~cat:Stats.Other geo ino 0;
+        Layout.Inode.set_tree_root device ~cat:Stats.Other geo ino 0;
+        Layout.Inode.set_mtime device ~cat:Stats.Other geo ino (now t);
+        Layout.Inode.set_blocks device ~cat:Stats.Other geo ino 0);
+    ino
+
+let create_entry t ~dir name ~kind =
+  check_ino t dir;
+  if inode_kind t dir <> Layout.Inode.kind_directory then
+    Errno.raise_error ENOTDIR "inode %d is not a directory" dir;
+  (match Dir.lookup t.ctx ~dir name with
+  | Some _ -> Errno.raise_error EEXIST "%S already exists" name
+  | None -> ());
+  let ino = alloc_inode t ~kind in
+  Log.with_txn (log t) (fun txn -> Dir.add t.ctx txn ~dir name ~ino);
+  ino
+
+let create_file t ~dir name =
+  create_entry t ~dir name ~kind:Layout.Inode.kind_regular
+
+let mkdir t ~dir name =
+  create_entry t ~dir name ~kind:Layout.Inode.kind_directory
+
+(* Release an inode and all its blocks. Caller must have removed all
+   directory entries pointing at it. *)
+let free_inode t txn ~ino =
+  let device = device t in
+  let geo = geometry t in
+  Block_tree.free_all t.ctx txn ~ino;
+  let addr = Layout.Inode.addr geo ino in
+  Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+  Layout.Inode.set_in_use device ~cat:Stats.Other geo ino false;
+  Layout.Inode.set_kind device ~cat:Stats.Other geo ino Layout.Inode.kind_free;
+  Layout.Inode.set_links device ~cat:Stats.Other geo ino 0
+
+let unlink t ~dir name =
+  check_ino t dir;
+  match Dir.find t.ctx ~dir name with
+  | None -> Errno.raise_error ENOENT "no entry %S" name
+  | Some (ino, _, _) ->
+    if inode_kind t ino = Layout.Inode.kind_directory then
+      Errno.raise_error EISDIR "%S is a directory" name;
+    Log.with_txn (log t) (fun txn ->
+        ignore (Dir.remove t.ctx txn ~dir name);
+        let links = Layout.Inode.links (device t) (geometry t) ino in
+        if links <= 1 then free_inode t txn ~ino
+        else begin
+          let addr =
+            Layout.Inode.addr (geometry t) ino + Layout.Inode.links_off
+          in
+          Log.log t.ctx.Fs_ctx.log txn ~addr ~len:2;
+          Layout.Inode.set_links (device t) ~cat:Stats.Other (geometry t) ino
+            (links - 1)
+        end);
+    if Layout.Inode.links (device t) (geometry t) ino = 0 then
+      Allocator.free t.ctx.Fs_ctx.ialloc ino
+
+let rmdir t ~dir name =
+  check_ino t dir;
+  match Dir.find t.ctx ~dir name with
+  | None -> Errno.raise_error ENOENT "no entry %S" name
+  | Some (ino, _, _) ->
+    if inode_kind t ino <> Layout.Inode.kind_directory then
+      Errno.raise_error ENOTDIR "%S is not a directory" name;
+    if not (Dir.is_empty t.ctx ~dir:ino) then
+      Errno.raise_error ENOTEMPTY "%S is not empty" name;
+    Log.with_txn (log t) (fun txn ->
+        ignore (Dir.remove t.ctx txn ~dir name);
+        free_inode t txn ~ino);
+    Allocator.free t.ctx.Fs_ctx.ialloc ino
+
+let rename t ~src_dir ~src ~dst_dir ~dst =
+  check_ino t src_dir;
+  check_ino t dst_dir;
+  match Dir.find t.ctx ~dir:src_dir src with
+  | None -> Errno.raise_error ENOENT "no entry %S" src
+  | Some (ino, _, _) ->
+    Log.with_txn (log t) (fun txn ->
+        (match Dir.find t.ctx ~dir:dst_dir dst with
+        | Some (existing, _, _) ->
+          if inode_kind t existing = Layout.Inode.kind_directory then
+            Errno.raise_error EISDIR "rename target %S is a directory" dst;
+          ignore (Dir.remove t.ctx txn ~dir:dst_dir dst);
+          free_inode t txn ~ino:existing;
+          Allocator.free t.ctx.Fs_ctx.ialloc existing
+        | None -> ());
+        Dir.add t.ctx txn ~dir:dst_dir dst ~ino;
+        ignore (Dir.remove t.ctx txn ~dir:src_dir src))
+
+let readdir t ~dir =
+  check_ino t dir;
+  Dir.list t.ctx ~dir
+
+(* --- lifecycle --- *)
+
+let sync_all t = Device.mfence (device t) ~cat:Stats.Other
+
+let unmount t =
+  if t.mounted then begin
+    t.mounted <- false;
+    Log.stop_cleaner (log t);
+    Layout.write_superblock (device t) (geometry t) ~clean:true
+  end
+
+(* --- Backend.S instance --- *)
+
+module Backend : Hinfs_vfs.Backend.S with type t = t = struct
+  type nonrec t = t
+
+  let fs_name _ = "pmfs"
+  let device = device
+  let sync_mount t = t.sync_mount
+  let root_ino _ = Layout.root_ino
+  let lookup = lookup
+  let create_file = create_file
+  let mkdir = mkdir
+  let unlink = unlink
+  let rmdir = rmdir
+  let rename = rename
+  let readdir = readdir
+  let stat t ~ino = stat_of t ino
+  let read = read
+  let write = write
+  let truncate = truncate
+  let fsync = fsync
+
+  (* PMFS maps NVMM pages straight into user space. *)
+  let mmap _ ~ino:_ = ()
+  let munmap _ ~ino:_ = ()
+  let msync t ~ino:_ = Device.mfence (device t) ~cat:Stats.Other
+  let sync_all = sync_all
+  let unmount = unmount
+end
+
+module Vfs_layer = Hinfs_vfs.Vfs.Make (Backend)
+
+let handle t = Vfs_layer.handle t

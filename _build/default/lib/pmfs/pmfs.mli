@@ -1,0 +1,125 @@
+(** PMFS: the direct-access NVMM file system baseline (Dulloor et al.,
+    EuroSys'14), re-implemented on the device model.
+
+    Data moves straight between the user buffer and NVMM with non-temporal
+    stores; metadata is journaled at cacheline granularity. PMFS is also
+    the persistent substrate HiNFS builds on: the {!Data} submodule exposes
+    the lower-level operations the buffer layer needs. *)
+
+type t
+
+(** {1 mkfs / mount} *)
+
+val mkfs :
+  Hinfs_nvmm.Device.t -> ?journal_blocks:int -> ?inodes_per_mb:int -> unit -> unit
+
+val mount :
+  Hinfs_nvmm.Device.t -> ?sync_mount:bool -> ?journal_cleaner:bool -> unit -> t
+(** Mounts the device (running undo-log recovery if the previous session
+    did not unmount cleanly) and rebuilds the DRAM allocators from the live
+    inode trees. [journal_cleaner] spawns the background log cleaner (call
+    from inside a simulation process if set). *)
+
+val mkfs_and_mount :
+  Hinfs_nvmm.Device.t ->
+  ?journal_blocks:int ->
+  ?inodes_per_mb:int ->
+  ?sync_mount:bool ->
+  ?journal_cleaner:bool ->
+  unit ->
+  t
+
+val unmount : t -> unit
+val recovered_txns : t -> int
+
+(** {1 Accessors} *)
+
+val ctx : t -> Fs_ctx.t
+val geometry : t -> Layout.geometry
+val device : t -> Hinfs_nvmm.Device.t
+val log : t -> Hinfs_journal.Cacheline_log.t
+val free_data_blocks : t -> int
+val free_inodes : t -> int
+
+(** {1 Inode operations} *)
+
+val check_ino : t -> int -> unit
+val inode_kind : t -> int -> int
+val inode_size : t -> int -> int
+val stat_of : t -> int -> Hinfs_vfs.Types.stat
+
+val read :
+  t -> ino:int -> off:int -> len:int -> into:Bytes.t -> into_off:int -> int
+
+val write_direct :
+  ?background:bool ->
+  ?cat:Hinfs_stats.Stats.category ->
+  t ->
+  ino:int ->
+  off:int ->
+  src:Bytes.t ->
+  src_off:int ->
+  len:int ->
+  int
+(** The PMFS data path: non-temporal stores, allocation and size update in
+    a journaled transaction. Also used by HiNFS's eager-persistent writes
+    and (with [background]) by its writeback. *)
+
+val write :
+  t -> ino:int -> off:int -> src:Bytes.t -> src_off:int -> len:int ->
+  sync:bool -> int
+
+val truncate : t -> ino:int -> size:int -> unit
+val fsync : t -> ino:int -> unit
+
+(** {1 Namespace} *)
+
+val lookup : t -> dir:int -> string -> int option
+val create_file : t -> dir:int -> string -> int
+val mkdir : t -> dir:int -> string -> int
+val unlink : t -> dir:int -> string -> unit
+val rmdir : t -> dir:int -> string -> unit
+
+val rename :
+  t -> src_dir:int -> src:string -> dst_dir:int -> dst:string -> unit
+
+val readdir : t -> dir:int -> (string * int) list
+val sync_all : t -> unit
+
+(** {1 Lower-level data operations (the HiNFS substrate)} *)
+
+module Data : sig
+  val block_addr : t -> int -> int
+  val lookup_block : t -> ino:int -> fblock:int -> int option
+
+  val ensure_block :
+    t -> Hinfs_journal.Cacheline_log.txn -> ino:int -> fblock:int ->
+    int * bool * int list
+  (** Find-or-allocate the NVMM home block inside [txn]. Returns
+      [(block, fresh, allocated)] where [allocated] lists every block this
+      call allocated (for reclaim if the transaction aborts). *)
+
+  val update_size :
+    t -> Hinfs_journal.Cacheline_log.txn -> ino:int -> size:int -> unit
+
+  val touch_mtime_atomic : t -> ino:int -> unit
+  (** 8-byte atomic in-place mtime update (no transaction), PMFS-style. *)
+
+  val touch_mtime_txn :
+    t -> Hinfs_journal.Cacheline_log.txn -> ino:int -> unit
+
+  val zero_fresh_block :
+    ?background:bool ->
+    t ->
+    cat:Hinfs_stats.Stats.category ->
+    block:int ->
+    covered_start:int ->
+    covered_end:int ->
+    unit
+end
+
+(** {1 VFS} *)
+
+module Backend : Hinfs_vfs.Backend.S with type t = t
+
+val handle : t -> Hinfs_vfs.Vfs.handle

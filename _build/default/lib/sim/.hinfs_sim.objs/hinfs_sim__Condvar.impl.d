@@ -1,0 +1,1 @@
+lib/sim/condvar.ml: Engine Int64 Proc Queue

@@ -1,0 +1,58 @@
+(** Discrete-event simulation engine.
+
+    The engine advances a virtual clock (nanoseconds, [int64]) and runs
+    cooperative processes implemented with OCaml 5 effect handlers. All
+    execution is single-threaded and deterministic: events scheduled for the
+    same virtual time fire in scheduling order.
+
+    Processes use the {!Proc} module for the in-process API ([delay],
+    [now], ...); this module is the engine-side view. *)
+
+type t
+
+type 'a waker
+(** A one-shot resumption handle for a suspended process. Waking an
+    already-fired waker is a no-op, which makes timed waits race-free. *)
+
+type _ Effect.t +=
+  | Now : int64 Effect.t
+  | Delay : int64 -> unit Effect.t
+  | Spawn : (string * (unit -> unit)) -> unit Effect.t
+  | Suspend : ('a waker -> unit) -> 'a Effect.t
+
+exception Stopped
+(** Raised inside processes to unwind them when the simulation aborts after a
+    fatal error in another process. *)
+
+val create : unit -> t
+
+val now : t -> int64
+(** Current virtual time in nanoseconds. *)
+
+val live_processes : t -> int
+(** Number of processes that have started and not yet returned. *)
+
+val at : t -> int64 -> (unit -> unit) -> unit
+(** [at t time thunk] schedules [thunk] to run at virtual [time].
+    @raise Invalid_argument if [time] is in the past. *)
+
+val after : t -> int64 -> (unit -> unit) -> unit
+(** [after t d thunk] is [at t (now t + d) thunk]. *)
+
+val wake : 'a waker -> 'a -> bool
+(** [wake w v] resumes the suspended process with value [v]. Returns [false]
+    (and does nothing) if the waker already fired. *)
+
+val is_fired : 'a waker -> bool
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Schedule a new process to start at the current virtual time. *)
+
+val step : t -> bool
+(** Run the single earliest event. Returns [false] if the queue is empty. *)
+
+val run : ?until:int64 -> t -> unit
+(** Run events until the queue drains, or past the [until] horizon. If the
+    horizon is given, the clock is advanced to it even when the queue drains
+    early. The first uncaught exception from any process aborts the run and
+    is re-raised here. *)

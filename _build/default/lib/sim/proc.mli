@@ -1,0 +1,24 @@
+(** In-process API for simulation processes.
+
+    These helpers perform the {!Engine} effects and are only meaningful when
+    called from inside a process running under {!Engine.run}. *)
+
+val now : unit -> int64
+(** Current virtual time (ns). *)
+
+val delay : int64 -> unit
+(** Sleep for the given number of virtual nanoseconds. [delay 0L] and
+    negative delays return immediately without yielding. *)
+
+val delay_int : int -> unit
+(** [delay] taking an [int] of nanoseconds. *)
+
+val yield : unit -> unit
+(** Give other processes scheduled at the current time a chance to run. *)
+
+val spawn : ?name:string -> (unit -> unit) -> unit
+(** Start a child process at the current virtual time. *)
+
+val suspend : ('a Engine.waker -> unit) -> 'a
+(** Block the current process. [register] receives a one-shot waker; the
+    process resumes with the value passed to {!Engine.wake}. *)

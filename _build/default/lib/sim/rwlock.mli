@@ -1,0 +1,15 @@
+(** Reader-writer lock for simulation processes.
+
+    Writer-preferring: once a writer queues, later readers wait behind it. *)
+
+type t
+
+val create : unit -> t
+val readers : t -> int
+val write_locked : t -> bool
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,248 @@
+(* Measurement sink for one experiment run.
+
+   The figures of the paper are computed from these accumulators:
+   - Fig 1:  time by {Read_access, Write_access, Other}
+   - Fig 2:  fsync_bytes vs user_bytes_written
+   - Fig 6:  benefit-model prediction accuracy
+   - Fig 9b: nvmm_bytes_written (foreground + background)
+   - Fig 12: time by op class {read, write, unlink, fsync}
+   All times are virtual nanoseconds. *)
+
+type category =
+  | Read_access (* copying data to the user buffer *)
+  | Write_access (* copying data from the user buffer to DRAM/NVMM *)
+  | Journal (* journaling (undo log / jbd) work *)
+  | Block_layer (* generic block layer overhead *)
+  | Other (* syscall entry, allocation, index maintenance, ... *)
+
+let categories = [ Read_access; Write_access; Journal; Block_layer; Other ]
+
+let category_name = function
+  | Read_access -> "read-access"
+  | Write_access -> "write-access"
+  | Journal -> "journal"
+  | Block_layer -> "block-layer"
+  | Other -> "other"
+
+type op_class = Read_op | Write_op | Unlink_op | Fsync_op | Meta_op
+
+let op_classes = [ Read_op; Write_op; Unlink_op; Fsync_op; Meta_op ]
+
+let op_class_name = function
+  | Read_op -> "read"
+  | Write_op -> "write"
+  | Unlink_op -> "unlink"
+  | Fsync_op -> "fsync"
+  | Meta_op -> "meta"
+
+type t = {
+  mutable time_by_category : int64 array; (* indexed by category *)
+  mutable time_by_op : int64 array; (* indexed by op_class *)
+  mutable ops_completed : int;
+  mutable ops_by_class : int array;
+  (* byte accounting *)
+  mutable user_bytes_read : int64;
+  mutable user_bytes_written : int64;
+  mutable fsync_bytes : int64; (* user bytes persisted eagerly *)
+  mutable nvmm_bytes_written : int64; (* total bytes stored to NVMM *)
+  mutable nvmm_bytes_written_bg : int64; (* subset written by daemons *)
+  mutable nvmm_bytes_read : int64;
+  (* HiNFS buffer behaviour *)
+  mutable buffer_write_hits : int;
+  mutable buffer_write_misses : int;
+  mutable buffer_read_hits : int;
+  mutable buffer_read_misses : int;
+  mutable coalesced_cacheline_writes : int64;
+  mutable writeback_stalls : int;
+  mutable evictions : int;
+  mutable dead_block_drops : int; (* buffered blocks freed by unlink *)
+  (* benefit model accuracy (Fig 6) *)
+  mutable bbm_predictions : int;
+  mutable bbm_correct : int;
+  mutable eager_writes : int;
+  mutable lazy_writes : int;
+}
+
+let category_index = function
+  | Read_access -> 0
+  | Write_access -> 1
+  | Journal -> 2
+  | Block_layer -> 3
+  | Other -> 4
+
+let op_index = function
+  | Read_op -> 0
+  | Write_op -> 1
+  | Unlink_op -> 2
+  | Fsync_op -> 3
+  | Meta_op -> 4
+
+let create () =
+  {
+    time_by_category = Array.make 5 0L;
+    time_by_op = Array.make 5 0L;
+    ops_completed = 0;
+    ops_by_class = Array.make 5 0;
+    user_bytes_read = 0L;
+    user_bytes_written = 0L;
+    fsync_bytes = 0L;
+    nvmm_bytes_written = 0L;
+    nvmm_bytes_written_bg = 0L;
+    nvmm_bytes_read = 0L;
+    buffer_write_hits = 0;
+    buffer_write_misses = 0;
+    buffer_read_hits = 0;
+    buffer_read_misses = 0;
+    coalesced_cacheline_writes = 0L;
+    writeback_stalls = 0;
+    evictions = 0;
+    dead_block_drops = 0;
+    bbm_predictions = 0;
+    bbm_correct = 0;
+    eager_writes = 0;
+    lazy_writes = 0;
+  }
+
+let reset t =
+  let fresh = create () in
+  t.time_by_category <- fresh.time_by_category;
+  t.time_by_op <- fresh.time_by_op;
+  t.ops_completed <- 0;
+  t.ops_by_class <- fresh.ops_by_class;
+  t.user_bytes_read <- 0L;
+  t.user_bytes_written <- 0L;
+  t.fsync_bytes <- 0L;
+  t.nvmm_bytes_written <- 0L;
+  t.nvmm_bytes_written_bg <- 0L;
+  t.nvmm_bytes_read <- 0L;
+  t.buffer_write_hits <- 0;
+  t.buffer_write_misses <- 0;
+  t.buffer_read_hits <- 0;
+  t.buffer_read_misses <- 0;
+  t.coalesced_cacheline_writes <- 0L;
+  t.writeback_stalls <- 0;
+  t.evictions <- 0;
+  t.dead_block_drops <- 0;
+  t.bbm_predictions <- 0;
+  t.bbm_correct <- 0;
+  t.eager_writes <- 0;
+  t.lazy_writes <- 0
+
+(* --- time --- *)
+
+let add_time t cat ns =
+  let i = category_index cat in
+  t.time_by_category.(i) <- Int64.add t.time_by_category.(i) ns
+
+let time t cat = t.time_by_category.(category_index cat)
+
+let total_time t = Array.fold_left Int64.add 0L t.time_by_category
+
+let add_op_time t op ns =
+  let i = op_index op in
+  t.time_by_op.(i) <- Int64.add t.time_by_op.(i) ns
+
+let op_time t op = t.time_by_op.(op_index op)
+
+let total_op_time t = Array.fold_left Int64.add 0L t.time_by_op
+
+(* --- ops --- *)
+
+let op_done ?op_class t =
+  t.ops_completed <- t.ops_completed + 1;
+  match op_class with
+  | None -> ()
+  | Some op ->
+    let i = op_index op in
+    t.ops_by_class.(i) <- t.ops_by_class.(i) + 1
+
+let ops_completed t = t.ops_completed
+let ops_of_class t op = t.ops_by_class.(op_index op)
+
+let throughput_ops_per_sec t ~elapsed_ns =
+  if Int64.compare elapsed_ns 0L <= 0 then 0.0
+  else float_of_int t.ops_completed /. (Int64.to_float elapsed_ns /. 1e9)
+
+(* --- bytes --- *)
+
+let add_user_read t n = t.user_bytes_read <- Int64.add t.user_bytes_read (Int64.of_int n)
+let add_user_written t n = t.user_bytes_written <- Int64.add t.user_bytes_written (Int64.of_int n)
+let add_fsync_bytes t n = t.fsync_bytes <- Int64.add t.fsync_bytes (Int64.of_int n)
+
+let add_nvmm_written ?(background = false) t n =
+  t.nvmm_bytes_written <- Int64.add t.nvmm_bytes_written (Int64.of_int n);
+  if background then
+    t.nvmm_bytes_written_bg <- Int64.add t.nvmm_bytes_written_bg (Int64.of_int n)
+
+let add_nvmm_read t n = t.nvmm_bytes_read <- Int64.add t.nvmm_bytes_read (Int64.of_int n)
+
+let user_bytes_read t = t.user_bytes_read
+let user_bytes_written t = t.user_bytes_written
+let fsync_bytes t = t.fsync_bytes
+let nvmm_bytes_written t = t.nvmm_bytes_written
+let nvmm_bytes_written_bg t = t.nvmm_bytes_written_bg
+let nvmm_bytes_read t = t.nvmm_bytes_read
+
+let fsync_byte_ratio t =
+  if Int64.compare t.user_bytes_written 0L <= 0 then 0.0
+  else Int64.to_float t.fsync_bytes /. Int64.to_float t.user_bytes_written
+
+(* --- buffer behaviour --- *)
+
+let buffer_write_hit t = t.buffer_write_hits <- t.buffer_write_hits + 1
+let buffer_write_miss t = t.buffer_write_misses <- t.buffer_write_misses + 1
+let buffer_read_hit t = t.buffer_read_hits <- t.buffer_read_hits + 1
+let buffer_read_miss t = t.buffer_read_misses <- t.buffer_read_misses + 1
+let writeback_stall t = t.writeback_stalls <- t.writeback_stalls + 1
+let eviction t = t.evictions <- t.evictions + 1
+let dead_block_drop t n = t.dead_block_drops <- t.dead_block_drops + n
+
+let add_coalesced_cachelines t n =
+  t.coalesced_cacheline_writes <-
+    Int64.add t.coalesced_cacheline_writes (Int64.of_int n)
+
+let buffer_write_hits t = t.buffer_write_hits
+let buffer_write_misses t = t.buffer_write_misses
+let buffer_read_hits t = t.buffer_read_hits
+let buffer_read_misses t = t.buffer_read_misses
+let writeback_stalls t = t.writeback_stalls
+let evictions t = t.evictions
+let dead_block_drops t = t.dead_block_drops
+let coalesced_cacheline_writes t = t.coalesced_cacheline_writes
+
+let buffer_write_hit_ratio t =
+  let total = t.buffer_write_hits + t.buffer_write_misses in
+  if total = 0 then 0.0 else float_of_int t.buffer_write_hits /. float_of_int total
+
+(* --- benefit model --- *)
+
+let bbm_prediction t ~correct =
+  t.bbm_predictions <- t.bbm_predictions + 1;
+  if correct then t.bbm_correct <- t.bbm_correct + 1
+
+let bbm_accuracy t =
+  if t.bbm_predictions = 0 then 1.0
+  else float_of_int t.bbm_correct /. float_of_int t.bbm_predictions
+
+let bbm_predictions t = t.bbm_predictions
+
+let eager_write t = t.eager_writes <- t.eager_writes + 1
+let lazy_write t = t.lazy_writes <- t.lazy_writes + 1
+let eager_writes t = t.eager_writes
+let lazy_writes t = t.lazy_writes
+
+(* --- reporting --- *)
+
+let pp_breakdown ppf t =
+  let total = total_time t in
+  let pct ns =
+    if Int64.compare total 0L <= 0 then 0.0
+    else 100.0 *. Int64.to_float ns /. Int64.to_float total
+  in
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun cat ->
+      let ns = time t cat in
+      Fmt.pf ppf "%-12s %12Ld ns  (%5.1f%%)@," (category_name cat) ns (pct ns))
+    categories;
+  Fmt.pf ppf "total        %12Ld ns@]" total

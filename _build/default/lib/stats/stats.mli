@@ -1,0 +1,98 @@
+(** Measurement sink for one experiment run.
+
+    All the paper's figures are computed from these accumulators. Times are
+    virtual nanoseconds from the simulation clock. *)
+
+type t
+
+(** Where time was spent, following Fig. 1's taxonomy plus the extra
+    software-stack categories the block-based baselines exercise. *)
+type category =
+  | Read_access  (** copying file data toward the user buffer *)
+  | Write_access  (** copying user data toward DRAM/NVMM *)
+  | Journal  (** journaling (undo log / jbd) work *)
+  | Block_layer  (** generic block layer per-request overhead *)
+  | Other  (** syscall entry, allocation, index maintenance *)
+
+val categories : category list
+val category_name : category -> string
+
+(** Trace-replay op classes (Fig. 12). *)
+type op_class = Read_op | Write_op | Unlink_op | Fsync_op | Meta_op
+
+val op_classes : op_class list
+val op_class_name : op_class -> string
+
+val create : unit -> t
+val reset : t -> unit
+
+(** {1 Time} *)
+
+val add_time : t -> category -> int64 -> unit
+val time : t -> category -> int64
+val total_time : t -> int64
+val add_op_time : t -> op_class -> int64 -> unit
+val op_time : t -> op_class -> int64
+val total_op_time : t -> int64
+
+(** {1 Operations} *)
+
+val op_done : ?op_class:op_class -> t -> unit
+val ops_completed : t -> int
+val ops_of_class : t -> op_class -> int
+val throughput_ops_per_sec : t -> elapsed_ns:int64 -> float
+
+(** {1 Byte accounting} *)
+
+val add_user_read : t -> int -> unit
+val add_user_written : t -> int -> unit
+
+val add_fsync_bytes : t -> int -> unit
+(** User bytes that had to be persisted eagerly (synchronous or
+    fsync-covered writes) — the numerator of Fig. 2. *)
+
+val add_nvmm_written : ?background:bool -> t -> int -> unit
+val add_nvmm_read : t -> int -> unit
+val user_bytes_read : t -> int64
+val user_bytes_written : t -> int64
+val fsync_bytes : t -> int64
+val nvmm_bytes_written : t -> int64
+val nvmm_bytes_written_bg : t -> int64
+val nvmm_bytes_read : t -> int64
+val fsync_byte_ratio : t -> float
+
+(** {1 Buffer behaviour (HiNFS)} *)
+
+val buffer_write_hit : t -> unit
+val buffer_write_miss : t -> unit
+val buffer_read_hit : t -> unit
+val buffer_read_miss : t -> unit
+val writeback_stall : t -> unit
+val eviction : t -> unit
+
+val dead_block_drop : t -> int -> unit
+(** Buffered dirty blocks dropped because their file was deleted before
+    writeback — the short-lived-file win of §5.2.3. *)
+
+val add_coalesced_cachelines : t -> int -> unit
+val buffer_write_hits : t -> int
+val buffer_write_misses : t -> int
+val buffer_read_hits : t -> int
+val buffer_read_misses : t -> int
+val writeback_stalls : t -> int
+val evictions : t -> int
+val dead_block_drops : t -> int
+val coalesced_cacheline_writes : t -> int64
+val buffer_write_hit_ratio : t -> float
+
+(** {1 Buffer Benefit Model accuracy (Fig. 6)} *)
+
+val bbm_prediction : t -> correct:bool -> unit
+val bbm_accuracy : t -> float
+val bbm_predictions : t -> int
+val eager_write : t -> unit
+val lazy_write : t -> unit
+val eager_writes : t -> int
+val lazy_writes : t -> int
+
+val pp_breakdown : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/structures/bitmap.ml: Bytes Char Fmt

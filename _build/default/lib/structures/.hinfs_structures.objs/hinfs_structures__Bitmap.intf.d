@@ -1,0 +1,1 @@
+lib/structures/bitmap.mli: Format

@@ -1,0 +1,1 @@
+lib/structures/btree.ml: Array Fmt List Option

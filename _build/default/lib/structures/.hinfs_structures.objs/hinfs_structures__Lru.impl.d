@@ -1,0 +1,1 @@
+lib/structures/lru.ml: Dlist Hashtbl

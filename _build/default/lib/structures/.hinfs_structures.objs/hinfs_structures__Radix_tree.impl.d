@@ -1,0 +1,1 @@
+lib/structures/radix_tree.ml: Array List Option

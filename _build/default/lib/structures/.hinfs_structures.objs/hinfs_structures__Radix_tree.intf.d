@@ -1,0 +1,1 @@
+lib/structures/radix_tree.mli:

@@ -1,0 +1,117 @@
+(* Dense bitmaps backed by [Bytes].
+
+   Used for the on-NVMM block allocator bitmaps and for bulk dirty-tracking
+   structures. Bit [i] lives in byte [i/8], bit position [i mod 8]. *)
+
+type t = {
+  bits : Bytes.t;
+  length : int;
+  mutable set_count : int;
+}
+
+let create length =
+  if length < 0 then invalid_arg "Bitmap.create: negative length";
+  { bits = Bytes.make ((length + 7) / 8) '\000'; length; set_count = 0 }
+
+let length t = t.length
+let count_set t = t.set_count
+let count_clear t = t.length - t.set_count
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Bitmap: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask = 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (byte lor mask));
+    t.set_count <- t.set_count + 1
+  end
+
+let clear t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask <> 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (byte land lnot mask));
+    t.set_count <- t.set_count - 1
+  end
+
+let assign t i value = if value then set t i else clear t i
+
+let clear_all t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.set_count <- 0
+
+(* First clear bit at or after [from], scanning whole bytes when possible. *)
+let find_first_clear ?(from = 0) t =
+  if from < 0 then invalid_arg "Bitmap.find_first_clear: negative start";
+  let rec scan i =
+    if i >= t.length then None
+    else if i land 7 = 0 && i + 8 <= t.length then
+      if Bytes.get t.bits (i lsr 3) = '\255' then scan (i + 8)
+      else scan_bits i
+    else scan_bits i
+  and scan_bits i =
+    if i >= t.length then None
+    else if not (get t i) then Some i
+    else scan_bits (i + 1)
+  in
+  scan from
+
+let find_first_set ?(from = 0) t =
+  if from < 0 then invalid_arg "Bitmap.find_first_set: negative start";
+  let rec scan i =
+    if i >= t.length then None
+    else if i land 7 = 0 && i + 8 <= t.length then
+      if Bytes.get t.bits (i lsr 3) = '\000' then scan (i + 8)
+      else scan_bits i
+    else scan_bits i
+  and scan_bits i =
+    if i >= t.length then None
+    else if get t i then Some i
+    else scan_bits (i + 1)
+  in
+  scan from
+
+(* Find [count] consecutive clear bits; returns the start index. *)
+let find_clear_run ?(from = 0) t ~count =
+  if count <= 0 then invalid_arg "Bitmap.find_clear_run: count must be > 0";
+  let rec outer i =
+    match find_first_clear ~from:i t with
+    | None -> None
+    | Some start ->
+      let rec extend j =
+        if j - start = count then Some start
+        else if j >= t.length then None
+        else if get t j then outer (j + 1)
+        else extend (j + 1)
+      in
+      extend start
+  in
+  outer from
+
+let iter_set t f =
+  for i = 0 to t.length - 1 do
+    if get t i then f i
+  done
+
+let fold_set t init f =
+  let acc = ref init in
+  iter_set t (fun i -> acc := f !acc i);
+  !acc
+
+let copy t =
+  { bits = Bytes.copy t.bits; length = t.length; set_count = t.set_count }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>";
+  for i = 0 to t.length - 1 do
+    Fmt.pf ppf "%c" (if get t i then '1' else '0')
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,27 @@
+(** Dense bitmap backed by [Bytes]. *)
+
+type t
+
+val create : int -> t
+(** All bits initially clear. *)
+
+val length : t -> int
+val count_set : t -> int
+val count_clear : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val assign : t -> int -> bool -> unit
+val clear_all : t -> unit
+
+val find_first_clear : ?from:int -> t -> int option
+val find_first_set : ?from:int -> t -> int option
+
+val find_clear_run : ?from:int -> t -> count:int -> int option
+(** Start index of the first run of [count] consecutive clear bits. *)
+
+val iter_set : t -> (int -> unit) -> unit
+val fold_set : t -> 'a -> ('a -> int -> 'a) -> 'a
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,351 @@
+(* Mutable in-memory B-tree mapping [int] keys to values.
+
+   This is the DRAM Block Index of HiNFS (paper §3.2, Fig. 5): one tree per
+   file, keyed by the block-aligned logical file offset, holding the index
+   nodes that pair a DRAM buffer block with its NVMM home block. The paper
+   picks a B-tree "to quickly perform search operations" over possibly
+   sparse offsets; we implement the classic CLRS algorithm with a
+   configurable minimum degree.
+
+   Node arrays are exact-sized and rebuilt on structural change. Since every
+   B-tree operation is O(node size) per level anyway, this costs nothing
+   asymptotically and removes a whole class of off-by-one bugs.
+
+   Invariants (checked by [validate], exercised by property tests):
+   - every node except the root has between [degree-1] and [2*degree-1] keys;
+   - keys within a node are strictly increasing;
+   - all keys in child [i] lie strictly between keys [i-1] and [i];
+   - all leaves are at the same depth. *)
+
+type 'a node = {
+  mutable keys : int array; (* length n *)
+  mutable values : 'a array; (* length n *)
+  mutable children : 'a node array; (* length n+1, or [||] for a leaf *)
+}
+
+type 'a t = {
+  degree : int; (* minimum degree; max keys per node = 2*degree - 1 *)
+  mutable root : 'a node;
+  mutable cardinal : int;
+}
+
+let nkeys node = Array.length node.keys
+let is_leaf node = Array.length node.children = 0
+let max_keys t = (2 * t.degree) - 1
+
+let empty_node () = { keys = [||]; values = [||]; children = [||] }
+
+let create ?(degree = 16) () =
+  if degree < 2 then invalid_arg "Btree.create: degree must be >= 2";
+  { degree; root = empty_node (); cardinal = 0 }
+
+let cardinal t = t.cardinal
+let is_empty t = t.cardinal = 0
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j ->
+      if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+(* Index of the first key >= key within the node, by binary search. *)
+let lower_bound node key =
+  let lo = ref 0 and hi = ref (nkeys node) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if node.keys.(mid) < key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec find_in node key =
+  let i = lower_bound node key in
+  if i < nkeys node && node.keys.(i) = key then Some node.values.(i)
+  else if is_leaf node then None
+  else find_in node.children.(i) key
+
+let find t key = find_in t.root key
+let mem t key = Option.is_some (find t key)
+
+(* Split the full child [i] of [parent]; the median key moves up. *)
+let split_child t parent i =
+  let child = parent.children.(i) in
+  assert (nkeys child = max_keys t);
+  let d = t.degree in
+  let right =
+    {
+      keys = Array.sub child.keys d (d - 1);
+      values = Array.sub child.values d (d - 1);
+      children =
+        (if is_leaf child then [||] else Array.sub child.children d d);
+    }
+  in
+  let median_key = child.keys.(d - 1) in
+  let median_value = child.values.(d - 1) in
+  child.keys <- Array.sub child.keys 0 (d - 1);
+  child.values <- Array.sub child.values 0 (d - 1);
+  if not (is_leaf child) then child.children <- Array.sub child.children 0 d;
+  parent.keys <- array_insert parent.keys i median_key;
+  parent.values <- array_insert parent.values i median_value;
+  parent.children <- array_insert parent.children (i + 1) right
+
+(* Insert into a node guaranteed non-full. *)
+let rec insert_nonfull t node key value =
+  let i = lower_bound node key in
+  if i < nkeys node && node.keys.(i) = key then node.values.(i) <- value
+  else if is_leaf node then begin
+    node.keys <- array_insert node.keys i key;
+    node.values <- array_insert node.values i value;
+    t.cardinal <- t.cardinal + 1
+  end
+  else begin
+    let i =
+      if nkeys node.children.(i) = max_keys t then begin
+        split_child t node i;
+        if key > node.keys.(i) then i + 1 else i
+      end
+      else i
+    in
+    if i < nkeys node && node.keys.(i) = key then node.values.(i) <- value
+    else insert_nonfull t node.children.(i) key value
+  end
+
+let insert t key value =
+  if nkeys t.root = max_keys t then begin
+    let old_root = t.root in
+    let new_root =
+      { keys = [||]; values = [||]; children = [| old_root |] }
+    in
+    t.root <- new_root;
+    split_child t new_root 0
+  end;
+  insert_nonfull t t.root key value
+
+(* --- deletion (CLRS) --- *)
+
+let rec max_binding_in node =
+  if is_leaf node then
+    (node.keys.(nkeys node - 1), node.values.(nkeys node - 1))
+  else max_binding_in node.children.(nkeys node)
+
+let rec min_binding_in node =
+  if is_leaf node then (node.keys.(0), node.values.(0))
+  else min_binding_in node.children.(0)
+
+(* Merge child [i], parent key [i], and child [i+1] into child [i]. *)
+let merge_children node i =
+  let left = node.children.(i) in
+  let right = node.children.(i + 1) in
+  left.keys <- Array.concat [ left.keys; [| node.keys.(i) |]; right.keys ];
+  left.values <-
+    Array.concat [ left.values; [| node.values.(i) |]; right.values ];
+  if not (is_leaf left) then
+    left.children <- Array.append left.children right.children;
+  node.keys <- array_remove node.keys i;
+  node.values <- array_remove node.values i;
+  node.children <- array_remove node.children (i + 1)
+
+(* Before descending into child [i], ensure it has >= degree keys. Returns
+   the (possibly shifted) child index to descend into. *)
+let fix_child t node i =
+  let d = t.degree in
+  let child = node.children.(i) in
+  if nkeys child >= d then i
+  else begin
+    let borrow_left () =
+      let left = node.children.(i - 1) in
+      let j = i - 1 in
+      child.keys <- array_insert child.keys 0 node.keys.(j);
+      child.values <- array_insert child.values 0 node.values.(j);
+      if not (is_leaf child) then
+        child.children <-
+          array_insert child.children 0 left.children.(nkeys left);
+      let ln = nkeys left in
+      node.keys.(j) <- left.keys.(ln - 1);
+      node.values.(j) <- left.values.(ln - 1);
+      left.keys <- Array.sub left.keys 0 (ln - 1);
+      left.values <- Array.sub left.values 0 (ln - 1);
+      if not (is_leaf left) then
+        left.children <- Array.sub left.children 0 ln;
+      i
+    in
+    let borrow_right () =
+      let right = node.children.(i + 1) in
+      let cn = nkeys child in
+      child.keys <- array_insert child.keys cn node.keys.(i);
+      child.values <- array_insert child.values cn node.values.(i);
+      if not (is_leaf child) then
+        child.children <-
+          array_insert child.children (cn + 1) right.children.(0);
+      node.keys.(i) <- right.keys.(0);
+      node.values.(i) <- right.values.(0);
+      right.keys <- array_remove right.keys 0;
+      right.values <- array_remove right.values 0;
+      if not (is_leaf right) then
+        right.children <- array_remove right.children 0;
+      i
+    in
+    if i > 0 && nkeys node.children.(i - 1) >= d then borrow_left ()
+    else if i < nkeys node && nkeys node.children.(i + 1) >= d then
+      borrow_right ()
+    else if i > 0 then begin
+      merge_children node (i - 1);
+      i - 1
+    end
+    else begin
+      merge_children node i;
+      i
+    end
+  end
+
+let rec remove_from t node key =
+  let i = lower_bound node key in
+  if i < nkeys node && node.keys.(i) = key then
+    if is_leaf node then begin
+      node.keys <- array_remove node.keys i;
+      node.values <- array_remove node.values i;
+      true
+    end
+    else begin
+      let d = t.degree in
+      let left = node.children.(i) in
+      let right = node.children.(i + 1) in
+      if nkeys left >= d then begin
+        let pk, pv = max_binding_in left in
+        node.keys.(i) <- pk;
+        node.values.(i) <- pv;
+        ignore (remove_from t left pk);
+        true
+      end
+      else if nkeys right >= d then begin
+        let sk, sv = min_binding_in right in
+        node.keys.(i) <- sk;
+        node.values.(i) <- sv;
+        ignore (remove_from t right sk);
+        true
+      end
+      else begin
+        merge_children node i;
+        ignore (remove_from t node.children.(i) key);
+        true
+      end
+    end
+  else if is_leaf node then false
+  else begin
+    let _shifted = fix_child t node i in
+    (* After a merge the key may now sit in [node] itself, and indices may
+       have shifted; re-search from scratch. *)
+    let j = lower_bound node key in
+    if j < nkeys node && node.keys.(j) = key then remove_from t node key
+    else remove_from t node.children.(j) key
+  end
+
+let remove t key =
+  let removed = remove_from t t.root key in
+  if removed then begin
+    t.cardinal <- t.cardinal - 1;
+    if nkeys t.root = 0 && not (is_leaf t.root) then
+      t.root <- t.root.children.(0)
+  end;
+  removed
+
+(* --- iteration --- *)
+
+let rec iter_node node f =
+  if is_leaf node then
+    for i = 0 to nkeys node - 1 do
+      f node.keys.(i) node.values.(i)
+    done
+  else begin
+    for i = 0 to nkeys node - 1 do
+      iter_node node.children.(i) f;
+      f node.keys.(i) node.values.(i)
+    done;
+    iter_node node.children.(nkeys node) f
+  end
+
+let iter t f = iter_node t.root f
+
+let fold t init f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let rec iter_range_node node ~lo ~hi f =
+  let i = lower_bound node lo in
+  if is_leaf node then begin
+    let j = ref i in
+    while !j < nkeys node && node.keys.(!j) <= hi do
+      f node.keys.(!j) node.values.(!j);
+      incr j
+    done
+  end
+  else begin
+    iter_range_node node.children.(i) ~lo ~hi f;
+    let j = ref i in
+    while !j < nkeys node && node.keys.(!j) <= hi do
+      f node.keys.(!j) node.values.(!j);
+      iter_range_node node.children.(!j + 1) ~lo ~hi f;
+      incr j
+    done
+  end
+
+let iter_range t ~lo ~hi f = if lo <= hi then iter_range_node t.root ~lo ~hi f
+
+let min_binding t =
+  if t.cardinal = 0 then None else Some (min_binding_in t.root)
+
+let max_binding t =
+  if t.cardinal = 0 then None else Some (max_binding_in t.root)
+
+let to_list t = List.rev (fold t [] (fun acc k v -> (k, v) :: acc))
+
+let clear t =
+  t.root <- empty_node ();
+  t.cardinal <- 0
+
+(* --- validation for tests --- *)
+
+let validate t =
+  let d = t.degree in
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  let rec check node ~is_root ~lo ~hi =
+    let n = nkeys node in
+    if Array.length node.values <> n then err "values length mismatch";
+    if (not (is_leaf node)) && Array.length node.children <> n + 1 then
+      err "children length mismatch";
+    if (not is_root) && n < d - 1 then err "underfull node (%d keys)" n;
+    if n > (2 * d) - 1 then err "overfull node (%d keys)" n;
+    for i = 0 to n - 2 do
+      if node.keys.(i) >= node.keys.(i + 1) then
+        err "keys not strictly increasing"
+    done;
+    for i = 0 to n - 1 do
+      (match lo with
+      | Some l when node.keys.(i) <= l -> err "key %d below bound" node.keys.(i)
+      | _ -> ());
+      match hi with
+      | Some h when node.keys.(i) >= h -> err "key %d above bound" node.keys.(i)
+      | _ -> ()
+    done;
+    if is_leaf node then 1
+    else begin
+      let depth = ref (-1) in
+      for i = 0 to n do
+        let lo = if i = 0 then lo else Some node.keys.(i - 1) in
+        let hi = if i = n then hi else Some node.keys.(i) in
+        let child_depth = check node.children.(i) ~is_root:false ~lo ~hi in
+        if !depth = -1 then depth := child_depth
+        else if !depth <> child_depth then err "leaves at different depths"
+      done;
+      !depth + 1
+    end
+  in
+  ignore (check t.root ~is_root:true ~lo:None ~hi:None);
+  let counted = fold t 0 (fun acc _ _ -> acc + 1) in
+  if counted <> t.cardinal then
+    err "cardinal mismatch: counted %d, recorded %d" counted t.cardinal;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

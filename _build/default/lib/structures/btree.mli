@@ -1,0 +1,39 @@
+(** Mutable in-memory B-tree mapping [int] keys to values.
+
+    The DRAM Block Index of HiNFS: one tree per file, keyed by block-aligned
+    logical offset. Supports upsert, deletion, ordered and range
+    iteration. *)
+
+type 'a t
+
+val create : ?degree:int -> unit -> 'a t
+(** [degree] is the minimum degree (max keys per node is [2*degree-1]);
+    default 16. @raise Invalid_argument if [degree < 2]. *)
+
+val cardinal : 'a t -> int
+val is_empty : 'a t -> bool
+
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+
+val insert : 'a t -> int -> 'a -> unit
+(** Upsert: replaces the value if the key is already present. *)
+
+val remove : 'a t -> int -> bool
+(** Returns [false] if the key was absent. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** In ascending key order. The callback must not modify the tree. *)
+
+val fold : 'a t -> 'b -> ('b -> int -> 'a -> 'b) -> 'b
+
+val iter_range : 'a t -> lo:int -> hi:int -> (int -> 'a -> unit) -> unit
+(** Visit all bindings with [lo <= key <= hi] in ascending order. *)
+
+val min_binding : 'a t -> (int * 'a) option
+val max_binding : 'a t -> (int * 'a) option
+val to_list : 'a t -> (int * 'a) list
+val clear : 'a t -> unit
+
+val validate : 'a t -> (unit, string list) result
+(** Check all B-tree invariants; used by the test suite. *)

@@ -1,0 +1,122 @@
+(* Intrusive doubly-linked list with O(1) removal given the node.
+
+   This is the LRW (Least Recently Written) list of the HiNFS buffer pool:
+   buffer blocks hold their own node and are moved to the MRW end on every
+   write (paper §3.2). *)
+
+type 'a node = {
+  value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable owner : 'a t option;
+}
+
+and 'a t = {
+  mutable head : 'a node option; (* least recently used end *)
+  mutable tail : 'a node option; (* most recently used end *)
+  mutable size : int;
+}
+
+let create () = { head = None; tail = None; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let make_node value = { value; prev = None; next = None; owner = None }
+
+let value node = node.value
+let is_linked node = node.owner <> None
+
+let check_unlinked node =
+  if node.owner <> None then invalid_arg "Dlist: node already linked"
+
+let check_linked t node =
+  match node.owner with
+  | Some owner when owner == t -> ()
+  | _ -> invalid_arg "Dlist: node not linked to this list"
+
+let push_back t node =
+  check_unlinked node;
+  node.owner <- Some t;
+  node.prev <- t.tail;
+  node.next <- None;
+  (match t.tail with
+  | Some tail -> tail.next <- Some node
+  | None -> t.head <- Some node);
+  t.tail <- Some node;
+  t.size <- t.size + 1
+
+let push_front t node =
+  check_unlinked node;
+  node.owner <- Some t;
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+  | Some head -> head.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node;
+  t.size <- t.size + 1
+
+let remove t node =
+  check_linked t node;
+  (match node.prev with
+  | Some prev -> prev.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some next -> next.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None;
+  node.owner <- None;
+  t.size <- t.size - 1
+
+let move_to_back t node =
+  remove t node;
+  push_back t node
+
+let move_to_front t node =
+  remove t node;
+  push_front t node
+
+let peek_front t = Option.map (fun n -> n.value) t.head
+let peek_back t = Option.map (fun n -> n.value) t.tail
+
+let pop_front t =
+  match t.head with
+  | None -> None
+  | Some node ->
+    remove t node;
+    Some node.value
+
+let pop_back t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+    remove t node;
+    Some node.value
+
+let iter t f =
+  let rec loop = function
+    | None -> ()
+    | Some node ->
+      (* Capture next before calling f, so f may remove the node. *)
+      let next = node.next in
+      f node.value;
+      loop next
+  in
+  loop t.head
+
+let iter_nodes t f =
+  let rec loop = function
+    | None -> ()
+    | Some node ->
+      let next = node.next in
+      f node;
+      loop next
+  in
+  loop t.head
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun v -> acc := v :: !acc);
+  List.rev !acc

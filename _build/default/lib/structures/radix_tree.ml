@@ -1,0 +1,149 @@
+(* Linux-style radix tree keyed by non-negative integers.
+
+   The page cache indexes each inode's pages with one of these (as Linux's
+   address_space does): 6 bits of the key per level, height grows on demand.
+   Lookup cost is O(log64 max_key).
+
+   Invariant: when [height = 0] the tree is empty and [root = Empty];
+   otherwise [root] is a [Node]. Leaves appear only at level 1 slots. *)
+
+let bits_per_level = 6
+let fanout = 1 lsl bits_per_level (* 64 *)
+
+type 'a entry = Empty | Leaf of 'a | Node of 'a entry array
+
+type 'a t = {
+  mutable root : 'a entry;
+  mutable height : int;
+  mutable count : int;
+}
+
+let create () = { root = Empty; height = 0; count = 0 }
+
+let cardinal t = t.count
+let is_empty t = t.count = 0
+
+(* Max key representable at the given height is fanout^height - 1. *)
+let capacity height =
+  if height >= 11 then max_int
+  else (1 lsl (bits_per_level * height)) - 1
+
+let slot_index key level = (key lsr (bits_per_level * level)) land (fanout - 1)
+
+let check_key key = if key < 0 then invalid_arg "Radix_tree: negative key"
+
+let find t key =
+  check_key key;
+  if t.height = 0 || key > capacity t.height then None
+  else begin
+    let rec descend entry level =
+      match entry with
+      | Empty -> None
+      | Leaf v ->
+        assert (level = 0);
+        Some v
+      | Node slots -> descend slots.(slot_index key (level - 1)) (level - 1)
+    in
+    descend t.root t.height
+  end
+
+let mem t key = Option.is_some (find t key)
+
+(* Increase the height until [key] fits. The old root becomes slot 0 of the
+   new root, preserving existing keys (their high bits are all 0). *)
+let extend t key =
+  if t.height = 0 then begin
+    t.root <- Node (Array.make fanout Empty);
+    t.height <- 1
+  end;
+  while key > capacity t.height do
+    let slots = Array.make fanout Empty in
+    slots.(0) <- t.root;
+    t.root <- Node slots;
+    t.height <- t.height + 1
+  done
+
+let insert t key value =
+  check_key key;
+  extend t key;
+  let rec descend entry level =
+    match entry, level with
+    | Node slots, 1 ->
+      let i = slot_index key 0 in
+      (match slots.(i) with
+      | Leaf _ -> ()
+      | Empty -> t.count <- t.count + 1
+      | Node _ -> assert false);
+      slots.(i) <- Leaf value
+    | Node slots, level ->
+      let i = slot_index key (level - 1) in
+      (match slots.(i) with
+      | Empty -> slots.(i) <- Node (Array.make fanout Empty)
+      | Node _ -> ()
+      | Leaf _ -> assert false);
+      descend slots.(i) (level - 1)
+    | (Empty | Leaf _), _ -> assert false
+  in
+  descend t.root t.height
+
+let remove t key =
+  check_key key;
+  if t.height = 0 || key > capacity t.height then false
+  else begin
+    let removed = ref false in
+    (* Returns true if the subtree became entirely empty. *)
+    let rec descend entry level =
+      match entry, level with
+      | Node slots, 1 ->
+        let i = slot_index key 0 in
+        (match slots.(i) with
+        | Leaf _ ->
+          slots.(i) <- Empty;
+          removed := true
+        | Empty | Node _ -> ());
+        Array.for_all (fun e -> e = Empty) slots
+      | Node slots, level ->
+        let i = slot_index key (level - 1) in
+        (match slots.(i) with
+        | Empty -> ()
+        | Node _ as child ->
+          if descend child (level - 1) then slots.(i) <- Empty
+        | Leaf _ -> assert false);
+        Array.for_all (fun e -> e = Empty) slots
+      | (Empty | Leaf _), _ -> assert false
+    in
+    let root_empty = descend t.root t.height in
+    if !removed then begin
+      t.count <- t.count - 1;
+      if root_empty then begin
+        t.root <- Empty;
+        t.height <- 0
+      end
+    end;
+    !removed
+  end
+
+let iter t f =
+  let rec walk entry level base =
+    match entry with
+    | Empty -> ()
+    | Leaf v -> f base v
+    | Node slots ->
+      for i = 0 to fanout - 1 do
+        walk slots.(i) (level - 1)
+          (base lor (i lsl (bits_per_level * (level - 1))))
+      done
+  in
+  walk t.root t.height 0
+
+let fold t init f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let to_list t = List.rev (fold t [] (fun acc k v -> (k, v) :: acc))
+
+let clear t =
+  t.root <- Empty;
+  t.height <- 0;
+  t.count <- 0

@@ -1,0 +1,26 @@
+(** Linux-style radix tree keyed by non-negative integers.
+
+    Used by the page cache to index an inode's cached pages by page number,
+    mirroring the kernel's address_space radix tree. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val cardinal : 'a t -> int
+val is_empty : 'a t -> bool
+
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+
+val insert : 'a t -> int -> 'a -> unit
+(** Upsert. @raise Invalid_argument on negative keys. *)
+
+val remove : 'a t -> int -> bool
+(** Returns [false] if the key was absent. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Ascending key order. The callback must not modify the tree. *)
+
+val fold : 'a t -> 'b -> ('b -> int -> 'a -> 'b) -> 'b
+val to_list : 'a t -> (int * 'a) list
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Bytes Fmt Hashtbl Hinfs_sim Hinfs_stats Hinfs_vfs Int64 List Option Printf

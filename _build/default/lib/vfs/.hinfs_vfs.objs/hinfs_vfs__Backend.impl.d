@@ -1,0 +1,1 @@
+lib/vfs/backend.ml: Bytes Hinfs_nvmm Types

@@ -1,0 +1,1 @@
+lib/vfs/vfs.ml: Backend Bytes Errno Hashtbl Hinfs_nvmm Hinfs_sim Hinfs_stats Int64 List Option Path Types

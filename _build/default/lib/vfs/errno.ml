@@ -1,0 +1,36 @@
+(* File system error codes, POSIX-flavoured. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | EISDIR
+  | ENOTDIR
+  | ENOSPC
+  | EBADF
+  | EINVAL
+  | ENOTEMPTY
+  | EFBIG
+  | EROFS
+
+exception Fs_error of t * string
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | EISDIR -> "EISDIR"
+  | ENOTDIR -> "ENOTDIR"
+  | ENOSPC -> "ENOSPC"
+  | EBADF -> "EBADF"
+  | EINVAL -> "EINVAL"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EFBIG -> "EFBIG"
+  | EROFS -> "EROFS"
+
+let raise_error code fmt =
+  Fmt.kstr (fun msg -> raise (Fs_error (code, msg))) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Fs_error (code, msg) ->
+      Some (Printf.sprintf "Fs_error(%s, %s)" (to_string code) msg)
+    | _ -> None)

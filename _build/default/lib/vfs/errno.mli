@@ -1,0 +1,20 @@
+(** POSIX-flavoured file system error codes. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | EISDIR
+  | ENOTDIR
+  | ENOSPC
+  | EBADF
+  | EINVAL
+  | ENOTEMPTY
+  | EFBIG
+  | EROFS
+
+exception Fs_error of t * string
+
+val to_string : t -> string
+
+val raise_error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [raise_error code fmt ...] raises {!Fs_error} with a formatted message. *)

@@ -1,0 +1,41 @@
+(* Absolute-path handling: validation, splitting, joining.
+
+   The namespace is simple on purpose: absolute slash-separated paths, no
+   symlinks, no "." or "..". *)
+
+let is_valid_component c =
+  String.length c > 0
+  && String.length c <= 255
+  && c <> "."
+  && c <> ".."
+  && not (String.contains c '/')
+
+(* "/a/b/c" -> ["a"; "b"; "c"]; "/" -> [] *)
+let split path =
+  if String.length path = 0 || path.[0] <> '/' then
+    Errno.raise_error EINVAL "path %S is not absolute" path;
+  let parts = String.split_on_char '/' path in
+  let components = List.filter (fun c -> c <> "") parts in
+  List.iter
+    (fun c ->
+      if not (is_valid_component c) then
+        Errno.raise_error EINVAL "invalid path component %S in %S" c path)
+    components;
+  components
+
+(* Split into (directory components, final component). *)
+let split_dir path =
+  match List.rev (split path) with
+  | [] -> Errno.raise_error EINVAL "path %S has no final component" path
+  | last :: rev_dir -> (List.rev rev_dir, last)
+
+let join components = "/" ^ String.concat "/" components
+
+let concat dir name =
+  if dir = "/" then "/" ^ name else dir ^ "/" ^ name
+
+let basename path = snd (split_dir path)
+
+let dirname path =
+  let dir, _ = split_dir path in
+  join dir

@@ -1,0 +1,40 @@
+(* Shared VFS types. *)
+
+type file_kind = Regular | Directory
+
+type stat = {
+  ino : int;
+  kind : file_kind;
+  size : int;
+  nlink : int;
+  blocks : int; (* data blocks allocated *)
+  mtime_ns : int64;
+}
+
+type flags = {
+  read : bool;
+  write : bool;
+  create : bool;
+  excl : bool; (* with create: fail if the file exists *)
+  truncate : bool;
+  append : bool;
+  o_sync : bool; (* every write is synchronous (eager-persistent case 1) *)
+}
+
+let rdonly = {
+  read = true;
+  write = false;
+  create = false;
+  excl = false;
+  truncate = false;
+  append = false;
+  o_sync = false;
+}
+
+let wronly = { rdonly with read = false; write = true }
+let rdwr = { rdonly with write = true }
+let creat = { wronly with create = true }
+
+let pp_kind ppf = function
+  | Regular -> Fmt.string ppf "regular"
+  | Directory -> Fmt.string ppf "directory"

@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Bytes Fileset Hashtbl Hinfs_sim Hinfs_vfs Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/fileset.ml: Bytes Hinfs_sim Hinfs_vfs Printf

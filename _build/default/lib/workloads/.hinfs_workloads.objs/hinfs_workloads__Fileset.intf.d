@@ -1,0 +1,1 @@
+lib/workloads/fileset.mli: Bytes Hinfs_sim Hinfs_vfs

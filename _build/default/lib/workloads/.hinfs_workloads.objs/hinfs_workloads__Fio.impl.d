@@ -1,0 +1,1 @@
+lib/workloads/fio.ml: Bytes Hinfs_sim Hinfs_vfs Option Printf Workload

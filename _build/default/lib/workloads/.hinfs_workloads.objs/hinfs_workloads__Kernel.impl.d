@@ -1,0 +1,1 @@
+lib/workloads/kernel.ml: Bytes Hinfs_sim Hinfs_vfs List Path_helper Printf Workload

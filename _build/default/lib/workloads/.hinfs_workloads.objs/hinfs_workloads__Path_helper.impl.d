@@ -1,0 +1,1 @@
+lib/workloads/path_helper.ml:

@@ -1,0 +1,1 @@
+lib/workloads/postmark.ml: Array Bytes Hinfs_sim Hinfs_vfs Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Bytes Hinfs_sim Hinfs_vfs Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Fmt Hinfs_sim Hinfs_stats Hinfs_vfs Int64 Printf

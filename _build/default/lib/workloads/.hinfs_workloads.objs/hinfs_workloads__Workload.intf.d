@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Format Hinfs_sim Hinfs_stats Hinfs_vfs

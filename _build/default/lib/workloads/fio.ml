@@ -1,0 +1,70 @@
+(* fio-style micro benchmark (the paper's Fig. 1 tool): fixed-size
+   read/write mix against a pre-allocated file, sequential or random. *)
+
+module Rng = Hinfs_sim.Rng
+module Vfs = Hinfs_vfs.Vfs
+module Types = Hinfs_vfs.Types
+
+type params = {
+  file_size : int;
+  io_size : int;
+  read_fraction : float; (* paper default r:w = 1:2 -> 1/3 reads *)
+  random : bool;
+  o_sync : bool;
+}
+
+let default_params =
+  {
+    file_size = 16 * 1024 * 1024;
+    io_size = 4096;
+    read_fraction = 1.0 /. 3.0;
+    random = true;
+    o_sync = false;
+  }
+
+let path = "/fio/data"
+
+let make ?(params = default_params) () =
+  let fd_ref = ref None in
+  let offset = ref 0 in
+  {
+    Workload.name = Printf.sprintf "fio-%dB" params.io_size;
+    setup =
+      (fun h _rng ->
+        if not (h.Vfs.exists "/fio") then h.Vfs.mkdir "/fio";
+        let fd = h.Vfs.open_ path Types.creat in
+        let chunk = Bytes.make 65536 'f' in
+        let rec fill off =
+          if off < params.file_size then begin
+            let n = min 65536 (params.file_size - off) in
+            ignore (h.Vfs.write fd chunk n);
+            fill (off + n)
+          end
+        in
+        fill 0;
+        h.Vfs.close fd;
+        (* Reopen with the benchmark flags for the measurement phase. *)
+        fd_ref :=
+          Some
+            (h.Vfs.open_ path
+               { Types.rdwr with Types.o_sync = params.o_sync }));
+    worker =
+      (fun ctx ->
+        let h = ctx.Workload.handle in
+        let rng = ctx.Workload.rng in
+        let fd = Option.get !fd_ref in
+        let buf = Bytes.make params.io_size 'x' in
+        let max_ios = max 1 (params.file_size / max 1 params.io_size) in
+        let off =
+          if params.random then Rng.int rng max_ios * params.io_size
+          else begin
+            let o = !offset in
+            offset := (o + params.io_size) mod params.file_size;
+            o
+          end
+        in
+        if Rng.float rng < params.read_fraction then
+          ignore (h.Vfs.pread fd ~off buf params.io_size)
+        else ignore (h.Vfs.pwrite fd ~off buf params.io_size);
+        1);
+  }

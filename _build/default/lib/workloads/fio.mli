@@ -1,0 +1,13 @@
+(** fio-style micro benchmark (Fig. 1's tool): fixed-size read/write mix
+    against a pre-allocated file. *)
+
+type params = {
+  file_size : int;
+  io_size : int;
+  read_fraction : float;  (** paper default r:w = 1:2, i.e. 1/3 *)
+  random : bool;
+  o_sync : bool;
+}
+
+val default_params : params
+val make : ?params:params -> unit -> Workload.t

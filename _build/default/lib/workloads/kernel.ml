@@ -1,0 +1,147 @@
+(* Kernel-Grep and Kernel-Make (Table 1): jobs over a synthetic source
+   tree standing in for the Linux 3.11 kernel sources.
+
+   - grep: read every file completely, searching for an absent pattern
+     (read-only, Fig. 13's read-intensive macro benchmark);
+   - make: read each source file and write a corresponding object file
+     (roughly half the source size), plus a final link write. No fsync —
+     everything is lazy-persistent, which is where HiNFS wins. *)
+
+module Rng = Hinfs_sim.Rng
+module Vfs = Hinfs_vfs.Vfs
+module Types = Hinfs_vfs.Types
+
+type params = {
+  nfiles : int;
+  dirs : int;
+  mean_size : int;
+  object_ratio : float; (* object size / source size *)
+}
+
+let default_params =
+  { nfiles = 400; dirs = 20; mean_size = 12 * 1024; object_ratio = 0.6 }
+
+let src_dir = "/usr/src"
+let obj_dir = "/usr/obj"
+
+let src_path params i =
+  Printf.sprintf "%s/dir%02d/file%04d.c" src_dir (i mod params.dirs) i
+
+let obj_path params i =
+  Printf.sprintf "%s/dir%02d/file%04d.o" obj_dir (i mod params.dirs) i
+
+(* Deterministic per-file size: a long-tailed distribution around the
+   mean (most sources are small, a few are big). *)
+let source_size params i =
+  let base = params.mean_size / 2 in
+  let spread = (i * 2654435761) land 0xFFFF in
+  base + (spread * params.mean_size / 32768)
+
+let populate_tree (h : Vfs.handle) params =
+  if not (h.Vfs.exists "/usr") then h.Vfs.mkdir "/usr";
+  if not (h.Vfs.exists src_dir) then h.Vfs.mkdir src_dir;
+  if not (h.Vfs.exists obj_dir) then h.Vfs.mkdir obj_dir;
+  for d = 0 to params.dirs - 1 do
+    let sd = Printf.sprintf "%s/dir%02d" src_dir d in
+    if not (h.Vfs.exists sd) then h.Vfs.mkdir sd;
+    let od = Printf.sprintf "%s/dir%02d" obj_dir d in
+    if not (h.Vfs.exists od) then h.Vfs.mkdir od
+  done;
+  let scratch = Bytes.make (params.mean_size * 4) 'c' in
+  for i = 0 to params.nfiles - 1 do
+    let path = src_path params i in
+    if not (h.Vfs.exists path) then begin
+      let fd = h.Vfs.open_ path Types.creat in
+      ignore (h.Vfs.write fd scratch (source_size params i));
+      h.Vfs.close fd
+    end
+  done
+
+let grep ?(params = default_params) () =
+  {
+    Workload.job_name = "kernel-grep";
+    job_setup = (fun h _rng -> populate_tree h params);
+    job_run =
+      (fun h _rng ->
+        let ops = ref 0 in
+        let buf = Bytes.create 65536 in
+        for d = 0 to params.dirs - 1 do
+          let dir = Printf.sprintf "%s/dir%02d" src_dir d in
+          let entries = h.Vfs.readdir dir in
+          incr ops;
+          List.iter
+            (fun (name, _ino) ->
+              let fd = h.Vfs.open_ (Path_helper.concat dir name) Types.rdonly in
+              let rec scan () =
+                (* "search" = read everything; the pattern never matches *)
+                if h.Vfs.read fd buf 65536 > 0 then scan ()
+              in
+              scan ();
+              h.Vfs.close fd;
+              ops := !ops + 3)
+            entries
+        done;
+        !ops);
+  }
+
+let make_build ?(params = default_params) () =
+  {
+    Workload.job_name = "kernel-make";
+    job_setup = (fun h _rng -> populate_tree h params);
+    job_run =
+      (fun h _rng ->
+        let ops = ref 0 in
+        let buf = Bytes.create 65536 in
+        for i = 0 to params.nfiles - 1 do
+          (* "compile": read the source... *)
+          let fd = h.Vfs.open_ (src_path params i) Types.rdonly in
+          let size = ref 0 in
+          let rec scan () =
+            let n = h.Vfs.read fd buf 65536 in
+            if n > 0 then begin
+              size := !size + n;
+              scan ()
+            end
+          in
+          scan ();
+          h.Vfs.close fd;
+          (* ...and write the object file. *)
+          let osize =
+            max 64 (int_of_float (float_of_int !size *. params.object_ratio))
+          in
+          let fd =
+            h.Vfs.open_ (obj_path params i)
+              { Types.creat with Types.truncate = true }
+          in
+          let rec emit off =
+            if off < osize then begin
+              let n = min 65536 (osize - off) in
+              ignore (h.Vfs.write fd buf n);
+              emit (off + n)
+            end
+          in
+          emit 0;
+          h.Vfs.close fd;
+          ops := !ops + 6
+        done;
+        (* final "link": concatenate all objects into one image *)
+        let fd =
+          h.Vfs.open_ "/usr/obj/vmlinux"
+            { Types.creat with Types.truncate = true }
+        in
+        for i = 0 to params.nfiles - 1 do
+          let ofd = h.Vfs.open_ (obj_path params i) Types.rdonly in
+          let rec pipe () =
+            let n = h.Vfs.read ofd buf 65536 in
+            if n > 0 then begin
+              ignore (h.Vfs.write fd buf n);
+              pipe ()
+            end
+          in
+          pipe ();
+          h.Vfs.close ofd;
+          ops := !ops + 2
+        done;
+        h.Vfs.close fd;
+        !ops + 2);
+  }

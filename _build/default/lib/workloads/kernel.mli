@@ -1,0 +1,16 @@
+(** Kernel-Grep and Kernel-Make jobs over a synthetic source tree (Table 1). *)
+
+type params = {
+  nfiles : int;
+  dirs : int;
+  mean_size : int;
+  object_ratio : float;  (** object size / source size *)
+}
+
+val default_params : params
+
+val grep : ?params:params -> unit -> Workload.job
+(** Read every file completely, searching for an absent pattern. *)
+
+val make_build : ?params:params -> unit -> Workload.job
+(** Read each source, write an object file, then "link" everything. *)

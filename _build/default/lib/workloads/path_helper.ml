@@ -1,0 +1,3 @@
+(* Tiny path-joining helper shared by the workload generators. *)
+
+let concat dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name

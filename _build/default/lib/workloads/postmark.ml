@@ -1,0 +1,106 @@
+(* Postmark (Katcher '97): small-file transactions typical of mail and
+   news servers. A fixed number of transactions over a pool of small files;
+   each transaction pairs (read | append) with (create | delete). Reported
+   as elapsed time (Fig. 13). *)
+
+module Rng = Hinfs_sim.Rng
+module Vfs = Hinfs_vfs.Vfs
+module Types = Hinfs_vfs.Types
+module Errno = Hinfs_vfs.Errno
+
+type params = {
+  nfiles : int;
+  min_size : int;
+  max_size : int;
+  transactions : int;
+  append_size : int;
+}
+
+let default_params =
+  {
+    nfiles = 400;
+    min_size = 512;
+    max_size = 10 * 1024;
+    transactions = 2000;
+    append_size = 2048;
+  }
+
+let path i = Printf.sprintf "/postmark/p%05d" i
+
+let attempt f = try f () with Errno.Fs_error _ -> ()
+
+let make ?(params = default_params) () =
+  let exists = Array.make (params.nfiles * 2) false in
+  let sample_size rng =
+    params.min_size + Rng.int rng (params.max_size - params.min_size + 1)
+  in
+  let scratch = Bytes.make params.max_size 'm' in
+  let create_file (h : Vfs.handle) rng i =
+    let fd = h.Vfs.open_ (path i) { Types.creat with Types.truncate = true } in
+    ignore (h.Vfs.write fd scratch (sample_size rng));
+    h.Vfs.close fd;
+    exists.(i) <- true
+  in
+  {
+    Workload.job_name = "postmark";
+    job_setup =
+      (fun h rng ->
+        Array.fill exists 0 (Array.length exists) false;
+        if not (h.Vfs.exists "/postmark") then h.Vfs.mkdir "/postmark";
+        for i = 0 to params.nfiles - 1 do
+          create_file h rng i
+        done);
+    job_run =
+      (fun h rng ->
+        let ops = ref 0 in
+        let pick_existing () =
+          let rec search tries =
+            if tries = 0 then None
+            else begin
+              let i = Rng.int rng (Array.length exists) in
+              if exists.(i) then Some i else search (tries - 1)
+            end
+          in
+          search 64
+        in
+        for _txn = 1 to params.transactions do
+          (* read or append *)
+          (match pick_existing () with
+          | Some i ->
+            if Rng.bool rng then
+              attempt (fun () ->
+                  let fd = h.Vfs.open_ (path i) Types.rdonly in
+                  let rec drain () =
+                    if h.Vfs.read fd scratch 4096 > 0 then drain ()
+                  in
+                  drain ();
+                  h.Vfs.close fd;
+                  ops := !ops + 3)
+            else
+              attempt (fun () ->
+                  let fd =
+                    h.Vfs.open_ (path i) { Types.wronly with Types.append = true }
+                  in
+                  ignore (h.Vfs.write fd scratch params.append_size);
+                  h.Vfs.close fd;
+                  ops := !ops + 3)
+          | None -> ());
+          (* create or delete *)
+          if Rng.bool rng then begin
+            let i = Rng.int rng (Array.length exists) in
+            attempt (fun () ->
+                create_file h rng i;
+                ops := !ops + 2)
+          end
+          else begin
+            match pick_existing () with
+            | Some i ->
+              attempt (fun () ->
+                  h.Vfs.unlink (path i);
+                  exists.(i) <- false;
+                  incr ops)
+            | None -> ()
+          end
+        done;
+        !ops);
+  }

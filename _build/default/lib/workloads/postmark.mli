@@ -1,0 +1,13 @@
+(** Postmark (Katcher '97): small-file transactions typical of mail and
+    news services, reported as elapsed time (Fig. 13). *)
+
+type params = {
+  nfiles : int;
+  min_size : int;
+  max_size : int;
+  transactions : int;
+  append_size : int;
+}
+
+val default_params : params
+val make : ?params:params -> unit -> Workload.job

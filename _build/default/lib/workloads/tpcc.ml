@@ -1,0 +1,86 @@
+(* TPC-C-style OLTP workload (the paper runs DBT-2 on PostgreSQL).
+
+   The database substrate is modelled directly: a heap file of fixed-size
+   pages updated in place with zipfian skew, and a write-ahead log that is
+   appended and fsynced at every transaction commit — which is what makes
+   TPC-C's fsync-byte ratio exceed 90% (Fig. 2). Checkpoints periodically
+   fsync the heap. Reported as elapsed time for a fixed transaction count
+   (Fig. 13). *)
+
+module Rng = Hinfs_sim.Rng
+module Zipf = Hinfs_sim.Zipf
+module Vfs = Hinfs_vfs.Vfs
+module Types = Hinfs_vfs.Types
+
+type params = {
+  heap_pages : int;
+  page_size : int;
+  wal_record : int;
+  transactions : int;
+  updates_per_txn : int;
+  checkpoint_every : int;
+  zipf_theta : float;
+}
+
+let default_params =
+  {
+    heap_pages = 1024;
+    page_size = 8192;
+    wal_record = 1024;
+    transactions = 1500;
+    updates_per_txn = 3;
+    checkpoint_every = 128;
+    zipf_theta = 0.8;
+  }
+
+let make ?(params = default_params) () =
+  let heap = "/db/heap" in
+  let wal = "/db/wal" in
+  let zipf = Zipf.create ~n:params.heap_pages ~theta:params.zipf_theta in
+  {
+    Workload.job_name = "tpcc";
+    job_setup =
+      (fun h _rng ->
+        if not (h.Vfs.exists "/db") then h.Vfs.mkdir "/db";
+        let fd = h.Vfs.open_ heap { Types.creat with Types.truncate = true } in
+        let page = Bytes.make params.page_size 'T' in
+        for _ = 1 to params.heap_pages do
+          ignore (h.Vfs.write fd page params.page_size)
+        done;
+        h.Vfs.close fd;
+        let fd = h.Vfs.open_ wal { Types.creat with Types.truncate = true } in
+        h.Vfs.close fd);
+    job_run =
+      (fun h rng ->
+        let ops = ref 0 in
+        let heap_fd = h.Vfs.open_ heap Types.rdwr in
+        let wal_fd = h.Vfs.open_ wal { Types.wronly with Types.append = true } in
+        let page = Bytes.make params.page_size 'U' in
+        let record = Bytes.make (params.wal_record * params.updates_per_txn) 'L' in
+        for txn = 1 to params.transactions do
+          (* read-modify-write of a few hot pages *)
+          for _ = 1 to params.updates_per_txn do
+            let p = Zipf.sample zipf rng in
+            ignore
+              (h.Vfs.pread heap_fd ~off:(p * params.page_size) page
+                 params.page_size);
+            ignore
+              (h.Vfs.pwrite heap_fd ~off:(p * params.page_size) page
+                 params.page_size);
+            ops := !ops + 2
+          done;
+          (* commit: WAL append + fsync *)
+          ignore (h.Vfs.write wal_fd record (Bytes.length record));
+          h.Vfs.fsync wal_fd;
+          ops := !ops + 2;
+          (* periodic checkpoint *)
+          if txn mod params.checkpoint_every = 0 then begin
+            h.Vfs.fsync heap_fd;
+            incr ops
+          end
+        done;
+        h.Vfs.fsync heap_fd;
+        h.Vfs.close heap_fd;
+        h.Vfs.close wal_fd;
+        !ops + 3);
+  }

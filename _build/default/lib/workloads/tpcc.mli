@@ -1,0 +1,16 @@
+(** TPC-C-style OLTP job (the paper runs DBT-2 on PostgreSQL): zipfian
+    in-place page updates on a heap file plus a WAL appended and fsynced at
+    every commit — which is why its fsync-byte ratio exceeds 90% (Fig. 2). *)
+
+type params = {
+  heap_pages : int;
+  page_size : int;
+  wal_record : int;
+  transactions : int;
+  updates_per_txn : int;
+  checkpoint_every : int;
+  zipf_theta : float;
+}
+
+val default_params : params
+val make : ?params:params -> unit -> Workload.job

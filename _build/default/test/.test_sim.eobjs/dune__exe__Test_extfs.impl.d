@@ -1,0 +1,1 @@
+test/test_extfs.ml: Alcotest Array Bytes Char Hashtbl Hinfs_blockdev Hinfs_extfs Hinfs_nvmm Hinfs_pagecache Hinfs_sim Hinfs_stats Hinfs_vfs Int64 List Printf QCheck String Testkit

@@ -1,0 +1,1 @@
+test/test_hinfs.ml: Alcotest Array Bytes Char Hashtbl Hinfs Hinfs_nvmm Hinfs_pmfs Hinfs_sim Hinfs_stats Hinfs_vfs Int64 List Option Printf QCheck String Testkit

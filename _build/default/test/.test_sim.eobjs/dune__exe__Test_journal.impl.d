@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Array Bytes Hinfs_blockdev Hinfs_journal Hinfs_nvmm Hinfs_sim Hinfs_stats Int64 List QCheck Testkit

@@ -1,0 +1,1 @@
+test/test_nvmm.ml: Alcotest Bytes Hashtbl Hinfs_blockdev Hinfs_nvmm Hinfs_sim Hinfs_stats Int64 List Option QCheck String Testkit

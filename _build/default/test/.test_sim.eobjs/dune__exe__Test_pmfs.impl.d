@@ -1,0 +1,1 @@
+test/test_pmfs.ml: Alcotest Array Bytes Char Hashtbl Hinfs_nvmm Hinfs_pmfs Hinfs_sim Hinfs_stats Hinfs_vfs Int64 List Option Printf QCheck String Testkit

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Hinfs_sim Int64 List Testkit

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Hashtbl Hinfs_structures Int List Map QCheck String Testkit

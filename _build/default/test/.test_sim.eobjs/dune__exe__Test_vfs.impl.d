@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bytes Hinfs_pmfs Hinfs_sim Hinfs_stats Hinfs_vfs Int64 String Testkit

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hinfs_harness Hinfs_nvmm Hinfs_sim Hinfs_stats Hinfs_trace Hinfs_workloads Int64 List

@@ -1,0 +1,857 @@
+(* HiNFS tests: write buffering, read consistency between DRAM and NVMM,
+   CLFW, the Buffer Benefit Model, watermark-driven writeback, ordered-mode
+   crash consistency, and the ablation knobs. *)
+
+module Engine = Hinfs_sim.Engine
+module Proc = Hinfs_sim.Proc
+module Rng = Hinfs_sim.Rng
+module Stats = Hinfs_stats.Stats
+module Config = Hinfs_nvmm.Config
+module Device = Hinfs_nvmm.Device
+module Pmfs = Hinfs_pmfs.Pmfs
+module Layout = Hinfs_pmfs.Layout
+module H = Hinfs.Fs
+module Hconfig = Hinfs.Hconfig
+module Clbitmap = Hinfs.Clbitmap
+module Errno = Hinfs_vfs.Errno
+module Types = Hinfs_vfs.Types
+module Vfs = Hinfs_vfs.Vfs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let root = Layout.root_ino
+
+let read_back fs ~ino ~off ~len =
+  let buf = Bytes.create len in
+  let n = H.read fs ~ino ~off ~len ~into:buf ~into_off:0 in
+  (Bytes.sub buf 0 n, n)
+
+(* --- clbitmap --- *)
+
+let test_clbitmap_ranges () =
+  let m = Clbitmap.of_byte_range ~cacheline_size:64 ~off:0 ~len:4096 in
+  check_int "full block" 64 (Clbitmap.count m);
+  let m = Clbitmap.of_byte_range ~cacheline_size:64 ~off:100 ~len:8 in
+  check_int "within one line" 1 (Clbitmap.count m);
+  check_bool "line 1" true (Clbitmap.mem m 1);
+  let m = Clbitmap.of_byte_range ~cacheline_size:64 ~off:60 ~len:8 in
+  check_int "straddles two lines" 2 (Clbitmap.count m);
+  check_int "empty" 0 (Clbitmap.count (Clbitmap.of_byte_range ~cacheline_size:64 ~off:0 ~len:0))
+
+let test_clbitmap_boundary_partials () =
+  let p = Clbitmap.boundary_partials ~cacheline_size:64 ~off:0 ~len:4096 in
+  check_int "aligned write has no partials" 0 (Clbitmap.count p);
+  let p = Clbitmap.boundary_partials ~cacheline_size:64 ~off:0 ~len:112 in
+  (* Paper's example (§3.2.1): writing 0..112 needs only the second line
+     fetched. *)
+  check_int "one partial line" 1 (Clbitmap.count p);
+  check_bool "it is line 1" true (Clbitmap.mem p 1);
+  let p = Clbitmap.boundary_partials ~cacheline_size:64 ~off:30 ~len:20 in
+  check_int "head partial only" 1 (Clbitmap.count p);
+  let p = Clbitmap.boundary_partials ~cacheline_size:64 ~off:30 ~len:100 in
+  check_int "head and tail partial" 2 (Clbitmap.count p)
+
+let test_clbitmap_runs () =
+  let m = Clbitmap.add_range Clbitmap.empty ~first:2 ~last:5 in
+  let m = Clbitmap.add_range m ~first:10 ~last:10 in
+  let runs = ref [] in
+  Clbitmap.iter_runs m ~nlines:12 (fun ~first ~count ~set ->
+      runs := (first, count, set) :: !runs);
+  Alcotest.(check (list (triple int int bool)))
+    "runs"
+    [ (0, 2, false); (2, 4, true); (6, 4, false); (10, 1, true); (11, 1, false) ]
+    (List.rev !runs);
+  check_int "count" 5 (Clbitmap.count m);
+  check_int "full mask 64" 64 (Clbitmap.count (Clbitmap.full_mask 64))
+
+(* --- buffering basics --- *)
+
+let test_lazy_write_buffered_not_persistent () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~stats ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Testkit.pattern_bytes ~seed:1 8192 in
+      let before = Stats.nvmm_bytes_written stats in
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:8192 ~sync:false);
+      (* Data sits in DRAM. NVMM traffic is only metadata: a zeroed index
+         node (4 KB, the file grew past one block) plus undo-log entries —
+         never the 8 KB of data. *)
+      check_bool "buffered" true (H.is_block_buffered fs ~ino ~fblock:0);
+      check_bool "no data written to NVMM" true
+        (Int64.to_int (Int64.sub (Stats.nvmm_bytes_written stats) before)
+        < 4096 + 2048);
+      (* Reads see the buffered data. *)
+      let data, n = read_back fs ~ino ~off:0 ~len:8192 in
+      check_int "read length" 8192 n;
+      Testkit.check_bytes "read from DRAM buffer" payload data;
+      check_int "two lazy writes counted" 2 (Stats.lazy_writes stats);
+      check_int "buffered blocks" 2 (H.buffered_blocks fs))
+
+let test_fsync_persists_buffered_data () =
+  Testkit.run_sim (fun engine ->
+      let d, fs = Testkit.make_hinfs ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Testkit.pattern_bytes ~seed:2 10_000 in
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:10_000 ~sync:false);
+      check_int "pending txn open" 1 (H.pending_txns fs);
+      H.fsync fs ~ino;
+      check_int "pending txn committed" 0 (H.pending_txns fs);
+      check_int "no dirty blocks" 0 (H.dirty_buffered_blocks fs);
+      (* Crash: everything needed must be on the medium. *)
+      Device.crash d;
+      let fs2 = Pmfs.mount d () in
+      let ino2 = Option.get (Pmfs.lookup fs2 ~dir:root "f") in
+      let buf = Bytes.create 10_000 in
+      let n = Pmfs.read fs2 ~ino:ino2 ~off:0 ~len:10_000 ~into:buf ~into_off:0 in
+      check_int "size durable" 10_000 n;
+      Testkit.check_bytes "data durable" payload buf)
+
+let test_ordered_mode_crash_before_fsync () =
+  Testkit.run_sim (fun engine ->
+      let d, fs = Testkit.make_hinfs ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      (* Establish a committed 4 KB prefix. Overwrite it several times
+         before the fsync so the Benefit Model sees coalescing and keeps
+         the file Lazy-Persistent (otherwise the extension below would be
+         routed direct and committed eagerly). *)
+      let prefix = Testkit.pattern_bytes ~seed:3 4096 in
+      for _ = 1 to 10 do
+        ignore (H.write fs ~ino ~off:0 ~src:prefix ~src_off:0 ~len:4096 ~sync:false)
+      done;
+      H.fsync fs ~ino;
+      (* Extend lazily, crash before any sync: the extension's metadata
+         must roll back — no committed pointer may reference unwritten
+         data (ordered mode). *)
+      let ext = Testkit.pattern_bytes ~seed:4 8192 in
+      ignore (H.write fs ~ino ~off:4096 ~src:ext ~src_off:0 ~len:8192 ~sync:false);
+      Device.crash d;
+      let fs2 = Pmfs.mount d () in
+      let ino2 = Option.get (Pmfs.lookup fs2 ~dir:root "f") in
+      check_int "size rolled back to last sync" 4096
+        (Pmfs.inode_size fs2 ino2);
+      let buf = Bytes.create 4096 in
+      ignore (Pmfs.read fs2 ~ino:ino2 ~off:0 ~len:4096 ~into:buf ~into_off:0);
+      Testkit.check_bytes "prefix intact" prefix buf)
+
+let test_read_merges_dram_and_nvmm () =
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      (* Persist a full block, evict it from the buffer via fsync+unmount
+         trickery: use direct PMFS write to place data only in NVMM. *)
+      let nvmm_data = Bytes.make 4096 'N' in
+      ignore
+        (Pmfs.write_direct (H.pmfs fs) ~ino ~off:0 ~src:nvmm_data ~src_off:0
+           ~len:4096);
+      (* Lazy-write the middle cachelines: they land in DRAM only. *)
+      let dram_data = Bytes.make 640 'D' in
+      ignore (H.write fs ~ino ~off:1024 ~src:dram_data ~src_off:0 ~len:640 ~sync:false);
+      (* A full-block read must merge: N...D...N *)
+      let data, n = read_back fs ~ino ~off:0 ~len:4096 in
+      check_int "length" 4096 n;
+      let expected = Bytes.make 4096 'N' in
+      Bytes.fill expected 1024 640 'D';
+      Testkit.check_bytes "merged DRAM+NVMM view" expected data)
+
+let test_unaligned_buffered_write_fetches_boundaries () =
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let base = Bytes.make 4096 'B' in
+      ignore (Pmfs.write_direct (H.pmfs fs) ~ino ~off:0 ~src:base ~src_off:0 ~len:4096);
+      (* Unaligned lazy write within the block. *)
+      let patch = Bytes.make 100 'P' in
+      ignore (H.write fs ~ino ~off:30 ~src:patch ~src_off:0 ~len:100 ~sync:false);
+      let data, _ = read_back fs ~ino ~off:0 ~len:4096 in
+      let expected = Bytes.make 4096 'B' in
+      Bytes.fill expected 30 100 'P';
+      Testkit.check_bytes "boundary bytes preserved" expected data;
+      (* And after flushing, NVMM holds the same view. *)
+      H.fsync fs ~ino;
+      let data2, _ = read_back fs ~ino ~off:0 ~len:4096 in
+      Testkit.check_bytes "after flush" expected data2)
+
+let test_write_coalescing_reduces_nvmm_traffic () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~stats ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Bytes.make 4096 'x' in
+      (* 10 overwrites of the same block, then one fsync: only ~4 KB of
+         data reaches NVMM, not 40 KB. *)
+      for i = 0 to 9 do
+        Bytes.fill payload 0 4096 (Char.chr (Char.code 'a' + i));
+        ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false)
+      done;
+      let before = Stats.nvmm_bytes_written stats in
+      H.fsync fs ~ino;
+      let flushed = Int64.to_int (Int64.sub (Stats.nvmm_bytes_written stats) before) in
+      check_bool "one block of data flushed" true
+        (flushed >= 4096 && flushed < 8192);
+      let data, _ = read_back fs ~ino ~off:0 ~len:4096 in
+      Testkit.check_bytes "last write wins" payload data)
+
+(* --- CLFW vs NCLFW (Fig 9 mechanism) --- *)
+
+let nvmm_flush_bytes_for ~clfw =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let hcfg = { Testkit.small_hcfg with Hconfig.clfw } in
+      let _d, fs = Testkit.make_hinfs ~stats ~hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      (* Persist a block first so fetches have a source. *)
+      let base = Bytes.make 4096 'B' in
+      ignore (Pmfs.write_direct (H.pmfs fs) ~ino ~off:0 ~src:base ~src_off:0 ~len:4096);
+      let before = Stats.nvmm_bytes_written stats in
+      (* Dirty 64 bytes, then fsync. *)
+      let small = Bytes.make 64 'S' in
+      ignore (H.write fs ~ino ~off:128 ~src:small ~src_off:0 ~len:64 ~sync:false);
+      H.fsync fs ~ino;
+      Int64.to_int (Int64.sub (Stats.nvmm_bytes_written stats) before))
+
+let test_clfw_flushes_only_dirty_lines () =
+  let with_clfw = nvmm_flush_bytes_for ~clfw:true in
+  let without = nvmm_flush_bytes_for ~clfw:false in
+  check_bool "clfw flushes one line" true (with_clfw < 512);
+  check_bool "nclfw flushes whole block" true (without >= 4096);
+  check_bool "clfw strictly better" true (with_clfw * 8 < without)
+
+let test_clfw_fetch_granularity () =
+  (* An unaligned write to an uncached NVMM-resident block reads only the
+     boundary cachelines under CLFW, the whole block without it. *)
+  let fetch_bytes ~clfw =
+    let stats = Stats.create () in
+    Testkit.run_sim (fun engine ->
+        let hcfg = { Testkit.small_hcfg with Hconfig.clfw } in
+        let _d, fs = Testkit.make_hinfs ~stats ~hcfg engine in
+        let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+        let base = Bytes.make 4096 'B' in
+        ignore (Pmfs.write_direct (H.pmfs fs) ~ino ~off:0 ~src:base ~src_off:0 ~len:4096);
+        let before = Stats.nvmm_bytes_read stats in
+        let patch = Bytes.make 100 'P' in
+        ignore (H.write fs ~ino ~off:30 ~src:patch ~src_off:0 ~len:100 ~sync:false);
+        Int64.to_int (Int64.sub (Stats.nvmm_bytes_read stats) before))
+  in
+  let clfw = fetch_bytes ~clfw:true in
+  let nclfw = fetch_bytes ~clfw:false in
+  check_int "clfw fetches two boundary lines" 128 clfw;
+  check_int "nclfw fetches the whole block" 4096 nclfw
+
+(* --- Buffer Benefit Model (Fig 6 mechanism) --- *)
+
+let test_benefit_model_turns_block_eager () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~stats ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Bytes.make 4096 'x' in
+      check_bool "starts lazy" false (H.block_state_eager fs ~ino ~fblock:0);
+      (* Write once then fsync: N_cw = N_cf = 64, inequality violated ->
+         Eager. *)
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false);
+      H.fsync fs ~ino;
+      check_bool "eager after wasteful sync" true
+        (H.block_state_eager fs ~ino ~fblock:0);
+      (* The next asynchronous write to this block goes straight to NVMM. *)
+      let before = Stats.nvmm_bytes_written stats in
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false);
+      let direct = Int64.to_int (Int64.sub (Stats.nvmm_bytes_written stats) before) in
+      check_bool "eager write persisted immediately" true (direct >= 4096);
+      check_int "no dirty buffered data left" 0 (H.dirty_buffered_blocks fs);
+      check_int "eager writes counted" 1 (Stats.eager_writes stats))
+
+let test_benefit_model_keeps_coalescing_lazy () =
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Bytes.make 4096 'x' in
+      (* Many overwrites between syncs: N_cw = 20*64, N_cf = 64; inequality
+         satisfied -> stays Lazy. *)
+      for _ = 1 to 20 do
+        ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false)
+      done;
+      H.fsync fs ~ino;
+      check_bool "stays lazy when coalescing pays" false
+        (H.block_state_eager fs ~ino ~fblock:0))
+
+let test_eager_state_decays () =
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Bytes.make 4096 'x' in
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false);
+      H.fsync fs ~ino;
+      check_bool "eager" true (H.block_state_eager fs ~ino ~fblock:0);
+      (* 6 virtual seconds without a sync: decays to lazy (default 5 s). *)
+      Proc.delay 6_000_000_000L;
+      check_bool "decayed to lazy" false (H.block_state_eager fs ~ino ~fblock:0))
+
+let test_model_accuracy_stat () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~stats ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Bytes.make 4096 'x' in
+      (* Repeated identical write->fsync cycles: after the first sync each
+         prediction matches the previous one (accurate). *)
+      for _ = 1 to 5 do
+        ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false);
+        H.fsync fs ~ino
+      done);
+  check_int "four comparable predictions" 4 (Stats.bbm_predictions stats);
+  check_bool "all accurate" true (Stats.bbm_accuracy stats = 1.0)
+
+let test_sync_write_with_buffered_block_evicts () =
+  Testkit.run_sim (fun engine ->
+      let d, fs = Testkit.make_hinfs ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Bytes.make 4096 'L' in
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false);
+      check_bool "buffered" true (H.is_block_buffered fs ~ino ~fblock:0);
+      (* Case-1 eager write to the buffered block: write to DRAM, then
+         flush synchronously (§3.3.2's consistency rule). *)
+      let sync_payload = Bytes.make 4096 'S' in
+      ignore (H.write fs ~ino ~off:0 ~src:sync_payload ~src_off:0 ~len:4096 ~sync:true);
+      check_int "nothing dirty after sync write" 0
+        (H.dirty_buffered_blocks fs);
+      let data, _ = read_back fs ~ino ~off:0 ~len:4096 in
+      Testkit.check_bytes "sync write visible" sync_payload data;
+      (* The sync write is durable: crash and verify on the image. *)
+      let image = Device.snapshot d in
+      let d2 =
+        Device.of_snapshot (Device.engine d) (Stats.create ())
+          (Device.config d) image
+      in
+      let fs2 = Pmfs.mount d2 () in
+      let ino2 = Option.get (Pmfs.lookup fs2 ~dir:root "f") in
+      let buf = Bytes.create 4096 in
+      let n = Pmfs.read fs2 ~ino:ino2 ~off:0 ~len:4096 ~into:buf ~into_off:0 in
+      check_int "durable size" 4096 n;
+      Testkit.check_bytes "durable content" sync_payload buf)
+
+(* A sparse block (only some cachelines ever written) must read as zeros
+   around the data after fsync + crash — the first writeback completes the
+   home block. *)
+let test_sparse_block_home_completed_at_fsync () =
+  Testkit.run_sim (fun engine ->
+      let d, fs = Testkit.make_hinfs ~hcfg:Testkit.small_hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "sparse" in
+      (* Dirty the medium first so stale bytes exist to leak. *)
+      let free_probe = Pmfs.free_data_blocks (H.pmfs fs) in
+      ignore free_probe;
+      let junk_ino = Pmfs.create_file (H.pmfs fs) ~dir:root "junk" in
+      let junk = Bytes.make 8192 'J' in
+      ignore (Pmfs.write_direct (H.pmfs fs) ~ino:junk_ino ~off:0 ~src:junk ~src_off:0 ~len:8192);
+      Pmfs.unlink (H.pmfs fs) ~dir:root "junk";
+      (* Write 100 bytes mid-block, extend size past them, fsync. *)
+      let data = Bytes.make 100 'D' in
+      ignore (H.write fs ~ino ~off:1000 ~src:data ~src_off:0 ~len:100 ~sync:false);
+      let tail = Bytes.make 10 'T' in
+      ignore (H.write fs ~ino ~off:3000 ~src:tail ~src_off:0 ~len:10 ~sync:false);
+      H.fsync fs ~ino;
+      Device.crash d;
+      let fs2 = Pmfs.mount d () in
+      let ino2 = Option.get (Pmfs.lookup fs2 ~dir:root "sparse") in
+      let buf = Bytes.create 3010 in
+      let n = Pmfs.read fs2 ~ino:ino2 ~off:0 ~len:3010 ~into:buf ~into_off:0 in
+      check_int "size durable" 3010 n;
+      (* Never-written regions read as zeros, not stale junk. *)
+      check_bool "prefix zeros" true
+        (Bytes.sub_string buf 0 1000 = String.make 1000 '\000');
+      Alcotest.(check string) "data" (Bytes.to_string data)
+        (Bytes.sub_string buf 1000 100);
+      check_bool "gap zeros" true
+        (Bytes.sub_string buf 1100 1900 = String.make 1900 '\000'))
+
+(* The write path's journal backpressure keeps a tiny journal from
+   overflowing under a stream of lazy allocating writes. *)
+let test_journal_backpressure () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let fs =
+        H.mkfs_and_mount d ~journal_blocks:8 ~hcfg:Testkit.small_hcfg
+          ~daemons:false ()
+      in
+      let h = H.handle fs in
+      (* 8 blocks x 64 slots = 512 slots; these writes would need far more
+         without backpressure-triggered commits. *)
+      for i = 0 to 63 do
+        let fd =
+          h.Vfs.open_ (Printf.sprintf "/f%d" i) { Types.creat with Types.read = true }
+        in
+        let payload = Testkit.pattern_bytes ~seed:i (8 * 4096) in
+        ignore (h.Vfs.write fd payload (8 * 4096));
+        h.Vfs.close fd
+      done;
+      (* Spot-check content. *)
+      let fd = h.Vfs.open_ "/f63" Types.rdonly in
+      let buf = Bytes.create (8 * 4096) in
+      ignore (h.Vfs.read fd buf (8 * 4096));
+      Testkit.check_bytes "data survived backpressure"
+        (Testkit.pattern_bytes ~seed:63 (8 * 4096))
+        buf;
+      h.Vfs.close fd)
+
+(* Rename over an existing file drops the victim's buffers like unlink. *)
+let test_rename_replace_drops_victim_buffers () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~stats ~hcfg:Testkit.small_hcfg engine in
+      let h = H.handle fs in
+      let fd = h.Vfs.open_ "/victim" Types.creat in
+      ignore (h.Vfs.write fd (Bytes.make (4 * 4096) 'v') (4 * 4096));
+      h.Vfs.close fd;
+      let fd = h.Vfs.open_ "/new" Types.creat in
+      ignore (h.Vfs.write fd (Bytes.make 4096 'n') 4096);
+      h.Vfs.close fd;
+      h.Vfs.rename "/new" "/victim";
+      check_bool "victim buffers dropped" true (Stats.dead_block_drops stats >= 4);
+      let fd = h.Vfs.open_ "/victim" Types.rdonly in
+      let buf = Bytes.create 4096 in
+      ignore (h.Vfs.read fd buf 4096);
+      Alcotest.(check char) "renamed content" 'n' (Bytes.get buf 0);
+      h.Vfs.close fd)
+
+(* --- HiNFS-WB ablation --- *)
+
+let test_wb_mode_buffers_everything () =
+  Testkit.run_sim (fun engine ->
+      let hcfg = { Testkit.small_hcfg with Hconfig.checker = false } in
+      let _d, fs = Testkit.make_hinfs ~hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Bytes.make 4096 'x' in
+      (* fsync storms that would flip the checker: with the checker off the
+         block keeps being buffered. *)
+      for _ = 1 to 3 do
+        ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false);
+        H.fsync fs ~ino
+      done;
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false);
+      check_bool "still buffered under HiNFS-WB" true
+        (H.is_block_buffered fs ~ino ~fblock:0))
+
+(* --- watermarks, stalls, daemons --- *)
+
+let test_pool_exhaustion_inline_reclaim () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      (* Tiny pool: 16 blocks, no daemons -> inline reclaim on the write
+         path. *)
+      let hcfg = { Testkit.small_hcfg with Hconfig.buffer_bytes = 16 * 4096 } in
+      let _d, fs = Testkit.make_hinfs ~stats ~hcfg engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Testkit.pattern_bytes ~seed:5 (64 * 4096) in
+      ignore
+        (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:(64 * 4096)
+           ~sync:false);
+      (* All 64 blocks were written through a 16-block pool. *)
+      check_bool "stalled at least once" true (Stats.writeback_stalls stats > 0);
+      check_bool "evictions happened" true (Stats.evictions stats > 0);
+      let data, n = read_back fs ~ino ~off:0 ~len:(64 * 4096) in
+      check_int "full read" (64 * 4096) n;
+      Testkit.check_bytes "data correct across evictions" payload data)
+
+let test_daemon_reclaims_to_high_watermark () =
+  Testkit.run_sim (fun engine ->
+      let hcfg =
+        {
+          Testkit.small_hcfg with
+          Hconfig.buffer_bytes = 32 * 4096;
+          Hconfig.writeback_threads = 1;
+        }
+      in
+      let _d, fs = Testkit.make_hinfs ~hcfg ~daemons:true engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      (* Fill the pool past the 5% low watermark (free <= 1 of 32) so the
+         allocation path signals the writeback daemon. *)
+      let payload = Testkit.pattern_bytes ~seed:6 (31 * 4096) in
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:(31 * 4096) ~sync:false);
+      check_bool "pool nearly full" true (H.free_buffer_blocks fs <= 1);
+      (* Let the daemons run (they wake on the low-watermark signal). *)
+      Proc.delay 1_000_000_000L;
+      (* high watermark = 20% of 32 = 6 free. *)
+      check_bool "reclaimed to high watermark" true
+        (H.free_buffer_blocks fs >= 6);
+      (* Data still correct (flushed + readable from NVMM/DRAM mix). *)
+      let data, _ = read_back fs ~ino ~off:0 ~len:(31 * 4096) in
+      Testkit.check_bytes "data survives reclaim" payload data;
+      H.unmount fs)
+
+let test_age_flush_cleans_old_blocks () =
+  Testkit.run_sim (fun engine ->
+      let hcfg =
+        { Testkit.small_hcfg with Hconfig.age_flush_ns = 2_000_000_000L }
+      in
+      let _d, fs = Testkit.make_hinfs ~hcfg ~daemons:true engine in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "f" in
+      let payload = Bytes.make 4096 'x' in
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096 ~sync:false);
+      check_int "dirty" 1 (H.dirty_buffered_blocks fs);
+      (* After the age threshold plus a periodic wakeup, the daemon cleans
+         (but does not evict) the block. *)
+      Proc.delay 8_000_000_000L;
+      check_int "cleaned by age flush" 0 (H.dirty_buffered_blocks fs);
+      check_bool "still buffered" true (H.is_block_buffered fs ~ino ~fblock:0);
+      check_int "ordered txn committed by daemon" 0 (H.pending_txns fs);
+      H.unmount fs)
+
+let test_unlink_drops_dirty_buffers_without_writeback () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device ~stats engine in
+      let fs = H.mkfs_and_mount d ~journal_blocks:32 ~hcfg:Testkit.small_hcfg ~daemons:false () in
+      let h = H.handle fs in
+      (* Prime the root directory's dirent block so it does not read as a
+         leak below. *)
+      let wfd = h.Vfs.open_ "/warmup" Types.creat in
+      h.Vfs.close wfd;
+      h.Vfs.unlink "/warmup";
+      let free0 = Pmfs.free_data_blocks (H.pmfs fs) in
+      let fd = h.Vfs.open_ "/doomed" Types.creat in
+      let payload = Testkit.pattern_bytes ~seed:7 (20 * 4096) in
+      ignore (h.Vfs.write fd payload (20 * 4096));
+      h.Vfs.close fd;
+      let before = Stats.nvmm_bytes_written stats in
+      h.Vfs.unlink "/doomed";
+      let delta = Int64.to_int (Int64.sub (Stats.nvmm_bytes_written stats) before) in
+      (* No data writeback happened for the dying file (only journal
+         cleanup traffic). *)
+      check_bool "no data written back on unlink" true (delta < 8192);
+      check_int "dead blocks dropped" 20 (Stats.dead_block_drops stats);
+      (* The NVMM home blocks allocated under the aborted transaction were
+         reclaimed. *)
+      check_int "NVMM space fully reclaimed" free0
+        (Pmfs.free_data_blocks (H.pmfs fs));
+      check_int "no leaked buffer blocks" 0 (H.buffered_blocks fs))
+
+let test_unmount_flushes_everything () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let fs = H.mkfs_and_mount d ~journal_blocks:32 ~hcfg:Testkit.small_hcfg ~daemons:true () in
+      let ino = Pmfs.create_file (H.pmfs fs) ~dir:root "persist" in
+      let payload = Testkit.pattern_bytes ~seed:8 50_000 in
+      ignore (H.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:50_000 ~sync:false);
+      H.unmount fs;
+      (* Remount as plain PMFS and verify everything is there. *)
+      let fs2 = Pmfs.mount d () in
+      check_int "clean unmount" 0 (Pmfs.recovered_txns fs2);
+      let ino2 = Option.get (Pmfs.lookup fs2 ~dir:root "persist") in
+      let buf = Bytes.create 50_000 in
+      let n = Pmfs.read fs2 ~ino:ino2 ~off:0 ~len:50_000 ~into:buf ~into_off:0 in
+      check_int "size" 50_000 n;
+      Testkit.check_bytes "data flushed at unmount" payload buf)
+
+(* --- mmap --- *)
+
+let test_mmap_flushes_and_pins_eager () =
+  Testkit.run_sim (fun engine ->
+      let _d, fs = Testkit.make_hinfs ~hcfg:Testkit.small_hcfg engine in
+      let h = H.handle fs in
+      let fd = h.Vfs.open_ "/m" { Types.creat with Types.read = true } in
+      let payload = Testkit.pattern_bytes ~seed:9 8192 in
+      ignore (h.Vfs.write fd payload 8192);
+      let ino = (h.Vfs.fstat fd).Types.ino in
+      check_bool "buffered before mmap" true (H.buffered_blocks fs > 0);
+      h.Vfs.mmap fd;
+      check_int "flushed and evicted at mmap" 0 (H.buffered_blocks fs);
+      check_bool "pinned eager" true (H.block_state_eager fs ~ino ~fblock:0);
+      (* Writes while mmapped stay direct. *)
+      ignore (h.Vfs.pwrite fd ~off:0 payload 4096);
+      check_bool "not re-buffered" false (H.is_block_buffered fs ~ino ~fblock:0);
+      h.Vfs.munmap fd;
+      Proc.delay 6_000_000_000L;
+      check_bool "lazy again after munmap + decay" false
+        (H.block_state_eager fs ~ino ~fblock:0);
+      h.Vfs.close fd)
+
+(* --- concurrency --- *)
+
+let test_concurrent_writers_shared_small_pool () =
+  Testkit.run_sim (fun engine ->
+      let hcfg =
+        { Testkit.small_hcfg with Hconfig.buffer_bytes = 24 * 4096 }
+      in
+      let _d, fs = Testkit.make_hinfs ~hcfg ~daemons:true engine in
+      let h = H.handle fs in
+      for i = 0 to 5 do
+        Proc.spawn (fun () ->
+            let path = Printf.sprintf "/w%d" i in
+            let fd = h.Vfs.open_ path { Types.creat with Types.read = true } in
+            let payload = Testkit.pattern_bytes ~seed:(50 + i) (16 * 4096) in
+            ignore (h.Vfs.write fd payload (16 * 4096));
+            h.Vfs.fsync fd;
+            h.Vfs.seek fd 0;
+            let buf = Bytes.create (16 * 4096) in
+            ignore (h.Vfs.read fd buf (16 * 4096));
+            Testkit.check_bytes "concurrent round trip" payload buf;
+            h.Vfs.close fd)
+      done;
+      (* Give everything time to finish, then stop daemons. *)
+      Proc.delay 60_000_000_000L;
+      H.unmount fs)
+
+(* --- randomized model test --- *)
+
+let hinfs_model_prop =
+  QCheck.Test.make ~name:"hinfs matches model under random ops + daemons"
+    ~count:25
+    QCheck.(small_nat)
+    (fun seed ->
+      Testkit.run_sim (fun engine ->
+          let hcfg =
+            { Testkit.small_hcfg with Hconfig.buffer_bytes = 32 * 4096 }
+          in
+          let _d, fs = Testkit.make_hinfs ~hcfg ~daemons:true engine in
+          let h = H.handle fs in
+          let rng = Rng.create ~seed:(Int64.of_int ((seed * 977) + 3)) in
+          let model : (string, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+          let paths = Array.init 6 (fun i -> Printf.sprintf "/r%d" i) in
+          let ok = ref true in
+          for step = 0 to 250 do
+            let path = Rng.pick rng paths in
+            (match Rng.int rng 7 with
+            | 0 | 1 ->
+              let len = Rng.int rng 20_000 in
+              let payload = Testkit.pattern_bytes ~seed:step len in
+              let fd =
+                h.Vfs.open_ path { Types.creat with Types.truncate = true }
+              in
+              ignore (h.Vfs.write fd payload len);
+              h.Vfs.close fd;
+              Hashtbl.replace model path (Bytes.copy payload)
+            | 2 -> (
+              match Hashtbl.find_opt model path with
+              | None -> ()
+              | Some content ->
+                let size = Bytes.length content in
+                let off = Rng.int rng (size + 5000) in
+                let len = 1 + Rng.int rng 6000 in
+                let payload = Testkit.pattern_bytes ~seed:(step + 13) len in
+                let fd = h.Vfs.open_ path Types.rdwr in
+                ignore (h.Vfs.pwrite fd ~off payload len);
+                h.Vfs.close fd;
+                let new_size = max size (off + len) in
+                let updated = Bytes.make new_size '\000' in
+                Bytes.blit content 0 updated 0 size;
+                Bytes.blit payload 0 updated off len;
+                Hashtbl.replace model path updated)
+            | 3 -> (
+              match Hashtbl.find_opt model path with
+              | None -> ()
+              | Some _ ->
+                let fd = h.Vfs.open_ path Types.rdwr in
+                h.Vfs.fsync fd;
+                h.Vfs.close fd)
+            | 4 -> (
+              match Hashtbl.find_opt model path with
+              | None -> ()
+              | Some _ ->
+                h.Vfs.unlink path;
+                Hashtbl.remove model path)
+            | 5 ->
+              (* let virtual time pass: daemons run *)
+              Proc.delay (Int64.of_int (Rng.int rng 3_000_000_000))
+            | _ -> (
+              match Hashtbl.find_opt model path with
+              | None -> if h.Vfs.exists path then ok := false
+              | Some content ->
+                let fd = h.Vfs.open_ path Types.rdonly in
+                let buf = Bytes.create (Bytes.length content + 64) in
+                let n = h.Vfs.pread fd ~off:0 buf (Bytes.length buf) in
+                h.Vfs.close fd;
+                if
+                  n <> Bytes.length content
+                  || not (Bytes.equal (Bytes.sub buf 0 n) content)
+                then ok := false))
+          done;
+          (* Final verification after unmount+remount via PMFS. *)
+          h.Vfs.sync_all ();
+          Hashtbl.iter
+            (fun path content ->
+              let fd = h.Vfs.open_ path Types.rdonly in
+              let buf = Bytes.create (Bytes.length content) in
+              let n = h.Vfs.pread fd ~off:0 buf (Bytes.length buf) in
+              if n <> Bytes.length content || not (Bytes.equal buf content)
+              then ok := false;
+              h.Vfs.close fd)
+            model;
+          H.unmount fs;
+          !ok))
+
+(* Crash consistency property: at a random moment, crash; the remounted
+   file system must be consistent (mountable, readable, sizes sane), and
+   any file that was fsynced and untouched afterwards must hold exactly
+   its synced content. *)
+let hinfs_crash_prop =
+  QCheck.Test.make ~name:"hinfs ordered-mode crash consistency" ~count:20
+    QCheck.(pair small_nat (int_bound 3_000_000))
+    (fun (seed, crash_at) ->
+      Testkit.run_sim (fun engine ->
+          let d = Testkit.make_device engine in
+          let fs =
+            H.mkfs_and_mount d ~journal_blocks:32 ~hcfg:Testkit.small_hcfg
+              ~daemons:false ()
+          in
+          let rng = Rng.create ~seed:(Int64.of_int ((seed * 41) + 11)) in
+          (* Per-path synced contents, updated only at fsync boundaries. A
+             path's entry is removed as soon as it is touched again, so an
+             entry present at crash time means "fsynced and untouched". *)
+          let synced : (string, Bytes.t) Hashtbl.t = Hashtbl.create 8 in
+          let h = H.handle fs in
+          let crashed = ref false in
+          Proc.spawn (fun () ->
+              try
+                for step = 0 to 120 do
+                  if !crashed then raise Exit;
+                  let path = Printf.sprintf "/c%d" (Rng.int rng 6) in
+                  match Rng.int rng 3 with
+                  | 0 ->
+                    Hashtbl.remove synced path;
+                    let len = 1 + Rng.int rng 16_000 in
+                    let payload = Testkit.pattern_bytes ~seed:step len in
+                    let fd =
+                      h.Vfs.open_ path { Types.creat with Types.truncate = true }
+                    in
+                    ignore (h.Vfs.write fd payload len);
+                    h.Vfs.close fd
+                  | 1 -> (
+                    match h.Vfs.exists path with
+                    | false -> ()
+                    | true ->
+                      let fd = h.Vfs.open_ path Types.rdwr in
+                      h.Vfs.fsync fd;
+                      let st = h.Vfs.fstat fd in
+                      let buf = Bytes.create st.Types.size in
+                      ignore (h.Vfs.pread fd ~off:0 buf st.Types.size);
+                      h.Vfs.close fd;
+                      if not !crashed then Hashtbl.replace synced path buf)
+                  | _ -> (
+                    Hashtbl.remove synced path;
+                    try h.Vfs.unlink path with Errno.Fs_error _ -> ())
+                done
+              with
+              | Engine.Stopped | Exit -> ()
+              | _ when !crashed -> ());
+          Proc.delay (Int64.of_int crash_at);
+          (* Crash: freeze the persistent image and quiesce the op process
+             (a real crash stops execution). *)
+          let image = Device.snapshot d in
+          crashed := true;
+          let synced_at_crash = Hashtbl.copy synced in
+          let d2 =
+            Device.of_snapshot
+              (Device.engine d)
+              (Hinfs_stats.Stats.create ())
+              (Device.config d) image
+          in
+          let fs2 = Pmfs.mount d2 () in
+          let ok = ref true in
+          (* Global consistency: every directory entry resolves and reads. *)
+          List.iter
+            (fun (_name, ino) ->
+              match Pmfs.stat_of fs2 ino with
+              | stat ->
+                if stat.Types.size < 0 then ok := false;
+                let buf = Bytes.create (min stat.Types.size 64_000) in
+                (try
+                   ignore
+                     (Pmfs.read fs2 ~ino ~off:0 ~len:(Bytes.length buf)
+                        ~into:buf ~into_off:0)
+                 with _ -> ok := false)
+              | exception _ -> ok := false)
+            (Pmfs.readdir fs2 ~dir:root);
+          (* Durability: files whose last pre-crash action was an fsync
+             hold exactly their synced contents. *)
+          Hashtbl.iter
+            (fun path content ->
+              let name = String.sub path 1 (String.length path - 1) in
+              match Pmfs.lookup fs2 ~dir:root name with
+              | None -> ok := false
+              | Some ino ->
+                let size = Pmfs.inode_size fs2 ino in
+                if size <> Bytes.length content then ok := false
+                else begin
+                  let buf = Bytes.create size in
+                  ignore
+                    (Pmfs.read fs2 ~ino ~off:0 ~len:size ~into:buf ~into_off:0);
+                  if not (Bytes.equal buf content) then ok := false
+                end)
+            synced_at_crash;
+          !ok))
+
+let () =
+  Alcotest.run "hinfs"
+    [
+      ( "clbitmap",
+        [
+          Alcotest.test_case "byte ranges" `Quick test_clbitmap_ranges;
+          Alcotest.test_case "boundary partials" `Quick
+            test_clbitmap_boundary_partials;
+          Alcotest.test_case "runs" `Quick test_clbitmap_runs;
+        ] );
+      ( "buffering",
+        [
+          Alcotest.test_case "lazy write buffered" `Quick
+            test_lazy_write_buffered_not_persistent;
+          Alcotest.test_case "fsync persists" `Quick
+            test_fsync_persists_buffered_data;
+          Alcotest.test_case "ordered mode rollback" `Quick
+            test_ordered_mode_crash_before_fsync;
+          Alcotest.test_case "read merges DRAM+NVMM" `Quick
+            test_read_merges_dram_and_nvmm;
+          Alcotest.test_case "unaligned write boundaries" `Quick
+            test_unaligned_buffered_write_fetches_boundaries;
+          Alcotest.test_case "write coalescing" `Quick
+            test_write_coalescing_reduces_nvmm_traffic;
+          Alcotest.test_case "sparse home completed at fsync" `Quick
+            test_sparse_block_home_completed_at_fsync;
+          Alcotest.test_case "journal backpressure" `Quick
+            test_journal_backpressure;
+          Alcotest.test_case "rename drops victim buffers" `Quick
+            test_rename_replace_drops_victim_buffers;
+        ] );
+      ( "clfw",
+        [
+          Alcotest.test_case "flush granularity" `Quick
+            test_clfw_flushes_only_dirty_lines;
+          Alcotest.test_case "fetch granularity" `Quick
+            test_clfw_fetch_granularity;
+        ] );
+      ( "benefit-model",
+        [
+          Alcotest.test_case "turns eager" `Quick
+            test_benefit_model_turns_block_eager;
+          Alcotest.test_case "keeps coalescing lazy" `Quick
+            test_benefit_model_keeps_coalescing_lazy;
+          Alcotest.test_case "eager decays" `Quick test_eager_state_decays;
+          Alcotest.test_case "accuracy stat" `Quick test_model_accuracy_stat;
+          Alcotest.test_case "sync write evicts buffered" `Quick
+            test_sync_write_with_buffered_block_evicts;
+          Alcotest.test_case "HiNFS-WB buffers everything" `Quick
+            test_wb_mode_buffers_everything;
+        ] );
+      ( "writeback",
+        [
+          Alcotest.test_case "inline reclaim on exhaustion" `Quick
+            test_pool_exhaustion_inline_reclaim;
+          Alcotest.test_case "daemon reclaims to high watermark" `Quick
+            test_daemon_reclaims_to_high_watermark;
+          Alcotest.test_case "age flush" `Quick test_age_flush_cleans_old_blocks;
+          Alcotest.test_case "unlink drops buffers" `Quick
+            test_unlink_drops_dirty_buffers_without_writeback;
+          Alcotest.test_case "unmount flushes" `Quick
+            test_unmount_flushes_everything;
+        ] );
+      ( "mmap",
+        [
+          Alcotest.test_case "mmap flushes and pins eager" `Quick
+            test_mmap_flushes_and_pins_eager;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "writers share small pool" `Quick
+            test_concurrent_writers_shared_small_pool;
+        ]
+        @ Testkit.qcheck_cases [ hinfs_model_prop; hinfs_crash_prop ] );
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the cacheline undo journal and the block journal, including
+   crash-injection recovery properties. *)
+
+module Engine = Hinfs_sim.Engine
+module Proc = Hinfs_sim.Proc
+module Stats = Hinfs_stats.Stats
+module Device = Hinfs_nvmm.Device
+module Log = Hinfs_journal.Cacheline_log
+module Bj = Hinfs_journal.Block_journal
+module Blockdev = Hinfs_blockdev.Blockdev
+module Rng = Hinfs_sim.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cat = Stats.Other
+
+(* Journal occupies blocks [1, 9); metadata target area in block 16+. *)
+let journal_first = 1
+let journal_blocks = 8
+let target_base = 16 * 4096
+
+let make_log engine =
+  let d = Testkit.make_device engine in
+  let log = Log.create d ~first_block:journal_first ~blocks:journal_blocks in
+  (d, log)
+
+(* --- basic transaction flow --- *)
+
+let test_commit_persists_updates () =
+  Testkit.run_sim (fun engine ->
+      let d, log = make_log engine in
+      let fresh = Testkit.pattern_bytes ~seed:1 32 in
+      Log.with_txn log (fun txn ->
+          Log.log log txn ~addr:target_base ~len:32;
+          Device.write_cached d ~cat ~addr:target_base ~src:fresh ~off:0
+            ~len:32);
+      (* Commit must have flushed the in-place update. *)
+      Device.crash d;
+      let back = Device.peek d ~addr:target_base ~len:32 in
+      Testkit.check_bytes "update persisted by commit" fresh back)
+
+let test_entries_cleared_after_commit () =
+  Testkit.run_sim (fun engine ->
+      let d, log = make_log engine in
+      let initial_free = Log.free_slots log in
+      Log.with_txn log (fun txn ->
+          Log.log log txn ~addr:target_base ~len:100;
+          Device.write_cached d ~cat ~addr:target_base
+            ~src:(Bytes.make 100 'y') ~off:0 ~len:100);
+      check_int "slots recycled" initial_free (Log.free_slots log);
+      check_int "committed count" 1 (Log.txns_committed log))
+
+let test_crash_before_commit_rolls_back () =
+  Testkit.run_sim (fun engine ->
+      let d, log = make_log engine in
+      let old = Testkit.pattern_bytes ~seed:2 64 in
+      Device.write_nt d ~cat ~addr:target_base ~src:old ~off:0 ~len:64;
+      (* Start a transaction, update in place, flush the update (worst
+         case), but crash before commit. *)
+      let txn = Log.begin_txn log in
+      Log.log log txn ~addr:target_base ~len:64;
+      Device.write_cached d ~cat ~addr:target_base ~src:(Bytes.make 64 'Z')
+        ~off:0 ~len:64;
+      Device.clflush d ~cat ~addr:target_base ~len:64;
+      Device.crash d;
+      let rolled =
+        Log.recover d ~first_block:journal_first ~blocks:journal_blocks
+      in
+      check_int "one txn rolled back" 1 rolled;
+      let back = Device.peek_persistent d ~addr:target_base ~len:64 in
+      Testkit.check_bytes "old value restored" old back)
+
+let test_crash_after_commit_preserves () =
+  Testkit.run_sim (fun engine ->
+      let d, log = make_log engine in
+      let old = Testkit.pattern_bytes ~seed:3 64 in
+      Device.write_nt d ~cat ~addr:target_base ~src:old ~off:0 ~len:64;
+      let fresh = Testkit.pattern_bytes ~seed:4 64 in
+      Log.with_txn log (fun txn ->
+          Log.log log txn ~addr:target_base ~len:64;
+          Device.write_cached d ~cat ~addr:target_base ~src:fresh ~off:0
+            ~len:64);
+      Device.crash d;
+      let rolled =
+        Log.recover d ~first_block:journal_first ~blocks:journal_blocks
+      in
+      check_int "nothing rolled back" 0 rolled;
+      let back = Device.peek_persistent d ~addr:target_base ~len:64 in
+      Testkit.check_bytes "committed value kept" fresh back)
+
+let test_abort_restores () =
+  Testkit.run_sim (fun engine ->
+      let d, log = make_log engine in
+      let old = Testkit.pattern_bytes ~seed:5 128 in
+      Device.write_nt d ~cat ~addr:target_base ~src:old ~off:0 ~len:128;
+      let txn = Log.begin_txn log in
+      Log.log log txn ~addr:target_base ~len:128;
+      Device.write_cached d ~cat ~addr:target_base ~src:(Bytes.make 128 'q')
+        ~off:0 ~len:128;
+      Log.abort log txn;
+      let back = Device.read_alloc d ~cat ~addr:target_base ~len:128 in
+      Testkit.check_bytes "abort restored old value" old back;
+      check_int "slots free again"
+        (Log.capacity log) (Log.free_slots log))
+
+let test_with_txn_aborts_on_exception () =
+  Testkit.run_sim (fun engine ->
+      let d, log = make_log engine in
+      let old = Testkit.pattern_bytes ~seed:6 40 in
+      Device.write_nt d ~cat ~addr:target_base ~src:old ~off:0 ~len:40;
+      (try
+         Log.with_txn log (fun txn ->
+             Log.log log txn ~addr:target_base ~len:40;
+             Device.write_cached d ~cat ~addr:target_base
+               ~src:(Bytes.make 40 'e') ~off:0 ~len:40;
+             failwith "interrupted")
+       with Failure _ -> ());
+      let back = Device.read_alloc d ~cat ~addr:target_base ~len:40 in
+      Testkit.check_bytes "exception rolled back" old back)
+
+let test_journal_full () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      (* Tiny journal: 1 block = 64 slots. *)
+      let log = Log.create d ~first_block:journal_first ~blocks:1 in
+      let txn = Log.begin_txn log in
+      let raised = ref false in
+      (try
+         for i = 0 to 100 do
+           Log.log log txn ~addr:(target_base + (i * 64)) ~len:44
+         done
+       with Log.Journal_full -> raised := true);
+      check_bool "journal full raised" true !raised)
+
+let test_multi_entry_large_range () =
+  Testkit.run_sim (fun engine ->
+      let d, log = make_log engine in
+      let old = Testkit.pattern_bytes ~seed:7 300 in
+      Device.write_nt d ~cat ~addr:target_base ~src:old ~off:0 ~len:300;
+      let txn = Log.begin_txn log in
+      (* 300 bytes at 44 per entry = 7 entries. *)
+      Log.log log txn ~addr:target_base ~len:300;
+      check_int "entries written" 7 (Log.entries_written log);
+      Device.write_cached d ~cat ~addr:target_base ~src:(Bytes.make 300 'R')
+        ~off:0 ~len:300;
+      Device.clflush d ~cat ~addr:target_base ~len:300;
+      Device.crash d;
+      ignore (Log.recover d ~first_block:journal_first ~blocks:journal_blocks);
+      let back = Device.peek_persistent d ~addr:target_base ~len:300 in
+      Testkit.check_bytes "multi-entry rollback" old back)
+
+(* Property: random interleaving of committed and crashed transactions
+   always recovers to a state where committed values persist and
+   uncommitted ones roll back. *)
+let crash_recovery_prop =
+  QCheck.Test.make ~name:"journal crash recovery" ~count:60
+    QCheck.(pair small_nat (list (pair (int_bound 19) bool)))
+    (fun (seed, txns) ->
+      Testkit.run_sim (fun engine ->
+          let d, log = make_log engine in
+          let rng = Rng.create ~seed:(Int64.of_int (seed + 1)) in
+          (* 20 slots of 64 bytes each; expected.(i) tracks what recovery
+             must produce for slot i. Undo-log semantics require that a
+             range is never re-logged while a transaction that logged it is
+             still live — the FS guarantees this with per-inode locks — so
+             once a slot has a hanging (crashed) transaction we stop
+             touching it. *)
+          let expected = Array.make 20 (Bytes.make 64 '\000') in
+          let hanging = Array.make 20 false in
+          List.iter
+            (fun (slot, commit) ->
+              if hanging.(slot) then ()
+              else begin
+              let addr = target_base + (slot * 64) in
+              let fresh =
+                Testkit.pattern_bytes ~seed:(Rng.int rng 1_000_000) 64
+              in
+              let txn = Log.begin_txn log in
+              Log.log log txn ~addr ~len:64;
+              Device.write_cached d ~cat ~addr ~src:fresh ~off:0 ~len:64;
+              if commit then begin
+                Log.commit log txn;
+                expected.(slot) <- fresh
+              end
+              else begin
+                (* Maybe flush the in-place update (worst case for
+                   recovery), then leave the txn hanging. *)
+                if Rng.bool rng then Device.clflush d ~cat ~addr ~len:64;
+                hanging.(slot) <- true
+              end
+              end)
+            txns;
+          Device.crash d;
+          ignore
+            (Log.recover d ~first_block:journal_first ~blocks:journal_blocks);
+          let ok = ref true in
+          Array.iteri
+            (fun i want ->
+              let got =
+                Device.peek_persistent d ~addr:(target_base + (i * 64)) ~len:64
+              in
+              if not (Bytes.equal got want) then ok := false)
+            expected;
+          !ok))
+
+(* --- block journal --- *)
+
+let test_block_journal_commit_and_checkpoint () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let bdev = Blockdev.create d in
+      let bj = Bj.create bdev ~first_block:32 ~blocks:16 in
+      let image = Testkit.pattern_bytes ~seed:8 4096 in
+      Bj.journal_metadata bj ~block:100 ~content:(fun () -> image);
+      let data_flushed = ref false in
+      Bj.add_ordered_data bj (fun () -> data_flushed := true);
+      Bj.commit bj;
+      check_bool "ordered data flushed" true !data_flushed;
+      check_int "commits" 1 (Bj.commits bj);
+      let home = Blockdev.peek_block bdev 100 in
+      Testkit.check_bytes "checkpointed home" image home)
+
+let test_block_journal_replay () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let bdev = Blockdev.create d in
+      let image = Testkit.pattern_bytes ~seed:9 4096 in
+      (* Hand-craft a committed-but-not-checkpointed journal. *)
+      let descriptor = Bytes.make 4096 '\000' in
+      Bytes.set_int32_le descriptor 0 0x4A424432l;
+      Bytes.set_int32_le descriptor 4 7l;
+      Bytes.set_int32_le descriptor 8 1l;
+      Bytes.set_int32_le descriptor 12 200l;
+      Blockdev.poke_block bdev 32 ~src:descriptor ~off:0;
+      Blockdev.poke_block bdev 33 ~src:image ~off:0;
+      let commit = Bytes.make 4096 '\000' in
+      Bytes.set_int32_le commit 0 0x434F4D54l;
+      Bytes.set_int32_le commit 4 7l;
+      Blockdev.poke_block bdev 34 ~src:commit ~off:0;
+      let replayed = Bj.recover bdev ~first_block:32 ~blocks:16 in
+      check_bool "replayed" true replayed;
+      Testkit.check_bytes "home updated" image (Blockdev.peek_block bdev 200);
+      (* Second recovery is a no-op. *)
+      check_bool "idempotent" false (Bj.recover bdev ~first_block:32 ~blocks:16))
+
+let test_block_journal_discards_uncommitted () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let bdev = Blockdev.create d in
+      let descriptor = Bytes.make 4096 '\000' in
+      Bytes.set_int32_le descriptor 0 0x4A424432l;
+      Bytes.set_int32_le descriptor 4 9l;
+      Bytes.set_int32_le descriptor 8 1l;
+      Bytes.set_int32_le descriptor 12 300l;
+      Blockdev.poke_block bdev 32 ~src:descriptor ~off:0;
+      (* No commit block. *)
+      let before = Blockdev.peek_block bdev 300 in
+      let replayed = Bj.recover bdev ~first_block:32 ~blocks:16 in
+      check_bool "not replayed" false replayed;
+      Testkit.check_bytes "home untouched" before (Blockdev.peek_block bdev 300))
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "cacheline-log",
+        [
+          Alcotest.test_case "commit persists" `Quick
+            test_commit_persists_updates;
+          Alcotest.test_case "entries cleared after commit" `Quick
+            test_entries_cleared_after_commit;
+          Alcotest.test_case "crash before commit rolls back" `Quick
+            test_crash_before_commit_rolls_back;
+          Alcotest.test_case "crash after commit preserves" `Quick
+            test_crash_after_commit_preserves;
+          Alcotest.test_case "abort restores" `Quick test_abort_restores;
+          Alcotest.test_case "with_txn aborts on exception" `Quick
+            test_with_txn_aborts_on_exception;
+          Alcotest.test_case "journal full" `Quick test_journal_full;
+          Alcotest.test_case "multi-entry rollback" `Quick
+            test_multi_entry_large_range;
+        ]
+        @ Testkit.qcheck_cases [ crash_recovery_prop ] );
+      ( "block-journal",
+        [
+          Alcotest.test_case "commit and checkpoint" `Quick
+            test_block_journal_commit_and_checkpoint;
+          Alcotest.test_case "replay" `Quick test_block_journal_replay;
+          Alcotest.test_case "discard uncommitted" `Quick
+            test_block_journal_discards_uncommitted;
+        ] );
+    ]

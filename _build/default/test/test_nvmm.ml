@@ -1,0 +1,317 @@
+(* Tests for the NVMM device model: data integrity, cache/crash semantics,
+   timing charges, and the allocator. *)
+
+module Engine = Hinfs_sim.Engine
+module Proc = Hinfs_sim.Proc
+module Stats = Hinfs_stats.Stats
+module Config = Hinfs_nvmm.Config
+module Device = Hinfs_nvmm.Device
+module Allocator = Hinfs_nvmm.Allocator
+module Blockdev = Hinfs_blockdev.Blockdev
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+let cat = Stats.Other
+
+(* --- config --- *)
+
+let test_config_defaults () =
+  let c = Config.default in
+  check_int "cachelines per block" 64 (Config.cachelines_per_block c);
+  (* 1 GB/s at 200ns per 64B line: 64/200e-9 = 320 MB/s per slot -> 3 slots *)
+  check_int "nw slots" 3 (Config.nw_slots c);
+  check_int "lines in aligned 4K" 64 (Config.cachelines_in c ~addr:0 ~len:4096);
+  check_int "lines in unaligned range" 2
+    (Config.cachelines_in c ~addr:60 ~len:8);
+  check_int "lines in 1 byte" 1 (Config.cachelines_in c ~addr:0 ~len:1);
+  check_int "lines in empty" 0 (Config.cachelines_in c ~addr:0 ~len:0)
+
+let test_config_validation () =
+  Alcotest.check_raises "bad cacheline"
+    (Invalid_argument "Config: cacheline_size must be a positive power of two")
+    (fun () ->
+      ignore (Config.validate { Config.default with Config.cacheline_size = 48 }))
+
+let test_nw_slots_sweep () =
+  (* Higher latency at same bandwidth means more concurrent slots. *)
+  let slots lat =
+    Config.nw_slots { Config.default with Config.nvmm_write_ns = lat }
+  in
+  check_int "50ns" 1 (slots 50);
+  check_int "200ns" 3 (slots 200);
+  check_int "800ns" 13 (slots 800)
+
+(* --- device data integrity --- *)
+
+let test_write_nt_read_back () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let payload = Testkit.pattern_bytes ~seed:1 1000 in
+      Device.write_nt d ~cat ~addr:123 ~src:payload ~off:0 ~len:1000;
+      let back = Device.read_alloc d ~cat ~addr:123 ~len:1000 in
+      Testkit.check_bytes "round trip" payload back)
+
+let test_cached_write_visible_before_flush () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let payload = Testkit.pattern_bytes ~seed:2 100 in
+      Device.write_cached d ~cat ~addr:4096 ~src:payload ~off:0 ~len:100;
+      (* Coherent view sees it... *)
+      let back = Device.read_alloc d ~cat ~addr:4096 ~len:100 in
+      Testkit.check_bytes "coherent read" payload back;
+      (* ...but the medium does not. *)
+      let persisted = Device.peek_persistent d ~addr:4096 ~len:100 in
+      check_bool "not yet persistent" true
+        (Bytes.to_string persisted = String.make 100 '\000'))
+
+let test_crash_drops_unflushed () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let payload = Testkit.pattern_bytes ~seed:3 256 in
+      Device.write_cached d ~cat ~addr:0 ~src:payload ~off:0 ~len:256;
+      (* Flush only the first two cachelines. *)
+      Device.clflush d ~cat ~addr:0 ~len:128;
+      Device.crash d;
+      let back = Device.peek d ~addr:0 ~len:256 in
+      Testkit.check_bytes "flushed part survived"
+        (Bytes.sub payload 0 128) (Bytes.sub back 0 128);
+      check_bool "unflushed part lost" true
+        (Bytes.to_string (Bytes.sub back 128 128) = String.make 128 '\000'))
+
+let test_write_nt_survives_crash () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let payload = Testkit.pattern_bytes ~seed:4 512 in
+      Device.write_nt d ~cat ~addr:8192 ~src:payload ~off:0 ~len:512;
+      Device.crash d;
+      let back = Device.peek d ~addr:8192 ~len:512 in
+      Testkit.check_bytes "nt store persistent" payload back)
+
+let test_write_nt_invalidates_overlay () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let cached = Bytes.make 64 'A' in
+      Device.write_cached d ~cat ~addr:0 ~src:cached ~off:0 ~len:64;
+      let nt = Bytes.make 64 'B' in
+      Device.write_nt d ~cat ~addr:0 ~src:nt ~off:0 ~len:64;
+      (* Full-line NT store wins over the stale cached copy. *)
+      let back = Device.read_alloc d ~cat ~addr:0 ~len:64 in
+      Testkit.check_bytes "nt wins" nt back;
+      check_int "overlay dropped" 0 (Device.dirty_cachelines d))
+
+let test_write_nt_partial_line_merges_overlay () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let cached = Bytes.make 64 'A' in
+      Device.write_cached d ~cat ~addr:0 ~src:cached ~off:0 ~len:64;
+      let nt = Bytes.make 16 'B' in
+      Device.write_nt d ~cat ~addr:8 ~src:nt ~off:0 ~len:16;
+      let back = Device.read_alloc d ~cat ~addr:0 ~len:64 in
+      let expected = Bytes.make 64 'A' in
+      Bytes.fill expected 8 16 'B';
+      Testkit.check_bytes "merged view" expected back)
+
+let test_dirty_line_tracking () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      check_int "clean initially" 0 (Device.dirty_cachelines d);
+      let b = Bytes.make 1 'x' in
+      Device.write_cached d ~cat ~addr:100 ~src:b ~off:0 ~len:1;
+      check_int "one dirty line" 1 (Device.dirty_cachelines d);
+      check_bool "line 1 dirty" true (Device.is_dirty_line d 1);
+      Device.clflush d ~cat ~addr:64 ~len:64;
+      check_int "clean after flush" 0 (Device.dirty_cachelines d))
+
+(* --- timing --- *)
+
+let test_write_nt_timing () =
+  let stats = Stats.create () in
+  let elapsed =
+    Testkit.run_sim (fun engine ->
+        let d = Testkit.make_device ~stats engine in
+        let t0 = Proc.now () in
+        let payload = Bytes.make 4096 'x' in
+        Device.write_nt d ~cat ~addr:0 ~src:payload ~off:0 ~len:4096;
+        Int64.sub (Proc.now ()) t0)
+  in
+  (* 64 lines x 200 ns *)
+  check_i64 "nt write cost" 12_800L elapsed;
+  check_i64 "charged to category" 12_800L (Stats.time stats cat);
+  check_i64 "bytes counted" 4096L (Stats.nvmm_bytes_written stats)
+
+let test_bandwidth_throttling () =
+  (* With 3 slots, 6 concurrent 64-line writes take twice as long as 3. *)
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let d = Device.create engine stats Testkit.small_config in
+  let payload = Bytes.make 4096 'x' in
+  for i = 0 to 5 do
+    Engine.spawn engine (fun () ->
+        Device.write_nt d ~cat ~addr:(i * 4096) ~src:payload ~off:0 ~len:4096)
+  done;
+  Engine.run engine;
+  check_i64 "6 writes on 3 slots take 2 rounds" 25_600L (Engine.now engine)
+
+let test_clflush_only_pays_for_dirty () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device ~stats engine in
+      let b = Bytes.make 64 'x' in
+      Device.write_cached d ~cat ~addr:0 ~src:b ~off:0 ~len:64;
+      (* Flush 4 lines, only 1 dirty. *)
+      Device.clflush d ~cat ~addr:0 ~len:256);
+  check_i64 "only dirty line counted" 64L (Stats.nvmm_bytes_written stats)
+
+let test_read_timing () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device ~stats engine in
+      let buf = Bytes.create 4096 in
+      Device.read d ~cat:Stats.Read_access ~addr:0 ~len:4096 ~into:buf ~off:0);
+  (* 64 lines x 8 ns dram read *)
+  check_i64 "read cost" 512L (Stats.time stats Stats.Read_access)
+
+let test_bounds_checking () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let size = Device.size d in
+      let b = Bytes.make 16 'x' in
+      let raised = ref false in
+      (try Device.write_nt d ~cat ~addr:(size - 8) ~src:b ~off:0 ~len:16
+       with Invalid_argument _ -> raised := true);
+      check_bool "out of bounds rejected" true !raised)
+
+(* --- allocator --- *)
+
+let test_allocator_basic () =
+  let a = Allocator.create ~first_block:10 ~count:5 in
+  check_int "free" 5 (Allocator.free_blocks a);
+  let b1 = Option.get (Allocator.alloc a) in
+  check_int "first block" 10 b1;
+  let rest = List.init 4 (fun _ -> Option.get (Allocator.alloc a)) in
+  Alcotest.(check (list int)) "sequential" [ 11; 12; 13; 14 ] rest;
+  Alcotest.(check (option int)) "exhausted" None (Allocator.alloc a);
+  Allocator.free a 12;
+  Alcotest.(check (option int)) "reuses freed" (Some 12) (Allocator.alloc a)
+
+let test_allocator_double_free () =
+  let a = Allocator.create ~first_block:0 ~count:4 in
+  let b = Option.get (Allocator.alloc a) in
+  Allocator.free a b;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Allocator.free: double free") (fun () ->
+      Allocator.free a b)
+
+let test_allocator_contiguous () =
+  let a = Allocator.create ~first_block:0 ~count:10 in
+  let b = Option.get (Allocator.alloc_contiguous a 4) in
+  check_int "run start" 0 b;
+  (* Fragment: free 1,2 but not 0,3 *)
+  Allocator.free a 1;
+  Allocator.free a 2;
+  let c = Option.get (Allocator.alloc_contiguous a 3) in
+  check_int "skips fragmented space" 4 c;
+  Alcotest.(check (option int)) "too big" None (Allocator.alloc_contiguous a 8)
+
+let allocator_no_double_alloc_prop =
+  QCheck.Test.make ~name:"allocator never double-allocates" ~count:100
+    QCheck.(list (option (int_bound 49)))
+    (fun ops ->
+      (* Some x = try to free block x if held; None = alloc. *)
+      let a = Allocator.create ~first_block:0 ~count:50 in
+      let held = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          match op with
+          | None -> (
+            match Allocator.alloc a with
+            | None -> ()
+            | Some b ->
+              if Hashtbl.mem held b then
+                QCheck.Test.fail_reportf "double allocation of %d" b;
+              Hashtbl.replace held b ())
+          | Some b ->
+            if Hashtbl.mem held b then begin
+              Allocator.free a b;
+              Hashtbl.remove held b
+            end)
+        ops;
+      Allocator.used_blocks a = Hashtbl.length held)
+
+(* --- blockdev --- *)
+
+let test_blockdev_roundtrip () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let bdev = Blockdev.create d in
+      let block = Testkit.pattern_bytes ~seed:9 4096 in
+      Blockdev.write_block bdev ~cat 5 ~src:block ~off:0;
+      let back = Bytes.create 4096 in
+      Blockdev.read_block bdev ~cat 5 ~into:back ~off:0;
+      Testkit.check_bytes "block round trip" block back;
+      check_int "write requests" 1 (Blockdev.write_requests bdev);
+      check_int "read requests" 1 (Blockdev.read_requests bdev))
+
+let test_blockdev_overhead_charged () =
+  let stats = Stats.create () in
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device ~stats engine in
+      let bdev = Blockdev.create d in
+      let block = Bytes.make 4096 'x' in
+      Blockdev.write_block bdev ~cat 0 ~src:block ~off:0;
+      Blockdev.read_block bdev ~cat 0 ~into:block ~off:0);
+  (* 2 requests x 8000 ns block layer overhead *)
+  check_i64 "block layer overhead" 16_000L (Stats.time stats Stats.Block_layer)
+
+let () =
+  Alcotest.run "nvmm"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "nw slots sweep" `Quick test_nw_slots_sweep;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "nt write round trip" `Quick
+            test_write_nt_read_back;
+          Alcotest.test_case "cached write coherence" `Quick
+            test_cached_write_visible_before_flush;
+          Alcotest.test_case "crash drops unflushed" `Quick
+            test_crash_drops_unflushed;
+          Alcotest.test_case "nt write survives crash" `Quick
+            test_write_nt_survives_crash;
+          Alcotest.test_case "nt invalidates overlay" `Quick
+            test_write_nt_invalidates_overlay;
+          Alcotest.test_case "partial nt merges overlay" `Quick
+            test_write_nt_partial_line_merges_overlay;
+          Alcotest.test_case "dirty line tracking" `Quick
+            test_dirty_line_tracking;
+          Alcotest.test_case "bounds checking" `Quick test_bounds_checking;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "nt write cost" `Quick test_write_nt_timing;
+          Alcotest.test_case "bandwidth throttling" `Quick
+            test_bandwidth_throttling;
+          Alcotest.test_case "clflush dirty only" `Quick
+            test_clflush_only_pays_for_dirty;
+          Alcotest.test_case "read cost" `Quick test_read_timing;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "basic" `Quick test_allocator_basic;
+          Alcotest.test_case "double free" `Quick test_allocator_double_free;
+          Alcotest.test_case "contiguous" `Quick test_allocator_contiguous;
+        ]
+        @ Testkit.qcheck_cases [ allocator_no_double_alloc_prop ] );
+      ( "blockdev",
+        [
+          Alcotest.test_case "round trip" `Quick test_blockdev_roundtrip;
+          Alcotest.test_case "overhead charged" `Quick
+            test_blockdev_overhead_charged;
+        ] );
+    ]

@@ -1,0 +1,324 @@
+(* Tests for the core data structures, including qcheck property tests that
+   compare each structure against a reference model. *)
+
+module Bitmap = Hinfs_structures.Bitmap
+module Dlist = Hinfs_structures.Dlist
+module Btree = Hinfs_structures.Btree
+module Radix = Hinfs_structures.Radix_tree
+module Lru = Hinfs_structures.Lru
+module IntMap = Map.Make (Int)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- bitmap --- *)
+
+let test_bitmap_basic () =
+  let b = Bitmap.create 100 in
+  check_int "initially clear" 0 (Bitmap.count_set b);
+  Bitmap.set b 0;
+  Bitmap.set b 63;
+  Bitmap.set b 99;
+  check_int "set count" 3 (Bitmap.count_set b);
+  check_bool "get 63" true (Bitmap.get b 63);
+  check_bool "get 64" false (Bitmap.get b 64);
+  Bitmap.set b 63;
+  check_int "idempotent set" 3 (Bitmap.count_set b);
+  Bitmap.clear b 63;
+  check_int "clear" 2 (Bitmap.count_set b);
+  Bitmap.clear b 63;
+  check_int "idempotent clear" 2 (Bitmap.count_set b)
+
+let test_bitmap_find () =
+  let b = Bitmap.create 32 in
+  for i = 0 to 15 do
+    Bitmap.set b i
+  done;
+  Alcotest.(check (option int)) "first clear" (Some 16)
+    (Bitmap.find_first_clear b);
+  Alcotest.(check (option int)) "first set from 8" (Some 8)
+    (Bitmap.find_first_set ~from:8 b);
+  Bitmap.set b 20;
+  Alcotest.(check (option int))
+    "clear run of 4 skips bit 20" (Some 21)
+    (Bitmap.find_clear_run ~from:16 b ~count:5);
+  Alcotest.(check (option int)) "run too long" None
+    (Bitmap.find_clear_run b ~count:20)
+
+let test_bitmap_full_scan () =
+  let b = Bitmap.create 17 in
+  for i = 0 to 16 do
+    Bitmap.set b i
+  done;
+  Alcotest.(check (option int)) "no clear bit" None (Bitmap.find_first_clear b)
+
+let bitmap_model_prop =
+  QCheck.Test.make ~name:"bitmap matches set model" ~count:300
+    QCheck.(list (pair (int_bound 199) bool))
+    (fun ops ->
+      let b = Bitmap.create 200 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (i, set) ->
+          if set then begin
+            Bitmap.set b i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitmap.clear b i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      let ok = ref (Bitmap.count_set b = Hashtbl.length model) in
+      for i = 0 to 199 do
+        if Bitmap.get b i <> Hashtbl.mem model i then ok := false
+      done;
+      !ok)
+
+(* --- dlist --- *)
+
+let test_dlist_push_pop () =
+  let l = Dlist.create () in
+  let n1 = Dlist.make_node 1 and n2 = Dlist.make_node 2 and n3 = Dlist.make_node 3 in
+  Dlist.push_back l n1;
+  Dlist.push_back l n2;
+  Dlist.push_front l n3;
+  Alcotest.(check (list int)) "order" [ 3; 1; 2 ] (Dlist.to_list l);
+  Alcotest.(check (option int)) "front" (Some 3) (Dlist.peek_front l);
+  Alcotest.(check (option int)) "back" (Some 2) (Dlist.peek_back l);
+  Dlist.move_to_back l n3;
+  Alcotest.(check (list int)) "moved" [ 1; 2; 3 ] (Dlist.to_list l);
+  Dlist.remove l n2;
+  Alcotest.(check (list int)) "removed" [ 1; 3 ] (Dlist.to_list l);
+  check_int "length" 2 (Dlist.length l);
+  check_bool "unlinked" false (Dlist.is_linked n2)
+
+let test_dlist_double_link_rejected () =
+  let l = Dlist.create () in
+  let n = Dlist.make_node 1 in
+  Dlist.push_back l n;
+  Alcotest.check_raises "relink rejected"
+    (Invalid_argument "Dlist: node already linked") (fun () ->
+      Dlist.push_back l n)
+
+let test_dlist_iter_with_removal () =
+  let l = Dlist.create () in
+  let nodes = List.init 5 (fun i -> Dlist.make_node i) in
+  List.iter (Dlist.push_back l) nodes;
+  (* Remove even values during iteration. *)
+  Dlist.iter_nodes l (fun n ->
+      if Dlist.value n mod 2 = 0 then Dlist.remove l n);
+  Alcotest.(check (list int)) "odds remain" [ 1; 3 ] (Dlist.to_list l)
+
+(* --- btree --- *)
+
+let btree_ops_gen =
+  QCheck.(
+    list
+      (pair (int_bound 500)
+         (oneofl [ `Insert; `Insert; `Insert; `Remove; `Find ])))
+
+let validate_or_fail tree =
+  match Btree.validate tree with
+  | Ok () -> true
+  | Error es ->
+    QCheck.Test.fail_reportf "invariant violated: %s" (String.concat "; " es)
+
+let btree_model_prop =
+  QCheck.Test.make ~name:"btree matches Map model" ~count:300 btree_ops_gen
+    (fun ops ->
+      let tree = Btree.create ~degree:3 () in
+      let model = ref IntMap.empty in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | `Insert ->
+            Btree.insert tree k (k * 2);
+            model := IntMap.add k (k * 2) !model
+          | `Remove ->
+            let removed = Btree.remove tree k in
+            let expected = IntMap.mem k !model in
+            if removed <> expected then
+              QCheck.Test.fail_reportf "remove %d: got %b want %b" k removed
+                expected;
+            model := IntMap.remove k !model
+          | `Find ->
+            let got = Btree.find tree k in
+            let expected = IntMap.find_opt k !model in
+            if got <> expected then
+              QCheck.Test.fail_reportf "find %d mismatch" k)
+        ops;
+      let listed = Btree.to_list tree in
+      let expected = IntMap.bindings !model in
+      if listed <> expected then
+        QCheck.Test.fail_reportf "to_list mismatch: %d vs %d entries"
+          (List.length listed) (List.length expected);
+      validate_or_fail tree)
+
+let btree_range_prop =
+  QCheck.Test.make ~name:"btree iter_range" ~count:200
+    QCheck.(triple (list (int_bound 300)) (int_bound 300) (int_bound 300))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let tree = Btree.create ~degree:4 () in
+      List.iter (fun k -> Btree.insert tree k k) keys;
+      let got = ref [] in
+      Btree.iter_range tree ~lo ~hi (fun k _ -> got := k :: !got);
+      let expected =
+        List.sort_uniq compare keys |> List.filter (fun k -> k >= lo && k <= hi)
+      in
+      List.rev !got = expected)
+
+let test_btree_sequential () =
+  let tree = Btree.create ~degree:8 () in
+  for i = 0 to 10_000 do
+    Btree.insert tree i (i * 3)
+  done;
+  check_int "cardinal" 10_001 (Btree.cardinal tree);
+  Alcotest.(check (option int)) "find" (Some 300) (Btree.find tree 100);
+  Alcotest.(check (option (pair int int))) "min" (Some (0, 0))
+    (Btree.min_binding tree);
+  Alcotest.(check (option (pair int int)))
+    "max"
+    (Some (10_000, 30_000))
+    (Btree.max_binding tree);
+  (match Btree.validate tree with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es));
+  for i = 0 to 10_000 do
+    check_bool "remove" true (Btree.remove tree i)
+  done;
+  check_bool "empty" true (Btree.is_empty tree)
+
+let test_btree_upsert () =
+  let tree = Btree.create ~degree:2 () in
+  Btree.insert tree 5 "a";
+  Btree.insert tree 5 "b";
+  check_int "no duplicate" 1 (Btree.cardinal tree);
+  Alcotest.(check (option string)) "updated" (Some "b") (Btree.find tree 5)
+
+(* --- radix tree --- *)
+
+let radix_model_prop =
+  QCheck.Test.make ~name:"radix tree matches Map model" ~count:300
+    QCheck.(
+      list
+        (pair (int_bound 100_000) (oneofl [ `Insert; `Insert; `Remove; `Find ])))
+    (fun ops ->
+      let tree = Radix.create () in
+      let model = ref IntMap.empty in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | `Insert ->
+            Radix.insert tree k (k + 1);
+            model := IntMap.add k (k + 1) !model
+          | `Remove ->
+            let removed = Radix.remove tree k in
+            if removed <> IntMap.mem k !model then
+              QCheck.Test.fail_reportf "remove %d mismatch" k;
+            model := IntMap.remove k !model
+          | `Find ->
+            if Radix.find tree k <> IntMap.find_opt k !model then
+              QCheck.Test.fail_reportf "find %d mismatch" k)
+        ops;
+      Radix.cardinal tree = IntMap.cardinal !model
+      && Radix.to_list tree = IntMap.bindings !model)
+
+let test_radix_sparse () =
+  let tree = Radix.create () in
+  Radix.insert tree 0 "zero";
+  Radix.insert tree 1_000_000 "million";
+  Radix.insert tree 63 "sixtythree";
+  check_int "cardinal" 3 (Radix.cardinal tree);
+  Alcotest.(check (option string)) "find far key" (Some "million")
+    (Radix.find tree 1_000_000);
+  Alcotest.(check (option string)) "find 0" (Some "zero") (Radix.find tree 0);
+  check_bool "remove" true (Radix.remove tree 0);
+  check_bool "remove again" false (Radix.remove tree 0);
+  check_int "cardinal after" 2 (Radix.cardinal tree)
+
+let test_radix_clears_on_empty () =
+  let tree = Radix.create () in
+  Radix.insert tree 12345 1;
+  check_bool "remove" true (Radix.remove tree 12345);
+  check_bool "empty" true (Radix.is_empty tree);
+  (* Insert near zero after shrink: height reset must not break lookups. *)
+  Radix.insert tree 1 7;
+  Alcotest.(check (option int)) "reinsert works" (Some 7) (Radix.find tree 1)
+
+(* --- lru --- *)
+
+let test_lru_basic () =
+  let lru = Lru.create () in
+  Lru.add lru "a" 1;
+  Lru.add lru "b" 2;
+  Lru.add lru "c" 3;
+  Alcotest.(check (option (pair string int))) "lru is a" (Some ("a", 1))
+    (Lru.peek_lru lru);
+  check_bool "touch a" true (Lru.touch lru "a");
+  Alcotest.(check (option (pair string int))) "lru now b" (Some ("b", 2))
+    (Lru.peek_lru lru);
+  ignore (Lru.pop_lru lru);
+  check_int "length" 2 (Lru.length lru);
+  check_bool "b gone" false (Lru.mem lru "b")
+
+let test_lru_find_matching () =
+  let lru = Lru.create () in
+  for i = 1 to 5 do
+    Lru.add lru i (i * 10)
+  done;
+  Alcotest.(check (option (pair int int)))
+    "least-recent even" (Some (2, 20))
+    (Lru.find_lru_matching lru (fun k _ -> k mod 2 = 0));
+  Alcotest.(check (option (pair int int)))
+    "no match" None
+    (Lru.find_lru_matching lru (fun k _ -> k > 10))
+
+let test_lru_replace () =
+  let lru = Lru.create () in
+  Lru.add lru "k" 1;
+  Lru.add lru "x" 2;
+  Lru.add lru "k" 3;
+  check_int "no duplicates" 2 (Lru.length lru);
+  Alcotest.(check (option int)) "updated" (Some 3) (Lru.find lru "k");
+  Alcotest.(check (option (pair string int)))
+    "k moved to MRU" (Some ("x", 2)) (Lru.peek_lru lru)
+
+let () =
+  Alcotest.run "structures"
+    [
+      ( "bitmap",
+        [
+          Alcotest.test_case "basic" `Quick test_bitmap_basic;
+          Alcotest.test_case "find" `Quick test_bitmap_find;
+          Alcotest.test_case "full scan" `Quick test_bitmap_full_scan;
+        ]
+        @ Testkit.qcheck_cases [ bitmap_model_prop ] );
+      ( "dlist",
+        [
+          Alcotest.test_case "push/pop" `Quick test_dlist_push_pop;
+          Alcotest.test_case "double link rejected" `Quick
+            test_dlist_double_link_rejected;
+          Alcotest.test_case "iter with removal" `Quick
+            test_dlist_iter_with_removal;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "sequential" `Quick test_btree_sequential;
+          Alcotest.test_case "upsert" `Quick test_btree_upsert;
+        ]
+        @ Testkit.qcheck_cases [ btree_model_prop; btree_range_prop ] );
+      ( "radix",
+        [
+          Alcotest.test_case "sparse" `Quick test_radix_sparse;
+          Alcotest.test_case "empty shrink" `Quick test_radix_clears_on_empty;
+        ]
+        @ Testkit.qcheck_cases [ radix_model_prop ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "find matching" `Quick test_lru_find_matching;
+          Alcotest.test_case "replace" `Quick test_lru_replace;
+        ] );
+    ]
