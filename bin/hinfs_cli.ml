@@ -12,6 +12,9 @@ module Tpcc = Hinfs_workloads.Tpcc
 module Kernel = Hinfs_workloads.Kernel
 module Trace = Hinfs_trace.Trace
 module Stats = Hinfs_stats.Stats
+module Report = Hinfs_harness.Report
+module Crashmc = Hinfs_crashmc.Crashmc
+module Scenarios = Hinfs_crashmc.Scenarios
 
 open Cmdliner
 
@@ -78,7 +81,8 @@ let print_stats stats =
       (Stats.dead_block_drops stats)
       (Stats.lazy_writes stats) (Stats.eager_writes stats)
       (100.0 *. Stats.bbm_accuracy stats)
-      (Stats.bbm_predictions stats)
+      (Stats.bbm_predictions stats);
+  Report.persistence Fmt.stdout stats
 
 let workload_of = function
   | "fileserver" -> `Rate (Filebench.fileserver ())
@@ -126,12 +130,101 @@ let run fs threads duration_ms latency buffer_mb workload_name =
     print_stats stats);
   0
 
-let cmd =
-  let doc = "Run one HiNFS-reproduction workload cell" in
+let run_term =
+  Term.(
+    const run $ fs_arg $ threads_arg $ duration_arg $ latency_arg
+    $ buffer_arg $ workload_arg)
+
+let run_cmd =
+  let doc = "Run one workload cell (default command)" in
+  Cmd.v (Cmd.info "run" ~doc) run_term
+
+(* --- crashmc: crash-state enumeration + fsck --- *)
+
+let seed_arg =
+  let doc = "Deterministic seed for crash-image sampling." in
+  Arg.(value & opt int64 Crashmc.default_params.seed & info [ "seed" ] ~doc)
+
+let k_arg =
+  let doc =
+    "Enumerate crash images exhaustively when at most $(docv) cachelines \
+     are undecided; sample beyond that."
+  in
+  Arg.(
+    value
+    & opt int Crashmc.default_params.k_exhaustive
+    & info [ "k" ] ~docv:"K" ~doc)
+
+let samples_arg =
+  let doc = "Sampled crash images per state when not exhaustive." in
+  Arg.(
+    value
+    & opt int Crashmc.default_params.samples_per_state
+    & info [ "samples" ] ~doc)
+
+let max_images_arg =
+  let doc = "Exhaustive-product budget per crash state." in
+  Arg.(
+    value
+    & opt int Crashmc.default_params.max_images_per_state
+    & info [ "max-images" ] ~doc)
+
+let max_states_arg =
+  let doc = "Captured crash states per scenario (thinned adaptively)." in
+  Arg.(
+    value
+    & opt int Crashmc.default_params.max_states
+    & info [ "max-states" ] ~doc)
+
+let scenarios_arg =
+  let doc =
+    Fmt.str "Scenarios to check (default: all). Known: %s."
+      (String.concat ", " Scenarios.names)
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"SCENARIO" ~doc)
+
+let crashmc_run seed k samples max_images max_states names =
+  let params =
+    {
+      Crashmc.seed;
+      k_exhaustive = k;
+      samples_per_state = samples;
+      max_images_per_state = max_images;
+      max_states;
+    }
+  in
+  match
+    List.filter (fun n -> Scenarios.by_name n = None) names
+  with
+  | bad :: _ ->
+    Fmt.epr "hinfs-cli: unknown scenario %S (known: %s)@." bad
+      (String.concat ", " Scenarios.names);
+    2
+  | [] ->
+    let scenarios =
+      match names with
+      | [] -> Scenarios.all
+      | names -> List.filter_map Scenarios.by_name names
+    in
+    let report = Crashmc.run_suite ~params scenarios in
+    Fmt.pr "%a@." Crashmc.pp_report report;
+    if Crashmc.ok report then 0 else 1
+
+let crashmc_cmd =
+  let doc =
+    "Enumerate crash states under the x86 persistency model and check each \
+     image with recovery + fsck + the durability oracle"
+  in
   Cmd.v
-    (Cmd.info "hinfs-cli" ~doc)
+    (Cmd.info "crashmc" ~doc)
     Term.(
-      const run $ fs_arg $ threads_arg $ duration_arg $ latency_arg
-      $ buffer_arg $ workload_arg)
+      const crashmc_run $ seed_arg $ k_arg $ samples_arg $ max_images_arg
+      $ max_states_arg $ scenarios_arg)
+
+let cmd =
+  let doc = "HiNFS-reproduction workbench" in
+  Cmd.group ~default:run_term
+    (Cmd.info "hinfs-cli" ~doc)
+    [ run_cmd; crashmc_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -63,7 +63,12 @@ let write_block ?(background = false) t ~cat block ~src ~off =
   charge_request t;
   t.writes <- t.writes + 1;
   Device.write_nt ~background t.device ~cat ~addr:(block * t.block_size) ~src
-    ~off ~len:t.block_size
+    ~off ~len:t.block_size;
+  (* Bio completion implies durability on the NVMM-backed brd: the request
+     does not return until the streamed block is ordered on the medium.
+     Without this fence the block journal's descriptor/commit ordering
+     would not hold under partial-persist crash states. *)
+  Device.mfence t.device ~cat
 
 (* Untimed helpers for mkfs and tests. *)
 

@@ -810,6 +810,15 @@ let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?hcfg ?sync_mount
   if daemons then start_daemons t;
   t
 
+(* Mount an existing image (e.g. a crash snapshot): PMFS mount runs log
+   recovery and rebuilds the allocators; HiNFS state on top (buffer, benefit
+   model, pending transactions) is all volatile and starts empty. *)
+let mount device ?hcfg ?sync_mount ?(daemons = true) () =
+  let pmfs = Pmfs.mount device ~journal_cleaner:daemons () in
+  let t = create ?hcfg ?sync_mount pmfs in
+  if daemons then start_daemons t;
+  t
+
 (* --- Backend.S instance --- *)
 
 module Backend : Hinfs_vfs.Backend.S with type t = t = struct

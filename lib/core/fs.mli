@@ -36,6 +36,16 @@ val mkfs_and_mount :
     sized with the buffer unless [journal_blocks] is given. [daemons]
     (default true) starts the writeback threads and the journal cleaner. *)
 
+val mount :
+  Hinfs_nvmm.Device.t ->
+  ?hcfg:Hconfig.t ->
+  ?sync_mount:bool ->
+  ?daemons:bool ->
+  unit ->
+  t
+(** Mount an existing PMFS image (running log recovery if the previous
+    session crashed) and start HiNFS over it with an empty buffer. *)
+
 val unmount : t -> unit
 (** Flush all buffered data, commit pending transactions, stop daemons. *)
 

@@ -1,0 +1,353 @@
+(* Crash-consistency model checker over the NVMM device model.
+
+   A scenario runs a workload on a recording device (see Device's
+   persistence-event recorder). Crash states are captured automatically at
+   every mfence — before the fence takes effect, so the to-be-ordered line
+   versions are still undecided — plus at explicit checkpoints and at the
+   end of the run. For each captured state, crashmc enumerates concrete
+   crash images: exhaustively when the number of undecided lines is at most
+   [k_exhaustive] (and the product of per-line candidate counts fits the
+   image budget), otherwise by seeded random sampling with Hinfs_sim.Rng,
+   always including the two extreme images (nothing extra persisted /
+   everything persisted). Each image is materialised into a fresh device
+   with Device.of_snapshot and handed to the scenario's [verify] function,
+   which runs mount-time recovery, fsck invariants and the durability
+   oracle against the expectations the scenario had registered at that
+   point.
+
+   Everything is deterministic given [params.seed]: the simulation itself
+   is deterministic, captured states are keyed by fence order, and the
+   sampler is the only consumer of the Rng. *)
+
+module Engine = Hinfs_sim.Engine
+module Rng = Hinfs_sim.Rng
+module Stats = Hinfs_stats.Stats
+module Device = Hinfs_nvmm.Device
+module Config = Hinfs_nvmm.Config
+
+(* --- durability oracle expectations --- *)
+
+type file_expect = Absent | Content of string
+
+type expectation =
+  | Exactly of file_expect
+  | Either of file_expect * file_expect
+      (** in-flight operation: old or new, never anything else (torn) *)
+
+let pp_file_expect ppf = function
+  | Absent -> Fmt.string ppf "absent"
+  | Content s -> Fmt.pf ppf "%d-byte content" (String.length s)
+
+let pp_expectation ppf = function
+  | Exactly e -> pp_file_expect ppf e
+  | Either (a, b) ->
+    Fmt.pf ppf "either %a or %a" pp_file_expect a pp_file_expect b
+
+(* Check one observed file state against an expectation; [path] only for
+   the message. *)
+let check_expectation ~path ~actual expectation =
+  let matches = function
+    | Absent -> actual = None
+    | Content s -> actual = Some s
+  in
+  let ok =
+    match expectation with
+    | Exactly e -> matches e
+    | Either (a, b) -> matches a || matches b
+  in
+  if ok then []
+  else
+    [
+      Fmt.str "durability: %S expected %a, found %s" path pp_expectation
+        expectation
+        (match actual with
+        | None -> "absent"
+        | Some s -> Fmt.str "%d-byte content" (String.length s));
+    ]
+
+(* Convenience for scenario verify functions: look every expected path up
+   with [read_file] (None = absent). *)
+let check_expectations ~read_file expectations =
+  List.concat_map
+    (fun (path, expectation) ->
+      let actual =
+        try read_file path
+        with e ->
+          Some (Fmt.str "<read failed: %s>" (Printexc.to_string e))
+      in
+      check_expectation ~path ~actual expectation)
+    expectations
+
+(* --- scenarios --- *)
+
+(* Handed to the scenario's [run] function to drive the checker. *)
+type ctl = {
+  start : unit -> unit;
+      (** arm recording + automatic fence captures; call after setup
+          (mkfs/mount) so the baseline is the freshly initialised image *)
+  checkpoint : string -> unit;  (** capture a crash state here *)
+  expect : string -> expectation -> unit;
+      (** register/replace the durability expectation for a path *)
+  retract : string -> unit;
+      (** drop a path's expectation (non-atomic operation in flight) *)
+}
+
+type scenario = {
+  name : string;
+  config : Config.t;
+  expect_violation : bool;
+      (** checker self-test fixture: the scenario contains a deliberate
+          persistency bug and crashmc must flag it *)
+  run : Device.t -> ctl -> unit;
+  verify : Device.t -> (string * expectation) list -> string list;
+      (** mount the crash image, run recovery + fsck + the durability
+          oracle; return violations *)
+}
+
+type params = {
+  seed : int64;
+  k_exhaustive : int;  (** exhaustive enumeration when pending lines <= K *)
+  samples_per_state : int;  (** sampled images per state beyond K *)
+  max_images_per_state : int;  (** exhaustive-product budget per state *)
+  max_states : int;  (** captured crash states per scenario (adaptive) *)
+}
+
+let default_params =
+  {
+    seed = 42L;
+    k_exhaustive = 10;
+    samples_per_state = 20;
+    max_images_per_state = 64;
+    max_states = 20;
+  }
+
+type scenario_result = {
+  sr_name : string;
+  sr_expect_violation : bool;
+  sr_states : int;  (** crash states captured *)
+  sr_images : int;  (** distinct crash images explored *)
+  sr_checked : int;  (** image verifications executed *)
+  sr_violations : (string * string) list;  (** (state label, message) *)
+}
+
+(* --- enumeration --- *)
+
+(* All choice vectors of the mixed-radix space [counts] (row-major). *)
+let all_vectors counts =
+  let n = Array.length counts in
+  let vec = Array.make n 0 in
+  let acc = ref [] in
+  let rec go i =
+    if i = n then acc := Array.copy vec :: !acc
+    else
+      for c = 0 to counts.(i) - 1 do
+        vec.(i) <- c;
+        go (i + 1)
+      done
+  in
+  go 0;
+  List.rev !acc
+
+let sampled_vectors rng counts ~samples =
+  let n = Array.length counts in
+  let extremes =
+    [ Array.make n 0; Array.init n (fun i -> counts.(i) - 1) ]
+  in
+  let rec draw k acc =
+    if k = 0 then List.rev acc
+    else draw (k - 1) (Array.init n (fun i -> Rng.int rng counts.(i)) :: acc)
+  in
+  extremes @ draw (max 0 (samples - 2)) []
+
+let vectors_for rng params (state : Device.crash_state) =
+  let counts =
+    Array.of_list (List.map (fun (_, c) -> Array.length c) state.cs_choices)
+  in
+  let n = Array.length counts in
+  let cap = params.max_images_per_state in
+  let total =
+    Array.fold_left (fun acc c -> if acc > cap then acc else acc * c) 1 counts
+  in
+  if n = 0 then [ [||] ]
+  else if n <= params.k_exhaustive && total <= cap then all_vectors counts
+  else sampled_vectors rng counts ~samples:params.samples_per_state
+
+(* Content key of one concrete image: the guaranteed medium plus the chosen
+   candidate per undecided line. Images identical as byte strings get the
+   same key (without hashing the whole medium per image). *)
+let image_key ~base_digest (state : Device.crash_state) vec =
+  let b = Buffer.create 256 in
+  Buffer.add_string b base_digest;
+  List.iteri
+    (fun i (idx, cands) ->
+      Buffer.add_string b (string_of_int idx);
+      Buffer.add_char b ':';
+      Buffer.add_bytes b cands.(vec.(i));
+      Buffer.add_char b ';')
+    state.cs_choices;
+  Digest.string (Buffer.contents b)
+
+(* Run [verify] on a materialised image in a fresh simulation. *)
+let verify_image scenario image expectations =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let device = Device.of_snapshot engine stats scenario.config image in
+  let out = ref [ "verification did not run" ] in
+  Engine.spawn engine ~name:"crashmc-verify" (fun () ->
+      out :=
+        (try scenario.verify device expectations
+         with e ->
+           [ Fmt.str "verify raised: %s" (Printexc.to_string e) ]));
+  (try Engine.run engine
+   with e -> out := [ Fmt.str "verify engine: %s" (Printexc.to_string e) ]);
+  !out
+
+(* --- scenario driver --- *)
+
+let run_scenario ?(params = default_params) scenario =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let device = Device.create engine stats scenario.config in
+  (* captured (state, expectations-at-capture), newest first *)
+  let states = ref [] in
+  let nstates = ref 0 in
+  let expectations : (string, expectation) Hashtbl.t = Hashtbl.create 16 in
+  let snapshot_expectations () =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) expectations []
+    |> List.sort compare
+  in
+  let capture label =
+    states :=
+      (Device.capture_crash_state ~label device, snapshot_expectations ())
+      :: !states;
+    incr nstates
+  in
+  (* Automatic capture at every fence, with adaptive thinning: when the
+     budget fills, keep every other state and double the stride, so long
+     runs still get evenly spread crash points. *)
+  let fences = ref 0 in
+  let stride = ref 1 in
+  let on_fence () =
+    incr fences;
+    if !fences mod !stride = 0 && Device.pending_choice_lines device > 0
+    then begin
+      if !nstates >= params.max_states then begin
+        states := List.filteri (fun i _ -> i mod 2 = 0) !states;
+        nstates := List.length !states;
+        stride := !stride * 2
+      end;
+      capture (Fmt.str "fence-%d" !fences)
+    end
+  in
+  let started = ref false in
+  let ctl =
+    {
+      start =
+        (fun () ->
+          started := true;
+          Device.enable_recording device;
+          Device.set_on_fence device on_fence);
+      checkpoint = (fun label -> if !started then capture label);
+      expect = (fun path e -> Hashtbl.replace expectations path e);
+      retract = (fun path -> Hashtbl.remove expectations path);
+    }
+  in
+  Engine.spawn engine ~name:("crashmc-" ^ scenario.name) (fun () ->
+      scenario.run device ctl);
+  Engine.run engine;
+  capture "final";
+  let ordered = List.rev !states in
+  (* Enumerate and verify. *)
+  let rng = Rng.create ~seed:params.seed in
+  let seen = Hashtbl.create 1024 in
+  let images = ref 0 in
+  let checked = ref 0 in
+  let violations = ref [] in
+  List.iter
+    (fun ((state : Device.crash_state), exps) ->
+      let base_digest = Digest.bytes state.cs_image in
+      List.iter
+        (fun vec ->
+          let key = image_key ~base_digest state vec in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            incr images;
+            incr checked;
+            let image = Device.materialize_crash_image state ~choice:vec in
+            List.iter
+              (fun v -> violations := (state.cs_label, v) :: !violations)
+              (verify_image scenario image exps)
+          end)
+        (vectors_for rng params state))
+    ordered;
+  {
+    sr_name = scenario.name;
+    sr_expect_violation = scenario.expect_violation;
+    sr_states = List.length ordered;
+    sr_images = !images;
+    sr_checked = !checked;
+    sr_violations = List.rev !violations;
+  }
+
+(* --- suite --- *)
+
+type report = { params : params; results : scenario_result list }
+
+let run_suite ?(params = default_params) scenarios =
+  { params; results = List.map (run_scenario ~params) scenarios }
+
+let total_images report =
+  List.fold_left (fun acc r -> acc + r.sr_images) 0 report.results
+
+let total_states report =
+  List.fold_left (fun acc r -> acc + r.sr_states) 0 report.results
+
+(* Violations in scenarios that are supposed to be correct. *)
+let unexpected_violations report =
+  List.concat_map
+    (fun r ->
+      if r.sr_expect_violation then []
+      else List.map (fun (st, v) -> (r.sr_name, st, v)) r.sr_violations)
+    report.results
+
+(* Buggy fixtures the checker failed to flag (vacuity check). *)
+let missed_fixtures report =
+  List.filter_map
+    (fun r ->
+      if r.sr_expect_violation && r.sr_violations = [] then Some r.sr_name
+      else None)
+    report.results
+
+let ok report = unexpected_violations report = [] && missed_fixtures report = []
+
+let pp_result ppf r =
+  let status =
+    match (r.sr_expect_violation, r.sr_violations) with
+    | false, [] -> "ok"
+    | false, _ -> "VIOLATIONS"
+    | true, [] -> "FIXTURE MISSED"
+    | true, _ -> "flagged (expected)"
+  in
+  Fmt.pf ppf "%-24s %4d states %6d images  %s" r.sr_name r.sr_states
+    r.sr_images status;
+  match (r.sr_expect_violation, r.sr_violations) with
+  | false, _ :: _ ->
+    List.iter
+      (fun (st, v) -> Fmt.pf ppf "@,    [%s] %s" st v)
+      r.sr_violations
+  | true, (st, v) :: _ ->
+    Fmt.pf ppf "@,    e.g. [%s] %s" st v
+  | _ -> ()
+
+let pp_report ppf report =
+  Fmt.pf ppf "@[<v>crashmc: seed %Ld, K=%d, %d samples/state@,"
+    report.params.seed report.params.k_exhaustive
+    report.params.samples_per_state;
+  List.iter (fun r -> Fmt.pf ppf "%a@," pp_result r) report.results;
+  Fmt.pf ppf "total: %d crash states, %d distinct crash images, %s@]"
+    (total_states report) (total_images report)
+    (if ok report then "all checks passed"
+     else
+       Fmt.str "%d unexpected violation(s), %d missed fixture(s)"
+         (List.length (unexpected_violations report))
+         (List.length (missed_fixtures report)))

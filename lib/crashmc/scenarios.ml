@@ -1,0 +1,368 @@
+(* The crashmc scenario suite: PMFS and HiNFS workloads whose recovery
+   paths must survive every legal crash image, plus deliberately buggy
+   fixtures the checker must flag (so a vacuous checker fails the suite).
+
+   Scenarios use a small (1 MB) device so mount-time recovery and fsck stay
+   cheap across thousands of crash images. *)
+
+module Engine = Hinfs_sim.Engine
+module Stats = Hinfs_stats.Stats
+module Config = Hinfs_nvmm.Config
+module Device = Hinfs_nvmm.Device
+module Log = Hinfs_journal.Cacheline_log
+module Pmfs = Hinfs_pmfs.Pmfs
+module Layout = Hinfs_pmfs.Layout
+module Fs = Hinfs.Fs
+module Fsck = Hinfs_fsck.Fsck
+open Crashmc
+
+let small_config = { Config.default with nvmm_size = 1024 * 1024 }
+let root = Layout.root_ino
+let cat = Stats.Other
+
+(* Deterministic per-name content. *)
+let content name len =
+  String.init len (fun i ->
+      Char.chr (Char.code 'a' + (Hashtbl.hash (name, i) mod 26)))
+
+let bytes_of s = Bytes.of_string s
+
+(* --- path resolution + whole-file reads for the durability oracle --- *)
+
+let resolve_pmfs fs path =
+  let parts =
+    String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+  in
+  let rec go dir = function
+    | [] -> Some dir
+    | p :: rest -> (
+      match Pmfs.lookup fs ~dir p with
+      | None -> None
+      | Some ino -> go ino rest)
+  in
+  go root parts
+
+let read_pmfs fs path =
+  match resolve_pmfs fs path with
+  | None -> None
+  | Some ino ->
+    let size = Pmfs.inode_size fs ino in
+    let buf = Bytes.create size in
+    let n = Pmfs.read fs ~ino ~off:0 ~len:size ~into:buf ~into_off:0 in
+    Some (Bytes.sub_string buf 0 n)
+
+let read_hinfs fs path =
+  match resolve_pmfs (Fs.pmfs fs) path with
+  | None -> None
+  | Some ino ->
+    let size = Pmfs.inode_size (Fs.pmfs fs) ino in
+    let buf = Bytes.create size in
+    let n = Fs.read fs ~ino ~off:0 ~len:size ~into:buf ~into_off:0 in
+    Some (Bytes.sub_string buf 0 n)
+
+(* --- verify functions: recovery + fsck + durability oracle --- *)
+
+let verify_pmfs device expectations =
+  let fs = Pmfs.mount device () in
+  Fsck.check fs @ check_expectations ~read_file:(read_pmfs fs) expectations
+
+let verify_hinfs device expectations =
+  let fs = Fs.mount device ~daemons:false () in
+  Fsck.check (Fs.pmfs fs)
+  @ check_expectations ~read_file:(read_hinfs fs) expectations
+
+(* --- PMFS scenarios --- *)
+
+(* Creates and synchronous writes: every acknowledged op must be durable,
+   every in-flight op atomic. *)
+let pmfs_create_write =
+  {
+    name = "pmfs-create-write";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let fs = Pmfs.mkfs_and_mount device ~journal_blocks:16 () in
+        ignore device;
+        ctl.start ();
+        List.iteri
+          (fun i len ->
+            let name = Fmt.str "file%d" i in
+            let data = content name len in
+            ctl.expect name (Either (Absent, Content ""));
+            let ino = Pmfs.create_file fs ~dir:root name in
+            ctl.expect name (Exactly (Content ""));
+            ctl.expect name (Either (Content "", Content data));
+            ignore
+              (Pmfs.write fs ~ino ~off:0 ~src:(bytes_of data) ~src_off:0 ~len
+                 ~sync:true);
+            ctl.expect name (Exactly (Content data));
+            ctl.checkpoint (Fmt.str "after-%s" name))
+          [ 96; 700; 4096; 6000 ]);
+    verify = verify_pmfs;
+  }
+
+(* In-place overwrite: PMFS does not journal data, so a crash mid-overwrite
+   may tear the range — the oracle retracts its expectation for the
+   duration and fsck still has to hold on every image. *)
+let pmfs_overwrite =
+  {
+    name = "pmfs-overwrite";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let fs = Pmfs.mkfs_and_mount device ~journal_blocks:16 () in
+        ignore device;
+        let len = 5000 in
+        let before = content "ow-before" len in
+        let ino = Pmfs.create_file fs ~dir:root "ow" in
+        ignore
+          (Pmfs.write fs ~ino ~off:0 ~src:(bytes_of before) ~src_off:0 ~len
+             ~sync:true);
+        ctl.start ();
+        ctl.expect "ow" (Exactly (Content before));
+        ctl.checkpoint "steady";
+        let after = content "ow-after" len in
+        ctl.retract "ow";
+        ignore
+          (Pmfs.write fs ~ino ~off:0 ~src:(bytes_of after) ~src_off:0 ~len
+             ~sync:true);
+        ctl.expect "ow" (Exactly (Content after));
+        ctl.checkpoint "overwritten");
+    verify = verify_pmfs;
+  }
+
+(* Namespace metadata: mkdir, nested creates, unlink, rename. *)
+let pmfs_namespace =
+  {
+    name = "pmfs-namespace";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let fs = Pmfs.mkfs_and_mount device ~journal_blocks:16 () in
+        ignore device;
+        ctl.start ();
+        let d = Pmfs.mkdir fs ~dir:root "d" in
+        let write_file ~dir name len =
+          let data = content name len in
+          let path = "d/" ^ name in
+          ctl.expect path (Either (Absent, Content ""));
+          let ino = Pmfs.create_file fs ~dir name in
+          ctl.expect path (Either (Content "", Content data));
+          ignore
+            (Pmfs.write fs ~ino ~off:0 ~src:(bytes_of data) ~src_off:0 ~len
+               ~sync:true);
+          ctl.expect path (Exactly (Content data));
+          data
+        in
+        let data_a = write_file ~dir:d "a" 300 in
+        let data_b = write_file ~dir:d "b" 1200 in
+        ctl.checkpoint "populated";
+        ctl.expect "d/a" (Either (Content data_a, Absent));
+        Pmfs.unlink fs ~dir:d "a";
+        ctl.expect "d/a" (Exactly Absent);
+        ctl.checkpoint "unlinked";
+        ctl.expect "d/b" (Either (Content data_b, Absent));
+        ctl.expect "d/c" (Either (Absent, Content data_b));
+        Pmfs.rename fs ~src_dir:d ~src:"b" ~dst_dir:d ~dst:"c";
+        ctl.expect "d/b" (Exactly Absent);
+        ctl.expect "d/c" (Exactly (Content data_b));
+        ctl.checkpoint "renamed");
+    verify = verify_pmfs;
+  }
+
+(* A transaction left open at the crash: recovery must roll the journaled
+   in-place update back (undo-log roll-back exercised end to end). *)
+let pmfs_torn_txn =
+  {
+    name = "pmfs-torn-txn";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let fs = Pmfs.mkfs_and_mount device ~journal_blocks:16 () in
+        let len = 900 in
+        let data = content "torn" len in
+        let ino = Pmfs.create_file fs ~dir:root "torn" in
+        ignore
+          (Pmfs.write fs ~ino ~off:0 ~src:(bytes_of data) ~src_off:0 ~len
+             ~sync:true);
+        ctl.start ();
+        ctl.expect "torn" (Exactly (Content data));
+        ctl.checkpoint "pre-txn";
+        (* Journal the size field, scribble over it, persist the scribble —
+           then "crash" with the transaction uncommitted. *)
+        let geo = Pmfs.geometry fs in
+        let log = Pmfs.log fs in
+        let txn = Log.begin_txn log in
+        let addr = Layout.Inode.addr geo ino + Layout.Inode.size_off in
+        Log.log log txn ~addr ~len:8;
+        Layout.Inode.set_size device ~cat geo ino 0;
+        Device.clflush device ~cat ~addr ~len:8;
+        Device.mfence device ~cat);
+    verify = verify_pmfs;
+  }
+
+(* --- HiNFS scenarios --- *)
+
+(* Lazy-persistent writes through the DRAM buffer: nothing promised until
+   fsync returns, everything promised after. *)
+let hinfs_fsync =
+  {
+    name = "hinfs-fsync";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let fs =
+          Fs.mkfs_and_mount device ~journal_blocks:16 ~daemons:false ()
+        in
+        ctl.start ();
+        let pm = Fs.pmfs fs in
+        List.iteri
+          (fun i len ->
+            let name = Fmt.str "h%d" i in
+            let data = content name len in
+            ctl.expect name (Either (Absent, Content ""));
+            let ino = Pmfs.create_file pm ~dir:root name in
+            ctl.expect name (Either (Content "", Content data));
+            ignore
+              (Fs.write fs ~ino ~off:0 ~src:(bytes_of data) ~src_off:0 ~len
+                 ~sync:false);
+            Fs.fsync fs ~ino;
+            ctl.expect name (Exactly (Content data));
+            ctl.checkpoint (Fmt.str "fsynced-%s" name))
+          [ 800; 4500; 2000 ]);
+    verify = verify_hinfs;
+  }
+
+(* Unlink with buffered dirty data (the short-lived-file path): the pending
+   ordered transaction must be aborted, never half-applied. *)
+let hinfs_unlink_buffered =
+  {
+    name = "hinfs-unlink-buffered";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let fs =
+          Fs.mkfs_and_mount device ~journal_blocks:16 ~daemons:false ()
+        in
+        ctl.start ();
+        let pm = Fs.pmfs fs in
+        (* fsynced file, then unlinked *)
+        let data = content "u1" 1500 in
+        ctl.expect "u1" (Either (Absent, Content ""));
+        let ino = Pmfs.create_file pm ~dir:root "u1" in
+        ctl.expect "u1" (Either (Content "", Content data));
+        ignore
+          (Fs.write fs ~ino ~off:0 ~src:(bytes_of data) ~src_off:0 ~len:1500
+             ~sync:false);
+        Fs.fsync fs ~ino;
+        ctl.expect "u1" (Exactly (Content data));
+        ctl.checkpoint "u1-fsynced";
+        ctl.expect "u1" (Either (Content data, Absent));
+        Fs.unlink fs ~dir:root "u1";
+        ctl.expect "u1" (Exactly Absent);
+        (* buffered-only file unlinked before any writeback (dead-block
+           drop): its data must never reach the medium half-way *)
+        let d2 = content "u2" 3000 in
+        ctl.expect "u2" (Either (Absent, Content ""));
+        let ino2 = Pmfs.create_file pm ~dir:root "u2" in
+        ctl.expect "u2" (Either (Content "", Absent));
+        ignore
+          (Fs.write fs ~ino:ino2 ~off:0 ~src:(bytes_of d2) ~src_off:0
+             ~len:3000 ~sync:false);
+        Fs.unlink fs ~dir:root "u2";
+        ctl.expect "u2" (Exactly Absent);
+        ctl.checkpoint "u2-dropped");
+    verify = verify_hinfs;
+  }
+
+(* --- known-bad fixtures (checker self-tests) --- *)
+
+let fixture_payload = content "fixture" 64
+let fixture_data_addr = 4096
+let fixture_flag_addr = 8192
+let fixture_flag = 0xAB
+
+let fixture_verify device _expectations =
+  let flag =
+    Bytes.get_uint8
+      (Device.peek_persistent device ~addr:fixture_flag_addr ~len:1)
+      0
+  in
+  if flag = fixture_flag then begin
+    let data =
+      Device.peek_persistent device ~addr:fixture_data_addr
+        ~len:(String.length fixture_payload)
+    in
+    if Bytes.to_string data <> fixture_payload then
+      [ "commit flag persisted before its payload" ]
+    else []
+  end
+  else []
+
+(* The bug: the payload is never flushed before the commit flag is flushed
+   and fenced, so a legal crash image has the flag set over stale data.
+   Crashmc must find it (expect_violation = true). *)
+let fixture_missing_fence =
+  {
+    name = "fixture-missing-fence";
+    config = small_config;
+    expect_violation = true;
+    run =
+      (fun device ctl ->
+        ctl.start ();
+        Device.write_cached device ~cat ~addr:fixture_data_addr
+          ~src:(bytes_of fixture_payload) ~off:0
+          ~len:(String.length fixture_payload);
+        (* BUG: no clflush of the payload, no ordering fence *)
+        let flag = Bytes.make 1 (Char.chr fixture_flag) in
+        Device.write_cached device ~cat ~addr:fixture_flag_addr ~src:flag
+          ~off:0 ~len:1;
+        Device.clflush device ~cat ~addr:fixture_flag_addr ~len:1;
+        Device.mfence device ~cat);
+    verify = fixture_verify;
+  }
+
+(* The same protocol done right: payload flushed and fenced before the
+   flag. No crash image may show the flag without the payload. *)
+let fixture_correct_fence =
+  {
+    name = "fixture-correct-fence";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        ctl.start ();
+        Device.write_cached device ~cat ~addr:fixture_data_addr
+          ~src:(bytes_of fixture_payload) ~off:0
+          ~len:(String.length fixture_payload);
+        Device.clflush device ~cat ~addr:fixture_data_addr
+          ~len:(String.length fixture_payload);
+        Device.mfence device ~cat;
+        let flag = Bytes.make 1 (Char.chr fixture_flag) in
+        Device.write_cached device ~cat ~addr:fixture_flag_addr ~src:flag
+          ~off:0 ~len:1;
+        Device.clflush device ~cat ~addr:fixture_flag_addr ~len:1;
+        Device.mfence device ~cat);
+    verify = fixture_verify;
+  }
+
+let all =
+  [
+    pmfs_create_write;
+    pmfs_overwrite;
+    pmfs_namespace;
+    pmfs_torn_txn;
+    hinfs_fsync;
+    hinfs_unlink_buffered;
+    fixture_missing_fence;
+    fixture_correct_fence;
+  ]
+
+let by_name name = List.find_opt (fun s -> s.name = name) all
+let names = List.map (fun s -> s.name) all

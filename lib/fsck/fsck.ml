@@ -1,0 +1,227 @@
+(* Invariant checkers for the on-NVMM PMFS layout (which is also the
+   persistent layout under HiNFS).
+
+   Run against a freshly mounted file system — typically one mounted from a
+   crash image after log recovery — and return a list of human-readable
+   violations; an empty list means the image is consistent. The checks
+   mirror a classical fsck pass:
+
+   - journal sanity: no valid undo entries survive recovery;
+   - inode sanity: kinds, sizes, link counts, block counts;
+   - block accounting: every reachable data/index block is inside the data
+     region and claimed by exactly one inode; the rebuilt allocator agrees
+     with the reachable set;
+   - directory well-formedness: dirent names in range, targets live and
+     in-range, dirent references consistent with link counts.
+
+   All inspection is untimed (peeks), so this can run outside any measured
+   simulation window. *)
+
+module Device = Hinfs_nvmm.Device
+module Allocator = Hinfs_nvmm.Allocator
+module Log = Hinfs_journal.Cacheline_log
+module Pmfs = Hinfs_pmfs.Pmfs
+module Layout = Hinfs_pmfs.Layout
+module Fs_ctx = Hinfs_pmfs.Fs_ctx
+module Block_tree = Hinfs_pmfs.Block_tree
+
+let dirent_size = 64
+let max_name_len = 55
+
+type report = {
+  inodes_checked : int;
+  blocks_claimed : int;
+  violations : string list;
+}
+
+let ok report = report.violations = []
+
+let pp_report ppf r =
+  if ok r then
+    Fmt.pf ppf "fsck clean: %d inodes, %d blocks" r.inodes_checked
+      r.blocks_claimed
+  else
+    Fmt.pf ppf "@[<v>fsck: %d violation(s) (%d inodes, %d blocks):@,%a@]"
+      (List.length r.violations)
+      r.inodes_checked r.blocks_claimed
+      Fmt.(list ~sep:cut (fun ppf v -> Fmt.pf ppf "  - %s" v))
+      r.violations
+
+(* Raw dirent scan over one directory block: validates the on-media bytes
+   before trusting them (Dir's own parser assumes well-formed entries). *)
+let scan_dirent_block device ~geo ~dir ~block ~add ~entry =
+  let bs = geo.Layout.block_size in
+  let raw = Device.peek_persistent device ~addr:(block * bs) ~len:bs in
+  for slot = 0 to (bs / dirent_size) - 1 do
+    let base = slot * dirent_size in
+    let ino = Int32.to_int (Bytes.get_int32_le raw base) in
+    if ino <> 0 then begin
+      let name_len = Bytes.get_uint16_le raw (base + 4) in
+      if name_len = 0 || name_len > max_name_len then
+        add
+          (Fmt.str "dir %d: dirent block %d slot %d has bad name length %d"
+             dir block slot name_len)
+      else begin
+        let name = Bytes.sub_string raw (base + 6) name_len in
+        entry ~name ~target:ino
+      end
+    end
+  done
+
+let check_pmfs fs =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let ctx = Pmfs.ctx fs in
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  (* 1. Journal sanity: recovery (or clean unmount) must leave no valid
+     entries behind — anything else means a committed-but-uncheckpointed or
+     half-rolled-back transaction escaped. Live transactions of the mounted
+     instance would also show up here, so run this on a fresh mount. *)
+  let stale =
+    Log.count_valid_entries device ~first_block:geo.Layout.journal_start
+      ~blocks:geo.Layout.journal_blocks
+  in
+  if stale > 0 then
+    add (Fmt.str "journal: %d valid entr(ies) present after recovery" stale);
+  (* 2. Root inode. *)
+  let root = Layout.root_ino in
+  if not (Layout.Inode.in_use device geo root) then
+    add "root inode not in use"
+  else if Layout.Inode.kind device geo root <> Layout.Inode.kind_directory
+  then add "root inode is not a directory";
+  (* 3. Per-inode walk: kinds, sizes, reachable blocks, dirents. *)
+  let owner = Hashtbl.create 256 in (* data/index block -> owning inode *)
+  let dirent_refs = Hashtbl.create 256 in (* target ino -> reference count *)
+  let inodes_checked = ref 0 in
+  let claim ino what block =
+    if block < geo.Layout.data_start || block >= geo.Layout.total_blocks then
+      add
+        (Fmt.str "inode %d: %s block %d outside data region [%d, %d)" ino
+           what block geo.Layout.data_start geo.Layout.total_blocks)
+    else
+      match Hashtbl.find_opt owner block with
+      | Some other ->
+        add (Fmt.str "block %d claimed by inodes %d and %d" block other ino)
+      | None -> Hashtbl.replace owner block ino
+  in
+  for ino = 1 to geo.Layout.inode_count do
+    if Layout.Inode.in_use device geo ino then begin
+      incr inodes_checked;
+      let kind = Layout.Inode.kind device geo ino in
+      let size = Layout.Inode.size device geo ino in
+      if
+        kind <> Layout.Inode.kind_regular
+        && kind <> Layout.Inode.kind_directory
+      then add (Fmt.str "inode %d: invalid kind %d" ino kind);
+      if size < 0 then add (Fmt.str "inode %d: negative size %d" ino size);
+      (try
+         let bs = geo.Layout.block_size in
+         let reachable = ref 0 in
+         Block_tree.iter_blocks ctx ~ino (fun fblock block ->
+             incr reachable;
+             claim ino "data" block;
+             if size >= 0 && fblock * bs >= size then
+               add
+                 (Fmt.str "inode %d: data block at file block %d beyond EOF \
+                           (size %d)"
+                    ino fblock size));
+         Block_tree.iter_index_nodes ctx ~ino (fun block ->
+             claim ino "index" block);
+         let recorded = Layout.Inode.blocks device geo ino in
+         if recorded <> !reachable then
+           add
+             (Fmt.str "inode %d: blocks field %d but %d reachable data blocks"
+                ino recorded !reachable)
+       with e ->
+         add
+           (Fmt.str "inode %d: block tree walk failed: %s" ino
+              (Printexc.to_string e)));
+      if kind = Layout.Inode.kind_directory then begin
+        if size mod geo.Layout.block_size <> 0 then
+          add
+            (Fmt.str "dir %d: size %d not a multiple of the block size" ino
+               size);
+        try
+          Block_tree.iter_blocks ctx ~ino (fun _fblock block ->
+              scan_dirent_block device ~geo ~dir:ino ~block ~add
+                ~entry:(fun ~name ~target ->
+                  if target < 1 || target > geo.Layout.inode_count then
+                    add
+                      (Fmt.str "dir %d: entry %S targets invalid inode %d"
+                         ino name target)
+                  else begin
+                    if not (Layout.Inode.in_use device geo target) then
+                      add
+                        (Fmt.str
+                           "dir %d: entry %S dangles to free inode %d" ino
+                           name target);
+                    let n =
+                      Option.value ~default:0
+                        (Hashtbl.find_opt dirent_refs target)
+                    in
+                    Hashtbl.replace dirent_refs target (n + 1)
+                  end))
+        with e ->
+          add
+            (Fmt.str "dir %d: dirent walk failed: %s" ino
+               (Printexc.to_string e))
+      end
+    end
+  done;
+  (* 4. Link counts vs. dirent references; orphan detection. *)
+  for ino = 1 to geo.Layout.inode_count do
+    if Layout.Inode.in_use device geo ino then begin
+      let kind = Layout.Inode.kind device geo ino in
+      let links = Layout.Inode.links device geo ino in
+      let refs =
+        Option.value ~default:0 (Hashtbl.find_opt dirent_refs ino)
+      in
+      if kind = Layout.Inode.kind_directory then begin
+        if links <> 2 then
+          add (Fmt.str "dir %d: link count %d (expected 2)" ino links);
+        if ino = Layout.root_ino then begin
+          if refs <> 0 then
+            add (Fmt.str "root referenced by %d dirent(s)" refs)
+        end
+        else if refs <> 1 then
+          add
+            (Fmt.str "dir %d: referenced by %d dirent(s) (expected 1)" ino
+               refs)
+      end
+      else begin
+        if links <> refs then
+          add
+            (Fmt.str "inode %d: link count %d but %d dirent reference(s)" ino
+               links refs);
+        if refs = 0 then add (Fmt.str "inode %d: orphan (no dirent)" ino)
+      end
+    end
+  done;
+  (* 5. Allocator cross-check: the rebuilt bitmaps must cover exactly the
+     reachable set. *)
+  let balloc = ctx.Fs_ctx.balloc and ialloc = ctx.Fs_ctx.ialloc in
+  let claimed = Hashtbl.length owner in
+  if Allocator.used_blocks balloc <> claimed then
+    add
+      (Fmt.str "block allocator: %d blocks marked used, %d reachable"
+         (Allocator.used_blocks balloc)
+         claimed);
+  Hashtbl.iter
+    (fun block _ ->
+      if Allocator.contains balloc block && not (Allocator.is_allocated balloc block)
+      then add (Fmt.str "block allocator: reachable block %d marked free" block))
+    owner;
+  if Allocator.used_blocks ialloc <> !inodes_checked then
+    add
+      (Fmt.str "inode allocator: %d inodes marked used, %d in use"
+         (Allocator.used_blocks ialloc)
+         !inodes_checked);
+  {
+    inodes_checked = !inodes_checked;
+    blocks_claimed = claimed;
+    violations = List.rev !violations;
+  }
+
+(* Violations only (convenience for callers composing with other oracles). *)
+let check fs = (check_pmfs fs).violations

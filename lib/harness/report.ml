@@ -41,6 +41,46 @@ let table ppf ~header rows =
     (String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
   List.iter print_row rows
 
+(* Per-category persistence-event counters (clflush issued/dirty, mfence)
+   from the NVMM device model — the ordering cost the paper's eager-persist
+   paths pay. Prints nothing when the run issued no flushes or fences. *)
+let persistence ppf stats =
+  let module Stats = Hinfs_stats.Stats in
+  if
+    Stats.total_clflush_issued stats > 0 || Stats.total_mfences stats > 0
+  then begin
+    subheading ppf "persistence events";
+    let rows =
+      List.filter_map
+        (fun cat ->
+          let issued = Stats.clflush_issued stats cat in
+          let dirty = Stats.clflush_dirty stats cat in
+          let fences = Stats.mfences stats cat in
+          if issued = 0 && fences = 0 then None
+          else
+            Some
+              [
+                Stats.category_name cat;
+                string_of_int issued;
+                string_of_int dirty;
+                string_of_int fences;
+              ])
+        Stats.categories
+    in
+    let rows =
+      rows
+      @ [
+          [
+            "total";
+            string_of_int (Stats.total_clflush_issued stats);
+            string_of_int (Stats.total_clflush_dirty stats);
+            string_of_int (Stats.total_mfences stats);
+          ];
+        ]
+    in
+    table ppf ~header:[ "category"; "clflush"; "dirty"; "mfence" ] rows
+  end
+
 let f1 v = Fmt.str "%.1f" v
 let f2 v = Fmt.str "%.2f" v
 let f0 v = Fmt.str "%.0f" v

@@ -10,6 +10,10 @@ val bar : float -> max_value:float -> width:int -> string
 val table : Format.formatter -> header:string list -> string list list -> unit
 (** Aligned table: header row, separator, then the rows. *)
 
+val persistence : Format.formatter -> Hinfs_stats.Stats.t -> unit
+(** Per-category clflush (issued / dirty-line) and mfence counters; silent
+    when the run recorded none. *)
+
 val f0 : float -> string
 val f1 : float -> string
 val f2 : float -> string

@@ -352,6 +352,24 @@ let recover device ~first_block ~blocks =
   List.iter (fun e -> Hashtbl.replace rolled_back e.r_txn ()) to_undo;
   Hashtbl.length rolled_back
 
+(* Fsck helper: number of valid entries currently on the medium in the
+   journal region. Immediately after recovery (and after clean unmount)
+   this must be zero. *)
+let count_valid_entries device ~first_block ~blocks =
+  let config = Device.config device in
+  let block_size = config.Config.block_size in
+  let base = first_block * block_size in
+  let capacity = blocks * block_size / entry_size in
+  let n = ref 0 in
+  for slot = 0 to capacity - 1 do
+    let raw =
+      Device.peek_persistent device ~addr:(base + (slot * entry_size))
+        ~len:entry_size
+    in
+    if Bytes.get_uint8 raw 63 = valid_magic then incr n
+  done;
+  !n
+
 (* Run [f] inside a transaction; aborts on exception. *)
 let with_txn t f =
   let txn = begin_txn t in

@@ -57,3 +57,8 @@ val recover : Hinfs_nvmm.Device.t -> first_block:int -> blocks:int -> int
 (** Mount-time recovery on the persistent image: rolls back uncommitted
     transactions, wipes the journal region, returns the number of
     transactions rolled back. Untimed. *)
+
+val count_valid_entries :
+  Hinfs_nvmm.Device.t -> first_block:int -> blocks:int -> int
+(** Number of valid journal entries on the medium in the region — zero
+    right after {!recover} and after clean unmount (fsck invariant). *)

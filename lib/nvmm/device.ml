@@ -15,6 +15,56 @@
    category, because that is exactly the foreground/background interference
    the paper discusses (§3.2.1). *)
 
+(* Persistence-event recorder (off by default, zero cost when disabled).
+
+   Under the x86 persistency model a store is volatile until its line is
+   flushed, and a flush only becomes *ordered* at the next mfence: a crash
+   may persist any subset of the not-yet-fenced line versions, while
+   everything fenced is guaranteed on the medium. The recorder keeps, per
+   cacheline, the set of contents the medium may legally hold at a crash:
+
+   - [base]: the guaranteed content — last fenced version (or the medium
+     content when the line first became pending);
+   - [versions]: newer candidate contents, oldest first. A [clflush] pushes
+     a flushed-but-unfenced version; a store in a *later epoch* than the
+     previous store first snapshots the pre-store cached content (the old
+     epoch's value could be evicted on its own); non-temporal stores push
+     their post-store medium content (they reach the medium but are only
+     ordered by the next fence).
+
+   An [mfence] closes the epoch: every version up to the last *flushed* one
+   becomes guaranteed (collapsed into [base]); unflushed cached content
+   stays pending. The current dirty overlay line, when present, is always
+   an additional candidate (spontaneous eviction). *)
+module Record = struct
+  type version = { content : Bytes.t; flushed : bool }
+
+  type line = {
+    mutable base : Bytes.t;
+    mutable versions : version list; (* oldest first *)
+    mutable store_epoch : int; (* epoch of last store while dirty; -1 clean *)
+  }
+
+  type t = {
+    mutable epoch : int; (* fences seen since recording was enabled *)
+    lines : (int, line) Hashtbl.t; (* cacheline index -> pending record *)
+    mutable stores : int;
+    mutable flushes : int;
+    mutable fences : int;
+    mutable on_fence : unit -> unit;
+  }
+
+  let create () =
+    {
+      epoch = 0;
+      lines = Hashtbl.create 256;
+      stores = 0;
+      flushes = 0;
+      fences = 0;
+      on_fence = (fun () -> ());
+    }
+end
+
 type t = {
   engine : Hinfs_sim.Engine.t;
   stats : Hinfs_stats.Stats.t;
@@ -22,6 +72,18 @@ type t = {
   persistent : Bytes.t;
   overlay : (int, Bytes.t) Hashtbl.t; (* cacheline index -> line content *)
   bandwidth : Hinfs_sim.Resource.t;
+  mutable recorder : Record.t option;
+}
+
+(* One crash point: the guaranteed medium image plus, for every line whose
+   persisted content is undecided, the list of legal candidate contents
+   (index 0 is the guaranteed one). A concrete crash image picks one
+   candidate per line independently. *)
+type crash_state = {
+  cs_label : string;
+  cs_image : Bytes.t; (* guaranteed medium content *)
+  cs_line_size : int;
+  cs_choices : (int * Bytes.t array) list; (* line idx (ascending) -> candidates *)
 }
 
 module Engine = Hinfs_sim.Engine
@@ -40,6 +102,7 @@ let create engine stats config =
     bandwidth =
       Resource.create ~name:"nvmm-write-bandwidth"
         ~capacity:(Config.nw_slots config);
+    recorder = None;
   }
 
 let config t = t.config
@@ -76,6 +139,142 @@ let overlay_line t idx =
 let dirty_cachelines t = Hashtbl.length t.overlay
 
 let is_dirty_line t idx = Hashtbl.mem t.overlay idx
+
+let dirty_line_addrs t =
+  let ls = line_size t in
+  Hashtbl.fold (fun idx _ acc -> (idx * ls) :: acc) t.overlay []
+  |> List.sort compare
+
+(* --- recorder hooks (no-ops when recording is disabled) --- *)
+
+let record_line t (r : Record.t) idx =
+  match Hashtbl.find_opt r.Record.lines idx with
+  | Some rl -> rl
+  | None ->
+    let ls = line_size t in
+    let rl =
+      {
+        Record.base = Bytes.sub t.persistent (idx * ls) ls;
+        versions = [];
+        store_epoch = -1;
+      }
+    in
+    Hashtbl.replace r.Record.lines idx rl;
+    rl
+
+(* Called BEFORE the store mutates the overlay line: if the line is dirty
+   from an earlier epoch, the pre-store cached content is itself a legal
+   crash candidate (it could have been evicted before this store). *)
+let record_store t idx =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+    r.Record.stores <- r.Record.stores + 1;
+    let rl = record_line t r idx in
+    (match Hashtbl.find_opt t.overlay idx with
+    | Some line
+      when rl.Record.store_epoch >= 0 && rl.Record.store_epoch < r.Record.epoch
+      ->
+      rl.Record.versions <-
+        rl.Record.versions
+        @ [ { Record.content = Bytes.copy line; flushed = false } ]
+    | _ -> ());
+    rl.Record.store_epoch <- r.Record.epoch
+
+(* Called with the dirty line content just before it is blitted to the
+   medium: the flushed content is persistent-but-unordered until the next
+   fence. *)
+let record_flush t idx content =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+    r.Record.flushes <- r.Record.flushes + 1;
+    let rl = record_line t r idx in
+    rl.Record.versions <-
+      rl.Record.versions
+      @ [ { Record.content = Bytes.copy content; flushed = true } ];
+    rl.Record.store_epoch <- -1
+
+(* Non-temporal stores reach the medium directly but are only ordered by the
+   next fence: record the pre-store medium content as base (if the line was
+   not already pending) and the post-store medium line as a flushed
+   candidate. [pre] runs before the blit, [post] after overlay merging. *)
+let record_nt_pre t ~addr ~len =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      ignore (record_line t r idx)
+    done
+
+let record_nt_post t ~addr ~len =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      r.Record.stores <- r.Record.stores + 1;
+      let rl = record_line t r idx in
+      rl.Record.versions <-
+        rl.Record.versions
+        @ [
+            {
+              Record.content = Bytes.sub t.persistent (idx * ls) ls;
+              flushed = true;
+            };
+          ];
+      if not (is_dirty_line t idx) then rl.Record.store_epoch <- -1
+    done
+
+(* A fence makes every version through the last flushed one guaranteed.
+   Unflushed cached content stays pending in the new epoch. *)
+let record_fence_collapse (r : Record.t) dirty_line =
+  r.Record.epoch <- r.Record.epoch + 1;
+  let drop = ref [] in
+  Hashtbl.iter
+    (fun idx (rl : Record.line) ->
+      let rec split acc base = function
+        | [] -> (base, List.rev acc)
+        | ({ Record.flushed; content } as v) :: rest ->
+          if flushed then split [] (Some content) rest
+          else split (v :: acc) base rest
+      in
+      (match split [] None rl.Record.versions with
+      | None, _ -> ()
+      | Some content, keep ->
+        rl.Record.base <- content;
+        rl.Record.versions <- keep);
+      if rl.Record.versions = [] && not (dirty_line idx) then
+        drop := idx :: !drop)
+    r.Record.lines;
+  List.iter (Hashtbl.remove r.Record.lines) !drop
+
+let record_fence t =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+    r.Record.fences <- r.Record.fences + 1;
+    (* The hook fires before the fence takes effect: a crash "at" the fence
+       still sees every unfenced version as undecided. *)
+    r.Record.on_fence ();
+    record_fence_collapse r (is_dirty_line t)
+
+(* Untimed raw stores (poke) and whole-overlay drops bypass the persistency
+   model: forget any pending record for the covered lines. *)
+let record_forget t ~addr ~len =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+    if len > 0 then begin
+      let ls = line_size t in
+      let first = addr / ls and last = (addr + len - 1) / ls in
+      for idx = first to last do
+        Hashtbl.remove r.Record.lines idx
+      done
+    end
 
 (* --- timed data-path operations --- *)
 
@@ -119,6 +318,7 @@ let write_nt ?(background = false) t ~cat ~addr ~src ~off ~len =
     charge t cat (fun () ->
         Resource.with_resource t.bandwidth 1 (fun () ->
             Proc.delay_int (lines * t.config.Config.nvmm_write_ns)));
+    record_nt_pre t ~addr ~len;
     Bytes.blit src off t.persistent addr len;
     (* A non-temporal store invalidates any stale cached copy of the lines
        it covers (it fully bypasses the cache hierarchy). Partially covered
@@ -141,6 +341,7 @@ let write_nt ?(background = false) t ~cat ~addr ~src ~off ~len =
             (copy_end - copy_start)
         end
     done;
+    record_nt_post t ~addr ~len;
     Stats.add_nvmm_written ~background t.stats len
   end
 
@@ -155,6 +356,7 @@ let write_cached t ~cat ~addr ~src ~off ~len =
     let ls = line_size t in
     let first = addr / ls and last = (addr + len - 1) / ls in
     for idx = first to last do
+      record_store t idx;
       let line = overlay_line t idx in
       let line_start = idx * ls in
       let copy_start = max addr line_start in
@@ -165,6 +367,17 @@ let write_cached t ~cat ~addr ~src ~off ~len =
         (copy_end - copy_start)
     done
   end
+
+(* The one place a cached line moves to the medium: records the flush event
+   and writes the line back. Both [clflush] and [flush_all_untimed] go
+   through here so timed and test-setup persistence cannot diverge. *)
+let persist_line t idx =
+  match Hashtbl.find_opt t.overlay idx with
+  | None -> ()
+  | Some line ->
+    record_flush t idx line;
+    Bytes.blit line 0 t.persistent (idx * line_size t) (line_size t);
+    Hashtbl.remove t.overlay idx
 
 (* Flush the dirty cachelines intersecting [addr, addr+len) to the medium.
    Clean lines only pay the instruction-issue cost. *)
@@ -178,24 +391,23 @@ let clflush ?(background = false) t ~cat ~addr ~len =
       if is_dirty_line t idx then incr dirty
     done;
     let total_lines = last - first + 1 in
+    Stats.add_clflush t.stats cat ~lines:total_lines ~dirty:!dirty;
     charge t cat (fun () ->
         Proc.delay_int (total_lines * t.config.Config.clflush_issue_ns);
         if !dirty > 0 then
           Resource.with_resource t.bandwidth 1 (fun () ->
               Proc.delay_int (!dirty * t.config.Config.nvmm_write_ns)));
     for idx = first to last do
-      match Hashtbl.find_opt t.overlay idx with
-      | None -> ()
-      | Some line ->
-        Bytes.blit line 0 t.persistent (idx * ls) ls;
-        Hashtbl.remove t.overlay idx
+      persist_line t idx
     done;
     if !dirty > 0 then
       Stats.add_nvmm_written ~background t.stats (!dirty * ls)
   end
 
 let mfence t ~cat =
-  charge t cat (fun () -> Proc.delay_int t.config.Config.mfence_ns)
+  Stats.add_mfence t.stats cat;
+  charge t cat (fun () -> Proc.delay_int t.config.Config.mfence_ns);
+  record_fence t
 
 (* --- small typed accessors (metadata fields) --- *)
 
@@ -238,6 +450,7 @@ let peek_persistent t ~addr ~len =
    medium directly and drops any cached copy. *)
 let poke t ~addr ~src ~off ~len =
   check_range t ~addr ~len;
+  record_forget t ~addr ~len;
   Bytes.blit src off t.persistent addr len;
   if len > 0 then begin
     let ls = line_size t in
@@ -290,7 +503,11 @@ let set_int t ~cat addr v = set_u64 t ~cat addr (Int64.of_int v)
 
 (* --- crash injection --- *)
 
-let crash t = Hashtbl.reset t.overlay
+let crash t =
+  Hashtbl.reset t.overlay;
+  match t.recorder with
+  | None -> ()
+  | Some r -> Hashtbl.reset r.Record.lines
 
 (* Copy of the persistent medium (what a crash would leave). *)
 let snapshot t = Bytes.copy t.persistent
@@ -311,10 +528,130 @@ let of_snapshot engine stats config image =
     bandwidth =
       Resource.create ~name:"nvmm-write-bandwidth"
         ~capacity:(Config.nw_slots config);
+    recorder = None;
   }
 
+(* Test/setup helper: persist every dirty line through the same path as
+   [clflush], then make the result guaranteed (flush-all acts as flush +
+   fence, minus the timing and the fence hook). *)
 let flush_all_untimed t =
+  Hashtbl.fold (fun idx _ acc -> idx :: acc) t.overlay []
+  |> List.sort compare
+  |> List.iter (fun idx -> persist_line t idx);
+  match t.recorder with
+  | None -> ()
+  | Some r -> record_fence_collapse r (fun _ -> false)
+
+(* --- persistence-event recording & crash-state capture --- *)
+
+let enable_recording t =
+  flush_all_untimed t;
+  t.recorder <- Some (Record.create ())
+
+let disable_recording t = t.recorder <- None
+let recording t = t.recorder <> None
+
+let set_on_fence t f =
+  match t.recorder with
+  | None -> invalid_arg "Device.set_on_fence: recording disabled"
+  | Some r -> r.Record.on_fence <- f
+
+let recorded_events t =
+  match t.recorder with
+  | None -> (0, 0, 0)
+  | Some r -> (r.Record.stores, r.Record.flushes, r.Record.fences)
+
+(* Number of lines whose crash content is currently undecided. *)
+let pending_choice_lines t =
+  let recorded =
+    match t.recorder with
+    | None -> 0
+    | Some r -> Hashtbl.length r.Record.lines
+  in
+  let dirty_unrecorded =
+    Hashtbl.fold
+      (fun idx _ acc ->
+        match t.recorder with
+        | Some r when Hashtbl.mem r.Record.lines idx -> acc
+        | _ -> acc + 1)
+      t.overlay 0
+  in
+  recorded + dirty_unrecorded
+
+let dedup_candidates cands =
+  List.fold_left
+    (fun acc c -> if List.exists (Bytes.equal c) acc then acc else c :: acc)
+    [] cands
+  |> List.rev
+
+(* Cap pathologically long candidate chains (many epochs of stores to one
+   line with no flush): keep the guaranteed content plus the newest few. *)
+let max_candidates = 8
+
+let capture_crash_state ?(label = "crash") t =
+  let ls = line_size t in
+  let choice idx (rl : Record.line option) =
+    let cands =
+      match rl with
+      | Some rl ->
+        rl.Record.base
+        :: List.map (fun v -> v.Record.content) rl.Record.versions
+      | None -> [ Bytes.sub t.persistent (idx * ls) ls ]
+    in
+    let cands =
+      match Hashtbl.find_opt t.overlay idx with
+      | Some line -> cands @ [ Bytes.copy line ]
+      | None -> cands
+    in
+    let cands = dedup_candidates cands in
+    let cands =
+      if List.length cands <= max_candidates then cands
+      else
+        List.hd cands
+        :: (List.filteri
+              (fun i _ -> i >= List.length cands - (max_candidates - 1))
+              (List.tl cands))
+    in
+    match cands with
+    | [] | [ _ ] -> None
+    | _ -> Some (idx, Array.of_list cands)
+  in
+  let choices = ref [] in
+  (match t.recorder with
+  | None -> ()
+  | Some r ->
+    Hashtbl.iter
+      (fun idx rl ->
+        match choice idx (Some rl) with
+        | None -> ()
+        | Some c -> choices := c :: !choices)
+      r.Record.lines);
   Hashtbl.iter
-    (fun idx line -> Bytes.blit line 0 t.persistent (idx * line_size t) (line_size t))
+    (fun idx _ ->
+      let recorded =
+        match t.recorder with
+        | Some r -> Hashtbl.mem r.Record.lines idx
+        | None -> false
+      in
+      if not recorded then
+        match choice idx None with
+        | None -> ()
+        | Some c -> choices := c :: !choices)
     t.overlay;
-  Hashtbl.reset t.overlay
+  {
+    cs_label = label;
+    cs_image = Bytes.copy t.persistent;
+    cs_line_size = ls;
+    cs_choices = List.sort (fun (a, _) (b, _) -> compare a b) !choices;
+  }
+
+(* Concrete crash image: the guaranteed medium with [choice.(i)] picking
+   the persisted candidate for the i-th undecided line. *)
+let materialize_crash_image state ~choice =
+  let img = Bytes.copy state.cs_image in
+  List.iteri
+    (fun i (idx, cands) ->
+      let c = cands.(choice.(i)) in
+      Bytes.blit c 0 img (idx * state.cs_line_size) state.cs_line_size)
+    state.cs_choices;
+  img

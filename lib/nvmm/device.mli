@@ -103,6 +103,10 @@ val dirty_cachelines : t -> int
 
 val is_dirty_line : t -> int -> bool
 
+val dirty_line_addrs : t -> int list
+(** Byte addresses (ascending) of the cachelines currently dirty in the
+    CPU cache. *)
+
 val crash : t -> unit
 (** Drop the volatile overlay: everything not flushed is lost. *)
 
@@ -115,5 +119,48 @@ val of_snapshot :
     testing). *)
 
 val flush_all_untimed : t -> unit
-(** Push the whole overlay to the medium without charging time (test/setup
-    helper; real code paths use {!clflush}). *)
+(** Push the whole overlay to the medium without charging time, through the
+    same per-line path as {!clflush}, then mark the result guaranteed
+    (test/setup helper; real code paths use {!clflush}). *)
+
+(** {1 Persistence-event recording (crash-state enumeration)}
+
+    When enabled, the device records every store/flush/fence so that the
+    set of legal crash images under the x86 persistency model can be
+    enumerated: any subset of not-yet-fenced line versions may have reached
+    the medium; everything flushed before an {!mfence} is guaranteed.
+    Recording costs nothing when disabled. *)
+
+type crash_state = {
+  cs_label : string;
+  cs_image : Bytes.t;  (** guaranteed medium content *)
+  cs_line_size : int;
+  cs_choices : (int * Bytes.t array) list;
+      (** per undecided cacheline (index ascending): the legal candidate
+          contents; candidate 0 is the guaranteed one *)
+}
+
+val enable_recording : t -> unit
+(** Flushes the overlay (so the pre-existing state is the guaranteed
+    baseline) and starts recording persistence events. *)
+
+val disable_recording : t -> unit
+val recording : t -> bool
+
+val set_on_fence : t -> (unit -> unit) -> unit
+(** Hook invoked on every {!mfence}, before the fence takes effect —
+    i.e. while the to-be-fenced versions are still undecided. Crashmc uses
+    it to capture crash states at every ordering point. *)
+
+val recorded_events : t -> int * int * int
+(** [(stores, flushes, fences)] recorded so far; zeros when disabled. *)
+
+val pending_choice_lines : t -> int
+(** Number of cachelines whose crash content is currently undecided. *)
+
+val capture_crash_state : ?label:string -> t -> crash_state
+
+val materialize_crash_image : crash_state -> choice:int array -> Bytes.t
+(** Concrete crash image: the guaranteed medium with [choice.(i)] selecting
+    the persisted candidate of the [i]-th undecided line. Feed the result
+    to {!of_snapshot}. *)

@@ -353,25 +353,21 @@ let lookup t ~dir name =
   check_ino t dir;
   Dir.lookup t.ctx ~dir name
 
-let alloc_inode t ~kind =
-  match Allocator.alloc t.ctx.Fs_ctx.ialloc with
-  | None -> Errno.raise_error ENOSPC "out of inodes"
-  | Some ino ->
-    let device = device t in
-    let geo = geometry t in
-    let addr = Layout.Inode.addr geo ino in
-    Log.with_txn (log t) (fun txn ->
-        Log.log t.ctx.Fs_ctx.log txn ~addr ~len:40;
-        Layout.Inode.set_in_use device ~cat:Stats.Other geo ino true;
-        Layout.Inode.set_kind device ~cat:Stats.Other geo ino kind;
-        Layout.Inode.set_links device ~cat:Stats.Other geo ino
-          (if kind = Layout.Inode.kind_directory then 2 else 1);
-        Layout.Inode.set_height device ~cat:Stats.Other geo ino 0;
-        Layout.Inode.set_size device ~cat:Stats.Other geo ino 0;
-        Layout.Inode.set_tree_root device ~cat:Stats.Other geo ino 0;
-        Layout.Inode.set_mtime device ~cat:Stats.Other geo ino (now t);
-        Layout.Inode.set_blocks device ~cat:Stats.Other geo ino 0);
-    ino
+(* Journal and initialise a fresh inode's on-media fields inside [txn]. *)
+let init_inode t txn ~ino ~kind =
+  let device = device t in
+  let geo = geometry t in
+  let addr = Layout.Inode.addr geo ino in
+  Log.log t.ctx.Fs_ctx.log txn ~addr ~len:40;
+  Layout.Inode.set_in_use device ~cat:Stats.Other geo ino true;
+  Layout.Inode.set_kind device ~cat:Stats.Other geo ino kind;
+  Layout.Inode.set_links device ~cat:Stats.Other geo ino
+    (if kind = Layout.Inode.kind_directory then 2 else 1);
+  Layout.Inode.set_height device ~cat:Stats.Other geo ino 0;
+  Layout.Inode.set_size device ~cat:Stats.Other geo ino 0;
+  Layout.Inode.set_tree_root device ~cat:Stats.Other geo ino 0;
+  Layout.Inode.set_mtime device ~cat:Stats.Other geo ino (now t);
+  Layout.Inode.set_blocks device ~cat:Stats.Other geo ino 0
 
 let create_entry t ~dir name ~kind =
   check_ino t dir;
@@ -380,9 +376,20 @@ let create_entry t ~dir name ~kind =
   (match Dir.lookup t.ctx ~dir name with
   | Some _ -> Errno.raise_error EEXIST "%S already exists" name
   | None -> ());
-  let ino = alloc_inode t ~kind in
-  Log.with_txn (log t) (fun txn -> Dir.add t.ctx txn ~dir name ~ino);
-  ino
+  (* Inode initialisation and the dirent insertion must be one transaction:
+     a crash between two separate commits would leave an in-use inode that
+     no directory references (orphan, flagged by fsck). *)
+  match Allocator.alloc t.ctx.Fs_ctx.ialloc with
+  | None -> Errno.raise_error ENOSPC "out of inodes"
+  | Some ino ->
+    (try
+       Log.with_txn (log t) (fun txn ->
+           init_inode t txn ~ino ~kind;
+           Dir.add t.ctx txn ~dir name ~ino)
+     with e ->
+       Allocator.free t.ctx.Fs_ctx.ialloc ino;
+       raise e);
+    ino
 
 let create_file t ~dir name =
   create_entry t ~dir name ~kind:Layout.Inode.kind_regular

@@ -61,6 +61,10 @@ type t = {
   mutable bbm_correct : int;
   mutable eager_writes : int;
   mutable lazy_writes : int;
+  (* persistence instruction counts, indexed by category *)
+  mutable clflush_issued : int array; (* cachelines covered by clflush *)
+  mutable clflush_dirty : int array; (* of those, lines actually written *)
+  mutable mfences : int array;
 }
 
 let category_index = function
@@ -101,6 +105,9 @@ let create () =
     bbm_correct = 0;
     eager_writes = 0;
     lazy_writes = 0;
+    clflush_issued = Array.make 5 0;
+    clflush_dirty = Array.make 5 0;
+    mfences = Array.make 5 0;
   }
 
 let reset t =
@@ -126,7 +133,10 @@ let reset t =
   t.bbm_predictions <- 0;
   t.bbm_correct <- 0;
   t.eager_writes <- 0;
-  t.lazy_writes <- 0
+  t.lazy_writes <- 0;
+  t.clflush_issued <- fresh.clflush_issued;
+  t.clflush_dirty <- fresh.clflush_dirty;
+  t.mfences <- fresh.mfences
 
 (* --- time --- *)
 
@@ -230,6 +240,24 @@ let eager_write t = t.eager_writes <- t.eager_writes + 1
 let lazy_write t = t.lazy_writes <- t.lazy_writes + 1
 let eager_writes t = t.eager_writes
 let lazy_writes t = t.lazy_writes
+
+(* --- persistence instructions --- *)
+
+let add_clflush t cat ~lines ~dirty =
+  let i = category_index cat in
+  t.clflush_issued.(i) <- t.clflush_issued.(i) + lines;
+  t.clflush_dirty.(i) <- t.clflush_dirty.(i) + dirty
+
+let add_mfence t cat =
+  let i = category_index cat in
+  t.mfences.(i) <- t.mfences.(i) + 1
+
+let clflush_issued t cat = t.clflush_issued.(category_index cat)
+let clflush_dirty t cat = t.clflush_dirty.(category_index cat)
+let mfences t cat = t.mfences.(category_index cat)
+let total_clflush_issued t = Array.fold_left ( + ) 0 t.clflush_issued
+let total_clflush_dirty t = Array.fold_left ( + ) 0 t.clflush_dirty
+let total_mfences t = Array.fold_left ( + ) 0 t.mfences
 
 (* --- reporting --- *)
 

@@ -95,4 +95,19 @@ val lazy_write : t -> unit
 val eager_writes : t -> int
 val lazy_writes : t -> int
 
+(** {1 Persistence instructions}
+
+    Per-category clflush/mfence issue counts, so flush-heavy paths are
+    visible in bench output. [lines] is the cachelines covered by the
+    flush, [dirty] how many were actually written back. *)
+
+val add_clflush : t -> category -> lines:int -> dirty:int -> unit
+val add_mfence : t -> category -> unit
+val clflush_issued : t -> category -> int
+val clflush_dirty : t -> category -> int
+val mfences : t -> category -> int
+val total_clflush_issued : t -> int
+val total_clflush_dirty : t -> int
+val total_mfences : t -> int
+
 val pp_breakdown : Format.formatter -> t -> unit

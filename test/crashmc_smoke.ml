@@ -1,0 +1,55 @@
+(* crashmc smoke suite: run every scenario with a fixed seed and a bounded
+   image budget, and enforce the acceptance bar:
+   - >= 1000 distinct crash images explored across PMFS and HiNFS workloads,
+   - zero invariant/durability violations on the real code,
+   - the injected missing-fence fixture IS flagged (checker not vacuous),
+   - fully deterministic given the seed.
+
+   Wired into `dune runtest` through the crashmc-smoke alias; also runnable
+   directly: dune exec test/crashmc_smoke.exe *)
+
+module Crashmc = Hinfs_crashmc.Crashmc
+module Scenarios = Hinfs_crashmc.Scenarios
+
+let params =
+  {
+    Crashmc.seed = 42L;
+    k_exhaustive = 10;
+    samples_per_state = 28;
+    max_images_per_state = 96;
+    max_states = 40;
+  }
+
+let () =
+  let report = Crashmc.run_suite ~params Scenarios.all in
+  Fmt.pr "%a@." Crashmc.pp_report report;
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  let images = Crashmc.total_images report in
+  if images < 1000 then
+    fail "only %d distinct crash images explored (need >= 1000)" images;
+  (match Crashmc.unexpected_violations report with
+  | [] -> ()
+  | vs ->
+    fail "%d unexpected violation(s), e.g. %s" (List.length vs)
+      (match vs with
+      | (sc, st, v) :: _ -> Fmt.str "[%s/%s] %s" sc st v
+      | [] -> assert false));
+  (match Crashmc.missed_fixtures report with
+  | [] -> ()
+  | ms -> fail "buggy fixture(s) not flagged: %s" (String.concat ", " ms));
+  (* Determinism: a second run with the same seed must agree exactly. *)
+  let again = Crashmc.run_suite ~params Scenarios.all in
+  List.iter2
+    (fun (a : Crashmc.scenario_result) (b : Crashmc.scenario_result) ->
+      if
+        a.sr_states <> b.sr_states
+        || a.sr_images <> b.sr_images
+        || a.sr_violations <> b.sr_violations
+      then fail "scenario %s is not deterministic" a.sr_name)
+    report.results again.results;
+  match !failures with
+  | [] -> Fmt.pr "crashmc-smoke OK@."
+  | fs ->
+    List.iter (Fmt.epr "crashmc-smoke FAIL: %s@.") (List.rev fs);
+    exit 1
