@@ -480,6 +480,7 @@ let journal_backpressure t fst =
   end
 
 let write t ~ino ~off ~src ~src_off ~len ~sync =
+  Pmfs.check_writable t.pmfs;
   if off < 0 || len < 0 then Errno.raise_error EINVAL "bad write range";
   let fst = file_state t ino in
   journal_backpressure t fst;
@@ -701,6 +702,7 @@ let rename t ~src_dir ~src ~dst_dir ~dst =
   Pmfs.rename t.pmfs ~src_dir ~src ~dst_dir ~dst
 
 let truncate t ~ino ~size =
+  Pmfs.check_writable t.pmfs;
   let fst = file_state t ino in
   let bs = block_size t in
   let keep_blocks = (size + bs - 1) / bs in

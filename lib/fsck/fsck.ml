@@ -31,6 +31,7 @@ let max_name_len = 55
 type report = {
   inodes_checked : int;
   blocks_claimed : int;
+  poisoned_data_lines : int;
   violations : string list;
 }
 
@@ -38,8 +39,11 @@ let ok report = report.violations = []
 
 let pp_report ppf r =
   if ok r then
-    Fmt.pf ppf "fsck clean: %d inodes, %d blocks" r.inodes_checked
+    Fmt.pf ppf "fsck clean: %d inodes, %d blocks%a" r.inodes_checked
       r.blocks_claimed
+      (fun ppf n ->
+        if n > 0 then Fmt.pf ppf " (%d poisoned data line(s) pending EIO)" n)
+      r.poisoned_data_lines
   else
     Fmt.pf ppf "@[<v>fsck: %d violation(s) (%d inodes, %d blocks):@,%a@]"
       (List.length r.violations)
@@ -95,15 +99,15 @@ let check_pmfs fs =
   let dirent_refs = Hashtbl.create 256 in (* target ino -> reference count *)
   let inodes_checked = ref 0 in
   let claim ino what block =
-    if block < geo.Layout.data_start || block >= geo.Layout.total_blocks then
+    if block < geo.Layout.data_start || block >= geo.Layout.data_end then
       add
         (Fmt.str "inode %d: %s block %d outside data region [%d, %d)" ino
-           what block geo.Layout.data_start geo.Layout.total_blocks)
+           what block geo.Layout.data_start geo.Layout.data_end)
     else
       match Hashtbl.find_opt owner block with
-      | Some other ->
+      | Some (other, _) ->
         add (Fmt.str "block %d claimed by inodes %d and %d" block other ino)
-      | None -> Hashtbl.replace owner block ino
+      | None -> Hashtbl.replace owner block (ino, what)
   in
   for ino = 1 to geo.Layout.inode_count do
     if Layout.Inode.in_use device geo ino then begin
@@ -217,9 +221,54 @@ let check_pmfs fs =
       (Fmt.str "inode allocator: %d inodes marked used, %d in use"
          (Allocator.used_blocks ialloc)
          !inodes_checked);
+  (* 6. Media: poison on metadata (superblock copies, journal, in-use
+     inode slots, index blocks) is a violation — the tree cannot be
+     trusted. Poison on reachable data is only counted: those lines raise
+     EIO on read but the structure stays consistent, so a post-scrub fsck
+     can still pass. Poison on free lines heals on the next write. *)
+  let poisoned_data = ref 0 in
+  (match Device.fault_model device with
+  | None -> ()
+  | Some _ ->
+    let bs = geo.Layout.block_size in
+    let addrs =
+      Device.verify_range device ~addr:0 ~len:(geo.Layout.total_blocks * bs)
+    in
+    List.iter
+      (fun addr ->
+        let block = addr / bs in
+        if block = 0 || block = geo.Layout.sb_replica then
+          add (Fmt.str "media: superblock copy poisoned at %#x" addr)
+        else if
+          block >= geo.Layout.journal_start
+          && block < geo.Layout.journal_start + geo.Layout.journal_blocks
+        then add (Fmt.str "media: journal line poisoned at %#x" addr)
+        else if
+          block >= geo.Layout.itable_start
+          && block < geo.Layout.itable_start + geo.Layout.itable_blocks
+        then begin
+          let ino =
+            ((addr - (geo.Layout.itable_start * bs)) / Layout.inode_size) + 1
+          in
+          if
+            ino >= 1 && ino <= geo.Layout.inode_count
+            && Layout.Inode.in_use device geo ino
+          then
+            add (Fmt.str "media: in-use inode %d poisoned at %#x" ino addr)
+        end
+        else
+          match Hashtbl.find_opt owner block with
+          | Some (ino, "index") ->
+            add
+              (Fmt.str "media: index block %d of inode %d poisoned at %#x"
+                 block ino addr)
+          | Some _ -> incr poisoned_data
+          | None -> ())
+      addrs);
   {
     inodes_checked = !inodes_checked;
     blocks_claimed = claimed;
+    poisoned_data_lines = !poisoned_data;
     violations = List.rev !violations;
   }
 

@@ -1,0 +1,150 @@
+(* On-line metadata scrubber: walk the device's poisoned cachelines and
+   repair what redundancy allows.
+
+   The repair ladder per region:
+
+   - superblock copies: rewrite both from the surviving copy (mount already
+     picks the good one, so rewriting the current geometry heals either);
+   - journal: zero the line — recovery treats unreadable records as
+     untrusted and a zeroed slot is simply empty;
+   - inode table: a free slot is zeroed; a poisoned in-use slot has no
+     redundant copy and is unrecoverable;
+   - data region: a free block's line is zeroed (it would heal on the next
+     allocation's write anyway); an allocated index block is unrecoverable
+     (the block tree below it is unreachable); an allocated data block is
+     left poisoned — reads there raise EIO, which is data loss but not a
+     structural fault.
+
+   Any unrecoverable finding degrades the mount to read-only. All repairs
+   go through [Device.poke], the untimed reliable-store path that heals
+   poison at the fault model's store hook. *)
+
+module Device = Hinfs_nvmm.Device
+module Config = Hinfs_nvmm.Config
+module Allocator = Hinfs_nvmm.Allocator
+module Stats = Hinfs_stats.Stats
+module Pmfs = Hinfs_pmfs.Pmfs
+module Layout = Hinfs_pmfs.Layout
+module Fs_ctx = Hinfs_pmfs.Fs_ctx
+module Block_tree = Hinfs_pmfs.Block_tree
+
+type report = {
+  sb_repairs : int;
+  journal_repairs : int;
+  itable_repairs : int;
+  free_repairs : int;
+  data_lost_lines : int;
+  unrecoverable : string list;
+}
+
+let repairs r =
+  r.sb_repairs + r.journal_repairs + r.itable_repairs + r.free_repairs
+
+let clean r = r.unrecoverable = []
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>scrub: %d repair(s) (sb %d, journal %d, itable %d, free %d), %d \
+     data line(s) lost%a@]"
+    (repairs r) r.sb_repairs r.journal_repairs r.itable_repairs r.free_repairs
+    r.data_lost_lines
+    (Fmt.list ~sep:(Fmt.any "") (fun ppf v ->
+         Fmt.pf ppf "@,  unrecoverable: %s" v))
+    r.unrecoverable
+
+let run fs =
+  let ctx = Pmfs.ctx fs in
+  let device = ctx.Fs_ctx.device in
+  let geo = ctx.Fs_ctx.geo in
+  let stats = Device.stats device in
+  let bs = geo.Layout.block_size in
+  let ls = (Device.config device).Config.cacheline_size in
+  let zero_line = Bytes.make ls '\000' in
+  let sb_repairs = ref 0
+  and journal_repairs = ref 0
+  and itable_repairs = ref 0
+  and free_repairs = ref 0
+  and data_lost = ref 0
+  and unrecoverable = ref [] in
+  let heal counter addr =
+    Device.poke device ~addr ~src:zero_line ~off:0 ~len:ls;
+    Stats.add_scrub_repair stats;
+    incr counter
+  in
+  (* Index blocks are metadata living in the data region; build the set up
+     front so poisoned lines there can be told apart from plain data. *)
+  let index_blocks = Hashtbl.create 64 in
+  for ino = 1 to geo.Layout.inode_count do
+    if Layout.Inode.in_use device geo ino then
+      try
+        Block_tree.iter_index_nodes ctx ~ino (fun block ->
+            Hashtbl.replace index_blocks block ino)
+      with _ -> ()
+  done;
+  (* Superblock copies first: a bad copy is rewritten from the good one
+     (both, in fact — write_superblock refreshes primary and replica). *)
+  let sb_poisoned addr =
+    Device.verify_range device ~addr ~len:bs <> []
+  in
+  if sb_poisoned 0 || sb_poisoned (geo.Layout.sb_replica * bs) then begin
+    Layout.write_superblock device geo ~clean:false;
+    Stats.add_scrub_repair stats;
+    incr sb_repairs
+  end;
+  let addrs =
+    Device.verify_range device ~addr:0 ~len:(geo.Layout.total_blocks * bs)
+  in
+  List.iter
+    (fun addr ->
+      let block = addr / bs in
+      if block = 0 || block = geo.Layout.sb_replica then
+        (* Still poisoned after the rewrite: should not happen (poke
+           heals), but record rather than loop. *)
+        unrecoverable :=
+          Fmt.str "superblock copy at %#x" addr :: !unrecoverable
+      else if
+        block >= geo.Layout.journal_start
+        && block < geo.Layout.journal_start + geo.Layout.journal_blocks
+      then heal journal_repairs addr
+      else if
+        block >= geo.Layout.itable_start
+        && block < geo.Layout.itable_start + geo.Layout.itable_blocks
+      then begin
+        let ino =
+          ((addr - (geo.Layout.itable_start * bs)) / Layout.inode_size) + 1
+        in
+        if
+          ino >= 1 && ino <= geo.Layout.inode_count
+          && Layout.Inode.in_use device geo ino
+        then
+          unrecoverable :=
+            Fmt.str "in-use inode %d at %#x" ino addr :: !unrecoverable
+        else heal itable_repairs addr
+      end
+      else if Hashtbl.mem index_blocks block then
+        unrecoverable :=
+          Fmt.str "index block %d of inode %d at %#x" block
+            (Hashtbl.find index_blocks block)
+            addr
+          :: !unrecoverable
+      else if Allocator.is_allocated ctx.Fs_ctx.balloc block then
+        (* Allocated data: no redundant copy. Leave the poison in place so
+           reads surface EIO instead of silently returning zeros. *)
+        incr data_lost
+      else heal free_repairs addr)
+    addrs;
+  let unrecoverable = List.rev !unrecoverable in
+  (match unrecoverable with
+  | [] -> ()
+  | first :: _ ->
+    Pmfs.degrade fs
+      (Fmt.str "scrub found %d unrecoverable metadata fault(s), e.g. %s"
+         (List.length unrecoverable) first));
+  {
+    sb_repairs = !sb_repairs;
+    journal_repairs = !journal_repairs;
+    itable_repairs = !itable_repairs;
+    free_repairs = !free_repairs;
+    data_lost_lines = !data_lost;
+    unrecoverable;
+  }

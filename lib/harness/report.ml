@@ -81,6 +81,31 @@ let persistence ppf stats =
     table ppf ~header:[ "category"; "clflush"; "dirty"; "mfence" ] rows
   end
 
+(* Media-fault counters (injected faults, retries, repairs, checksum
+   mismatches). Prints nothing on a fault-free run, which is the common
+   case — the fault model is off by default. *)
+let media ppf stats =
+  let module Stats = Hinfs_stats.Stats in
+  if
+    Stats.total_media_faults stats > 0
+    || Stats.media_retries stats > 0
+    || Stats.scrub_repairs stats > 0
+    || Stats.crc_mismatches stats > 0
+  then begin
+    subheading ppf "media faults";
+    table ppf
+      ~header:[ "transient"; "poison"; "retries"; "repairs"; "crc-bad" ]
+      [
+        [
+          string_of_int (Stats.media_faults_transient stats);
+          string_of_int (Stats.media_faults_poison stats);
+          string_of_int (Stats.media_retries stats);
+          string_of_int (Stats.scrub_repairs stats);
+          string_of_int (Stats.crc_mismatches stats);
+        ];
+      ]
+  end
+
 let f1 v = Fmt.str "%.1f" v
 let f2 v = Fmt.str "%.2f" v
 let f0 v = Fmt.str "%.0f" v

@@ -14,6 +14,10 @@ val persistence : Format.formatter -> Hinfs_stats.Stats.t -> unit
 (** Per-category clflush (issued / dirty-line) and mfence counters; silent
     when the run recorded none. *)
 
+val media : Format.formatter -> Hinfs_stats.Stats.t -> unit
+(** Media-fault counters (injected faults, retries, scrub repairs, CRC
+    mismatches); silent when the run recorded none. *)
+
 val f0 : float -> string
 val f1 : float -> string
 val f2 : float -> string

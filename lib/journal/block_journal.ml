@@ -14,9 +14,23 @@
 
 module Stats = Hinfs_stats.Stats
 module Resource = Hinfs_sim.Resource
+module Crc32c = Hinfs_structures.Crc32c
 
 let descriptor_magic = 0x4A424432 (* "JBD2" *)
 let commit_magic = 0x434F4D54 (* "COMT" *)
+
+(* Descriptor and commit blocks carry a CRC-32C over the preceding bytes in
+   their last four bytes (jbd2's j_chksum): recovery only trusts records
+   whose checksum matches, so a torn descriptor or commit write is
+   discarded instead of replayed. *)
+let seal_block b =
+  let n = Bytes.length b - 4 in
+  Bytes.set_int32_le b n (Int32.of_int (Crc32c.digest b ~off:0 ~len:n))
+
+let block_crc_ok b =
+  let n = Bytes.length b - 4 in
+  Int32.to_int (Bytes.get_int32_le b n) land 0xFFFFFFFF
+  = Crc32c.digest b ~off:0 ~len:n
 
 type t = {
   bdev : Hinfs_blockdev.Blockdev.t;
@@ -84,6 +98,7 @@ let commit_batch t entries =
       (fun i (block, _) ->
         Bytes.set_int32_le descriptor (12 + (4 * i)) (Int32.of_int block))
       entries;
+    seal_block descriptor;
     Hinfs_blockdev.Blockdev.write_block t.bdev ~cat t.first_block
       ~src:descriptor ~off:0;
     (* Journal copies of the metadata blocks. *)
@@ -104,6 +119,7 @@ let commit_batch t entries =
     let commit_block = Bytes.make t.block_size '\000' in
     Bytes.set_int32_le commit_block 0 (Int32.of_int commit_magic);
     Bytes.set_int32_le commit_block 4 (Int32.of_int id);
+    seal_block commit_block;
     Hinfs_blockdev.Blockdev.write_block t.bdev ~cat
       (t.first_block + 1 + List.length entries)
       ~src:commit_block ~off:0;
@@ -154,9 +170,19 @@ let commit t =
    happened. *)
 let recover bdev ~first_block ~blocks =
   let block_size = Hinfs_blockdev.Blockdev.block_size bdev in
+  let stats =
+    Hinfs_nvmm.Device.stats (Hinfs_blockdev.Blockdev.device bdev)
+  in
   let descriptor = Hinfs_blockdev.Blockdev.peek_block bdev first_block in
   let magic = Int32.to_int (Bytes.get_int32_le descriptor 0) in
   if magic <> descriptor_magic then false
+  else if not (block_crc_ok descriptor) then begin
+    (* Torn descriptor write: the transaction never committed coherently. *)
+    Stats.add_crc_mismatch stats;
+    let zero = Bytes.make block_size '\000' in
+    Hinfs_blockdev.Blockdev.poke_block bdev first_block ~src:zero ~off:0;
+    false
+  end
   else begin
     let id = Int32.to_int (Bytes.get_int32_le descriptor 4) in
     let count = Int32.to_int (Bytes.get_int32_le descriptor 8) in
@@ -167,7 +193,14 @@ let recover bdev ~first_block ~blocks =
       in
       let cmagic = Int32.to_int (Bytes.get_int32_le commit_block 0) in
       let cid = Int32.to_int (Bytes.get_int32_le commit_block 4) in
-      if cmagic = commit_magic && cid = id then begin
+      let commit_ok =
+        cmagic = commit_magic && cid = id
+        &&
+        (let ok = block_crc_ok commit_block in
+         if not ok then Stats.add_crc_mismatch stats;
+         ok)
+      in
+      if commit_ok then begin
         (* Replay: copy journaled images home. *)
         for i = 0 to count - 1 do
           let home =

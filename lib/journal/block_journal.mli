@@ -30,4 +30,10 @@ val commit : t -> unit
 
 val recover : Hinfs_blockdev.Blockdev.t -> first_block:int -> blocks:int -> bool
 (** Mount-time journal replay; returns [true] if a committed transaction was
+    replayed. Descriptor and commit blocks carry a CRC-32C in their last
+    four bytes — a record whose checksum fails is discarded, never
     replayed. Untimed. *)
+
+val seal_block : Bytes.t -> unit
+(** Set the trailing CRC-32C of a descriptor/commit block image — exposed
+    so tests can hand-craft journal records. *)

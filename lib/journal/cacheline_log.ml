@@ -12,23 +12,28 @@
      0..7    target address
      8..11   transaction id
      12..15  global sequence number
-     16..17  payload length (<= 44)
+     16..17  payload length (<= 40)
      18      entry type (1 = undo data, 2 = commit)
-     19..62  payload (old contents)
+     19..58  payload (old contents)
+     59..62  CRC-32C over bytes [0, 59)
      63      valid flag (0xA5)
 
-   Recovery scans the whole region for valid entries: transactions with a
-   commit entry are discarded; the rest are rolled back by applying their
-   undo payloads in decreasing sequence order. *)
+   Recovery scans the whole region for valid entries, skipping poisoned
+   cachelines and entries whose checksum does not match (a torn or corrupt
+   record is never trusted — it is counted as dropped instead):
+   transactions with a commit entry are discarded; the rest are rolled back
+   by applying their undo payloads in decreasing sequence order. *)
 
 module Proc = Hinfs_sim.Proc
 module Condvar = Hinfs_sim.Condvar
 module Stats = Hinfs_stats.Stats
 module Device = Hinfs_nvmm.Device
 module Config = Hinfs_nvmm.Config
+module Crc32c = Hinfs_structures.Crc32c
 
 let entry_size = 64
-let payload_capacity = 44
+let payload_capacity = 40
+let crc_off = 59
 let valid_magic = 0xA5
 let type_data = 1
 let type_commit = 2
@@ -146,11 +151,12 @@ let begin_txn t =
   t.live_txns <- t.live_txns + 1;
   { id; slots = []; ranges = []; logged = Hashtbl.create 8; committed = false }
 
-(* Append one entry and persist it (write line, clflush, fence). *)
-let write_entry t ~txn_id ~entry_type ~addr ~payload =
-  let slot = alloc_slot t in
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
+(* Build one entry image: checksum set before the valid flag, so a record
+   is only ever valid-with-CRC (single-cacheline writes are not reordered
+   internally, the same guarantee the valid flag already relies on). *)
+let encode_entry ~txn_id ~seq ~entry_type ~addr ~payload =
+  if Bytes.length payload > payload_capacity then
+    invalid_arg "Cacheline_log.encode_entry: payload too large";
   let entry = Bytes.make entry_size '\000' in
   Bytes.set_int64_le entry 0 (Int64.of_int addr);
   Bytes.set_int32_le entry 8 (Int32.of_int txn_id);
@@ -158,7 +164,23 @@ let write_entry t ~txn_id ~entry_type ~addr ~payload =
   Bytes.set_uint16_le entry 16 (Bytes.length payload);
   Bytes.set_uint8 entry 18 entry_type;
   Bytes.blit payload 0 entry 19 (Bytes.length payload);
+  Bytes.set_int32_le entry crc_off
+    (Int32.of_int (Crc32c.digest entry ~off:0 ~len:crc_off));
   Bytes.set_uint8 entry 63 valid_magic;
+  entry
+
+let entry_crc_ok raw =
+  let stored =
+    Int32.to_int (Bytes.get_int32_le raw crc_off) land 0xFFFFFFFF
+  in
+  stored = Crc32c.digest raw ~off:0 ~len:crc_off
+
+(* Append one entry and persist it (write line, clflush, fence). *)
+let write_entry t ~txn_id ~entry_type ~addr ~payload =
+  let slot = alloc_slot t in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let entry = encode_entry ~txn_id ~seq ~entry_type ~addr ~payload in
   let entry_addr = slot_addr t slot in
   Device.write_cached t.device ~cat ~addr:entry_addr ~src:entry ~off:0
     ~len:entry_size;
@@ -288,8 +310,13 @@ let stop_cleaner t =
 (* --- recovery ---
 
    Runs at mount time on the persistent image (untimed: mount-time work is
-   not part of any measured figure). Returns the number of transactions
-   rolled back. *)
+   not part of any measured figure). Reports the transactions rolled back
+   and the records dropped because they could not be trusted. *)
+
+type recovery = {
+  rolled_back : int; (* uncommitted transactions undone *)
+  dropped : int; (* slots discarded: poisoned line or checksum mismatch *)
+}
 
 type recovered_entry = {
   r_slot : int;
@@ -306,24 +333,38 @@ let recover device ~first_block ~blocks =
   let block_size = config.Config.block_size in
   let base = first_block * block_size in
   let capacity = blocks * block_size / entry_size in
+  let stats = Device.stats device in
   let entries = ref [] in
+  let dropped = ref 0 in
   for slot = 0 to capacity - 1 do
-    let raw =
-      Device.peek_persistent device ~addr:(base + (slot * entry_size))
-        ~len:entry_size
-    in
-    if Bytes.get_uint8 raw 63 = valid_magic then
-      entries :=
-        {
-          r_slot = slot;
-          r_addr = Int64.to_int (Bytes.get_int64_le raw 0);
-          r_txn = Int32.to_int (Bytes.get_int32_le raw 8);
-          r_seq = Int32.to_int (Bytes.get_int32_le raw 12);
-          r_len = Bytes.get_uint16_le raw 16;
-          r_type = Bytes.get_uint8 raw 18;
-          r_payload = Bytes.sub raw 19 (Bytes.get_uint16_le raw 16);
-        }
-        :: !entries
+    let addr = base + (slot * entry_size) in
+    if Device.verify_range device ~addr ~len:entry_size <> [] then
+      (* Poisoned journal line: whatever it held is unreadable. Counted as
+         dropped conservatively (an empty slot and a lost record cannot be
+         told apart); the region wipe below rewrites — and so heals — it. *)
+      incr dropped
+    else begin
+      let raw = Device.peek_persistent device ~addr ~len:entry_size in
+      if Bytes.get_uint8 raw 63 = valid_magic then begin
+        if not (entry_crc_ok raw) then begin
+          (* Torn or corrupt record: never trusted, never applied. *)
+          Hinfs_stats.Stats.add_crc_mismatch stats;
+          incr dropped
+        end
+        else
+          entries :=
+            {
+              r_slot = slot;
+              r_addr = Int64.to_int (Bytes.get_int64_le raw 0);
+              r_txn = Int32.to_int (Bytes.get_int32_le raw 8);
+              r_seq = Int32.to_int (Bytes.get_int32_le raw 12);
+              r_len = Bytes.get_uint16_le raw 16;
+              r_type = Bytes.get_uint8 raw 18;
+              r_payload = Bytes.sub raw 19 (Bytes.get_uint16_le raw 16);
+            }
+            :: !entries
+      end
+    end
   done;
   let committed = Hashtbl.create 8 in
   List.iter
@@ -350,7 +391,7 @@ let recover device ~first_block ~blocks =
   done;
   let rolled_back = Hashtbl.create 8 in
   List.iter (fun e -> Hashtbl.replace rolled_back e.r_txn ()) to_undo;
-  Hashtbl.length rolled_back
+  { rolled_back = Hashtbl.length rolled_back; dropped = !dropped }
 
 (* Fsck helper: number of valid entries currently on the medium in the
    journal region. Immediately after recovery (and after clean unmount)

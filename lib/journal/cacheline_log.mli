@@ -53,10 +53,34 @@ val start_cleaner : t -> unit
 val stop_cleaner : t -> unit
 (** Stop the cleaner and checkpoint everything still queued. *)
 
-val recover : Hinfs_nvmm.Device.t -> first_block:int -> blocks:int -> int
+type recovery = {
+  rolled_back : int;  (** uncommitted transactions undone *)
+  dropped : int;
+      (** slots discarded without being trusted: poisoned cacheline or
+          checksum mismatch. Non-zero means recovery may be incomplete —
+          the mounting file system degrades to read-only. *)
+}
+
+val recover :
+  Hinfs_nvmm.Device.t -> first_block:int -> blocks:int -> recovery
 (** Mount-time recovery on the persistent image: rolls back uncommitted
-    transactions, wipes the journal region, returns the number of
-    transactions rolled back. Untimed. *)
+    transactions and wipes (thereby healing) the journal region. Records
+    on poisoned cachelines or failing their CRC-32C are never applied —
+    they are counted in [dropped]. Untimed. *)
+
+val encode_entry :
+  txn_id:int -> seq:int -> entry_type:int -> addr:int -> payload:Bytes.t ->
+  Bytes.t
+(** One 64-byte entry image with valid flag and CRC set — exposed so tests
+    and crash fixtures can place (and deliberately corrupt) raw records. *)
+
+val entry_crc_ok : Bytes.t -> bool
+(** Whether a raw 64-byte entry's stored CRC matches its contents. *)
+
+val type_data : int
+val type_commit : int
+val entry_size : int
+val payload_capacity : int
 
 val count_valid_entries :
   Hinfs_nvmm.Device.t -> first_block:int -> blocks:int -> int

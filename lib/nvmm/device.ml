@@ -73,6 +73,7 @@ type t = {
   overlay : (int, Bytes.t) Hashtbl.t; (* cacheline index -> line content *)
   bandwidth : Hinfs_sim.Resource.t;
   mutable recorder : Record.t option;
+  mutable fault : Fault.t option; (* media-fault model; None = perfect *)
 }
 
 (* One crash point: the guaranteed medium image plus, for every line whose
@@ -103,6 +104,7 @@ let create engine stats config =
       Resource.create ~name:"nvmm-write-bandwidth"
         ~capacity:(Config.nw_slots config);
     recorder = None;
+    fault = None;
   }
 
 let config t = t.config
@@ -276,6 +278,81 @@ let record_forget t ~addr ~len =
       done
     end
 
+(* --- media-fault hooks (no-ops when no fault model is attached) --- *)
+
+(* Timed load of [addr, addr+len): lines dirty in the CPU cache are served
+   from the cache and never touch the medium, so only clean lines can
+   fault. Raises on the first faulting line, in address order, so a fixed
+   seed and access sequence fault identically. *)
+let fault_check_load t ~addr ~len =
+  match t.fault with
+  | None -> ()
+  | Some f ->
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      if not (is_dirty_line t idx) then
+        match Fault.check_load f idx with
+        | None -> ()
+        | Some kind ->
+          let transient = kind = Fault.Transient in
+          Stats.add_media_fault t.stats ~transient;
+          raise (Fault.Media_error { addr = idx * ls; transient })
+    done
+
+(* A store that fully covers lines of the medium: heals poison, may draw
+   store-time poison. Partially covered lines keep their fault state. *)
+let fault_store_range t ~addr ~len =
+  match t.fault with
+  | None -> ()
+  | Some f ->
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      let line_start = idx * ls in
+      if addr <= line_start && line_start + ls <= addr + len then
+        Fault.store_line f idx
+    done
+
+let fault_store_line t idx =
+  match t.fault with None -> () | Some f -> Fault.store_line f idx
+
+(* Untimed raw store (poke): reliable, heals fully covered lines. *)
+let fault_heal_range t ~addr ~len =
+  match t.fault with
+  | None -> ()
+  | Some f ->
+    if len > 0 then begin
+      let ls = line_size t in
+      let first = addr / ls and last = (addr + len - 1) / ls in
+      for idx = first to last do
+        let line_start = idx * ls in
+        if addr <= line_start && line_start + ls <= addr + len then
+          Fault.heal_line f idx
+      done
+    end
+
+let set_fault_model t f = t.fault <- f
+let fault_model t = t.fault
+
+(* Untimed poison inspection for scrub/fsck/recovery: byte addresses
+   (ascending) of poisoned lines intersecting the range. *)
+let verify_range t ~addr ~len =
+  match t.fault with
+  | None -> []
+  | Some f ->
+    if len <= 0 then []
+    else begin
+      check_range t ~addr ~len;
+      let ls = line_size t in
+      let first = addr / ls and last = (addr + len - 1) / ls in
+      let acc = ref [] in
+      for idx = last downto first do
+        if Fault.is_poisoned f idx then acc := (idx * ls) :: !acc
+      done;
+      !acc
+    end
+
 (* --- timed data-path operations --- *)
 
 let read t ~cat ~addr ~len ~into ~off =
@@ -286,6 +363,9 @@ let read t ~cat ~addr ~len ~into ~off =
     let lines = Config.cachelines_in t.config ~addr ~len in
     charge t cat (fun () ->
         Proc.delay_int (lines * t.config.Config.dram_read_ns));
+    (* The loads have happened: poisoned/transient-faulting lines machine-
+       check here, after the access paid its latency. *)
+    fault_check_load t ~addr ~len;
     Bytes.blit t.persistent addr into off len;
     (* Patch bytes whose cachelines are dirty in the CPU cache. *)
     let ls = line_size t in
@@ -342,6 +422,7 @@ let write_nt ?(background = false) t ~cat ~addr ~src ~off ~len =
         end
     done;
     record_nt_post t ~addr ~len;
+    fault_store_range t ~addr ~len;
     Stats.add_nvmm_written ~background t.stats len
   end
 
@@ -377,7 +458,8 @@ let persist_line t idx =
   | Some line ->
     record_flush t idx line;
     Bytes.blit line 0 t.persistent (idx * line_size t) (line_size t);
-    Hashtbl.remove t.overlay idx
+    Hashtbl.remove t.overlay idx;
+    fault_store_line t idx
 
 (* Flush the dirty cachelines intersecting [addr, addr+len) to the medium.
    Clean lines only pay the instruction-issue cost. *)
@@ -451,6 +533,7 @@ let peek_persistent t ~addr ~len =
 let poke t ~addr ~src ~off ~len =
   check_range t ~addr ~len;
   record_forget t ~addr ~len;
+  fault_heal_range t ~addr ~len;
   Bytes.blit src off t.persistent addr len;
   if len > 0 then begin
     let ls = line_size t in
@@ -529,6 +612,7 @@ let of_snapshot engine stats config image =
       Resource.create ~name:"nvmm-write-bandwidth"
         ~capacity:(Config.nw_slots config);
     recorder = None;
+    fault = None;
   }
 
 (* Test/setup helper: persist every dirty line through the same path as

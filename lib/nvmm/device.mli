@@ -30,7 +30,10 @@ val read :
   into:Bytes.t ->
   off:int ->
   unit
-(** Load a byte range (cache-coherent view: dirty overlay lines win). *)
+(** Load a byte range (cache-coherent view: dirty overlay lines win). When
+    a fault model is attached, raises {!Fault.Media_error} if a clean line
+    in the range is poisoned or draws a transient read fault; the access
+    latency is charged either way, so a retry pays again. *)
 
 val read_alloc :
   t -> cat:Hinfs_stats.Stats.category -> addr:int -> len:int -> Bytes.t
@@ -164,3 +167,22 @@ val materialize_crash_image : crash_state -> choice:int array -> Bytes.t
 (** Concrete crash image: the guaranteed medium with [choice.(i)] selecting
     the persisted candidate of the [i]-th undecided line. Feed the result
     to {!of_snapshot}. *)
+
+(** {1 Media-fault model}
+
+    Like the recorder, the fault model is attached on demand and costs
+    nothing when absent. Attached, every timed {!read} of a clean line
+    consults it (poisoned lines and transient draws raise
+    {!Fault.Media_error}); every full line streamed to the medium
+    ({!write_nt}, {!clflush}) heals poison and may draw store-time poison;
+    {!poke} is the reliable repair path (heals, never draws). Untimed
+    {!peek}/{!peek_persistent} stay unchecked — they are the oracle's view
+    of the medium, not an access a real CPU could make. *)
+
+val set_fault_model : t -> Fault.t option -> unit
+val fault_model : t -> Fault.t option
+
+val verify_range : t -> addr:int -> len:int -> int list
+(** Byte addresses (ascending) of poisoned cachelines intersecting the
+    range — untimed inspection for scrub/fsck/recovery. Empty when no
+    fault model is attached. *)

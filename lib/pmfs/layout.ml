@@ -4,16 +4,21 @@
      block 0                     superblock
      [1, 1+journal_blocks)       cacheline undo journal
      [itable_start, +itable)     inode table (128 B inodes, 1-based)
-     [data_start, total)         data + index blocks
+     [data_start, data_end)      data + index blocks
+     block total-1               superblock replica
 
-   All metadata fields are little-endian. Inode 1 is the root directory. *)
+   All metadata fields are little-endian. Inode 1 is the root directory.
+   The superblock carries a CRC-32C over its fixed fields and is
+   replicated in the device's last block, so a poisoned or corrupt primary
+   is repaired from the replica instead of failing the mount. *)
 
 module Device = Hinfs_nvmm.Device
 module Config = Hinfs_nvmm.Config
 module Stats = Hinfs_stats.Stats
+module Crc32c = Hinfs_structures.Crc32c
 
 let magic = 0x504D4653 (* "PMFS" *)
-let version = 1
+let version = 2
 let inode_size = 128
 
 type geometry = {
@@ -24,6 +29,8 @@ type geometry = {
   itable_start : int;
   itable_blocks : int;
   data_start : int;
+  data_end : int; (* first block past the data region *)
+  sb_replica : int; (* block holding the superblock replica *)
   inode_count : int;
 }
 
@@ -40,6 +47,12 @@ module Sb = struct
   let itable_blocks_off = 40
   let data_start_off = 48
   let clean_unmount_off = 56
+  let crc_off = 60
+
+  (* The CRC covers the fixed geometry fields only: the clean-unmount flag
+     flips at runtime with a single-byte store and must not invalidate the
+     checksum. *)
+  let crc_len = clean_unmount_off
 end
 
 (* Derive a geometry from a device size and tuning knobs. *)
@@ -55,7 +68,9 @@ let geometry_of_config ?(journal_blocks = 64) ?(inodes_per_mb = 512) config =
   let journal_start = 1 in
   let itable_start = journal_start + journal_blocks in
   let data_start = itable_start + itable_blocks in
-  if data_start >= total_blocks then
+  let sb_replica = total_blocks - 1 in
+  let data_end = sb_replica in
+  if data_start >= data_end then
     invalid_arg "Layout: device too small for metadata regions";
   {
     block_size;
@@ -65,11 +80,13 @@ let geometry_of_config ?(journal_blocks = 64) ?(inodes_per_mb = 512) config =
     itable_start;
     itable_blocks;
     data_start;
+    data_end;
+    sb_replica;
     inode_count;
   }
 
-(* Write the superblock (mkfs-time; untimed). *)
-let write_superblock device geometry ~clean =
+(* Superblock image with CRC set (the clean flag is outside the CRC). *)
+let superblock_image geometry ~clean =
   let b = Bytes.make geometry.block_size '\000' in
   Bytes.set_int32_le b Sb.magic_off (Int32.of_int magic);
   Bytes.set_int32_le b Sb.version_off (Int32.of_int version);
@@ -80,30 +97,84 @@ let write_superblock device geometry ~clean =
   Bytes.set_int64_le b Sb.itable_blocks_off (Int64.of_int geometry.itable_blocks);
   Bytes.set_int64_le b Sb.data_start_off (Int64.of_int geometry.data_start);
   Bytes.set_uint8 b Sb.clean_unmount_off (if clean then 1 else 0);
-  Device.poke device ~addr:0 ~src:b ~off:0 ~len:geometry.block_size
+  Bytes.set_int32_le b Sb.crc_off
+    (Int32.of_int (Crc32c.digest b ~off:0 ~len:Sb.crc_len));
+  b
 
+(* Write the superblock and its replica (mkfs/mount/unmount; untimed). The
+   poke path is the reliable one: rewriting a copy heals any poison on its
+   lines. *)
+let write_superblock device geometry ~clean =
+  let b = superblock_image geometry ~clean in
+  Device.poke device ~addr:0 ~src:b ~off:0 ~len:geometry.block_size;
+  Device.poke device
+    ~addr:(geometry.sb_replica * geometry.block_size)
+    ~src:b ~off:0 ~len:geometry.block_size
+
+(* One superblock copy is trustworthy if its lines carry no poison, the
+   magic matches, and the CRC over the fixed fields checks out. *)
+let superblock_ok device ~addr =
+  let config = Device.config device in
+  let block_size = config.Config.block_size in
+  if Device.verify_range device ~addr ~len:block_size <> [] then None
+  else begin
+    let b = Device.peek_persistent device ~addr ~len:block_size in
+    let m = Int32.to_int (Bytes.get_int32_le b Sb.magic_off) in
+    let stored =
+      Int32.to_int (Bytes.get_int32_le b Sb.crc_off) land 0xFFFFFFFF
+    in
+    if m <> magic then None
+    else if stored <> Crc32c.digest b ~off:0 ~len:Sb.crc_len then begin
+      Hinfs_stats.Stats.add_crc_mismatch (Device.stats device);
+      None
+    end
+    else Some b
+  end
+
+let geometry_of_superblock ~block_size b =
+  let geti64 off = Int64.to_int (Bytes.get_int64_le b off) in
+  let itable_blocks = geti64 Sb.itable_blocks_off in
+  let total_blocks = geti64 Sb.total_blocks_off in
+  {
+    block_size;
+    total_blocks;
+    journal_start = geti64 Sb.journal_start_off;
+    journal_blocks = geti64 Sb.journal_blocks_off;
+    itable_start = geti64 Sb.itable_start_off;
+    itable_blocks;
+    data_start = geti64 Sb.data_start_off;
+    data_end = total_blocks - 1;
+    sb_replica = total_blocks - 1;
+    inode_count = itable_blocks * block_size / inode_size;
+  }
+
+(* Read the superblock, falling back to the replica — and repairing the
+   bad copy from the good one — when the primary is poisoned or fails its
+   checksum. [None] only when both copies are unusable. *)
 let read_superblock device =
   let config = Device.config device in
   let block_size = config.Config.block_size in
-  let b = Device.peek_persistent device ~addr:0 ~len:block_size in
-  let m = Int32.to_int (Bytes.get_int32_le b Sb.magic_off) in
-  if m <> magic then None
-  else begin
-    let geti64 off = Int64.to_int (Bytes.get_int64_le b off) in
-    let itable_blocks = geti64 Sb.itable_blocks_off in
-    Some
-      ( {
-          block_size;
-          total_blocks = geti64 Sb.total_blocks_off;
-          journal_start = geti64 Sb.journal_start_off;
-          journal_blocks = geti64 Sb.journal_blocks_off;
-          itable_start = geti64 Sb.itable_start_off;
-          itable_blocks;
-          data_start = geti64 Sb.data_start_off;
-          inode_count = itable_blocks * block_size / inode_size;
-        },
-        Bytes.get_uint8 b Sb.clean_unmount_off = 1 )
-  end
+  let replica_addr = (Config.blocks config - 1) * block_size in
+  let parse b =
+    ( geometry_of_superblock ~block_size b,
+      Bytes.get_uint8 b Sb.clean_unmount_off = 1 )
+  in
+  match superblock_ok device ~addr:0 with
+  | Some b ->
+    (if superblock_ok device ~addr:replica_addr = None then begin
+       (* Replica lost: rewrite it from the primary. *)
+       Device.poke device ~addr:replica_addr ~src:b ~off:0 ~len:block_size;
+       Hinfs_stats.Stats.add_scrub_repair (Device.stats device)
+     end);
+    Some (parse b)
+  | None -> (
+    match superblock_ok device ~addr:replica_addr with
+    | Some b ->
+      (* Primary lost: repair it from the replica (poke heals poison). *)
+      Device.poke device ~addr:0 ~src:b ~off:0 ~len:block_size;
+      Hinfs_stats.Stats.add_scrub_repair (Device.stats device);
+      Some (parse b)
+    | None -> None)
 
 let set_clean_unmount device ~cat ~clean =
   Device.set_u8 device ~cat Sb.clean_unmount_off (if clean then 1 else 0);

@@ -18,6 +18,7 @@
 module Device = Hinfs_nvmm.Device
 module Config = Hinfs_nvmm.Config
 module Allocator = Hinfs_nvmm.Allocator
+module Fault = Hinfs_nvmm.Fault
 module Log = Hinfs_journal.Cacheline_log
 module Stats = Hinfs_stats.Stats
 module Engine = Hinfs_sim.Engine
@@ -30,6 +31,7 @@ type t = {
   sync_mount : bool;
   mutable mounted : bool;
   recovered_txns : int;
+  mutable read_only : string option; (* degradation reason; None = rw *)
 }
 
 let ctx t = t.ctx
@@ -39,6 +41,46 @@ let log t = t.ctx.Fs_ctx.log
 let recovered_txns t = t.recovered_txns
 let free_data_blocks t = Allocator.free_blocks t.ctx.Fs_ctx.balloc
 let free_inodes t = Allocator.free_blocks t.ctx.Fs_ctx.ialloc
+
+(* --- graceful degradation ---
+
+   An unrecoverable metadata fault must not abort the machine: the mount
+   degrades to read-only (mutations raise EROFS, reads are still served),
+   exactly the ladder real PM file systems climb: retry, repair, then
+   fail the writes but keep serving what is still readable. *)
+
+let read_only t = t.read_only <> None
+let read_only_reason t = t.read_only
+
+let degrade t reason =
+  match t.read_only with
+  | Some _ -> () (* first reason wins *)
+  | None -> t.read_only <- Some reason
+
+let check_writable t =
+  match t.read_only with
+  | None -> ()
+  | Some reason ->
+    Errno.raise_error EROFS "file system is read-only: %s" reason
+
+(* Bounded retry for transient media faults; unrecoverable (poisoned-line)
+   faults surface as EIO on the data path. The retry re-runs the whole
+   chunk load and pays its latency again, like a machine-check handler
+   restarting the copy. *)
+let max_read_retries = 3
+
+let read_retrying t ~cat ~addr ~len ~into ~off =
+  let stats = Fs_ctx.stats t.ctx in
+  let rec go attempt =
+    try Device.read (device t) ~cat ~addr ~len ~into ~off with
+    | Fault.Media_error { transient = true; _ }
+      when attempt < max_read_retries ->
+      Stats.add_media_retry stats;
+      go (attempt + 1)
+  in
+  try go 0 with
+  | Fault.Media_error { addr = fault_addr; _ } ->
+    Errno.raise_error EIO "uncorrectable NVMM media error at %#x" fault_addr
 
 let now t = Engine.now (Device.engine (device t))
 
@@ -79,12 +121,41 @@ let rebuild_allocators ctx =
     end
   done
 
+(* Mount-time poison sweep: a poisoned cacheline inside a live inode's
+   slot means metadata we can neither trust nor rebuild — there is no
+   replica of the inode table. That is the unrecoverable rung of the
+   degradation ladder: mount read-only. Poison over free inode slots is
+   harmless here (the scrubber zeroes it). *)
+let itable_poison_reason device geo =
+  let bs = geo.Layout.block_size in
+  let itable_addr = geo.Layout.itable_start * bs in
+  let itable_len = geo.Layout.itable_blocks * bs in
+  let bad =
+    List.filter_map
+      (fun addr ->
+        let ino = ((addr - itable_addr) / Layout.inode_size) + 1 in
+        if ino >= 1 && ino <= geo.Layout.inode_count
+           && Layout.Inode.in_use device geo ino
+        then Some ino
+        else None)
+      (Device.verify_range device ~addr:itable_addr ~len:itable_len)
+    |> List.sort_uniq compare
+  in
+  match bad with
+  | [] -> None
+  | inos ->
+    Some
+      (Fmt.str "poisoned inode table (inode%s %a)"
+         (if List.length inos = 1 then "" else "s")
+         Fmt.(list ~sep:comma int)
+         inos)
+
 let mount device ?(sync_mount = false) ?(journal_cleaner = false) () =
   match Layout.read_superblock device with
   | None -> Errno.raise_error EINVAL "no PMFS superblock on device"
   | Some (geo, clean) ->
-    let recovered =
-      if clean then 0
+    let recovery =
+      if clean then { Log.rolled_back = 0; dropped = 0 }
       else
         Log.recover device ~first_block:geo.Layout.journal_start
           ~blocks:geo.Layout.journal_blocks
@@ -95,14 +166,30 @@ let mount device ?(sync_mount = false) ?(journal_cleaner = false) () =
     in
     let balloc =
       Allocator.create ~first_block:geo.Layout.data_start
-        ~count:(geo.Layout.total_blocks - geo.Layout.data_start)
+        ~count:(geo.Layout.data_end - geo.Layout.data_start)
     in
     let ialloc = Allocator.create ~first_block:1 ~count:geo.Layout.inode_count in
     let ctx = { Fs_ctx.device; geo; log; balloc; ialloc } in
     rebuild_allocators ctx;
     Layout.write_superblock device geo ~clean:false;
     if journal_cleaner then Log.start_cleaner log;
-    { ctx; sync_mount; mounted = true; recovered_txns = recovered }
+    let t =
+      {
+        ctx;
+        sync_mount;
+        mounted = true;
+        recovered_txns = recovery.Log.rolled_back;
+        read_only = None;
+      }
+    in
+    if recovery.Log.dropped > 0 then
+      degrade t
+        (Fmt.str "%d untrusted journal record(s) dropped during recovery"
+           recovery.Log.dropped);
+    (match itable_poison_reason device geo with
+    | Some reason -> degrade t reason
+    | None -> ());
+    t
 
 let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?sync_mount
     ?journal_cleaner () =
@@ -231,7 +318,7 @@ let read t ~ino ~off ~len ~into ~into_off =
       let chunk = min (bs - in_block) (len - done_) in
       (match Data.lookup_block t ~ino ~fblock with
       | Some block ->
-        Device.read (device t) ~cat
+        read_retrying t ~cat
           ~addr:(Data.block_addr t block + in_block)
           ~len:chunk ~into ~off:(into_off + done_)
       | None ->
@@ -249,6 +336,7 @@ let read t ~ino ~off ~len ~into ~into_off =
    writeback daemons. *)
 let write_direct ?(background = false) ?(cat = Stats.Write_access) t ~ino ~off
     ~src ~src_off ~len =
+  check_writable t;
   check_ino t ino;
   if off < 0 || len < 0 then Errno.raise_error EINVAL "bad write range";
   let geo = geometry t in
@@ -309,6 +397,7 @@ let write t ~ino ~off ~src ~src_off ~len ~sync =
   write_direct t ~ino ~off ~src ~src_off ~len
 
 let truncate t ~ino ~size =
+  check_writable t;
   check_ino t ino;
   if size < 0 then Errno.raise_error EINVAL "negative size";
   let geo = geometry t in
@@ -370,6 +459,7 @@ let init_inode t txn ~ino ~kind =
   Layout.Inode.set_blocks device ~cat:Stats.Other geo ino 0
 
 let create_entry t ~dir name ~kind =
+  check_writable t;
   check_ino t dir;
   if inode_kind t dir <> Layout.Inode.kind_directory then
     Errno.raise_error ENOTDIR "inode %d is not a directory" dir;
@@ -410,6 +500,7 @@ let free_inode t txn ~ino =
   Layout.Inode.set_links device ~cat:Stats.Other geo ino 0
 
 let unlink t ~dir name =
+  check_writable t;
   check_ino t dir;
   match Dir.find t.ctx ~dir name with
   | None -> Errno.raise_error ENOENT "no entry %S" name
@@ -432,6 +523,7 @@ let unlink t ~dir name =
       Allocator.free t.ctx.Fs_ctx.ialloc ino
 
 let rmdir t ~dir name =
+  check_writable t;
   check_ino t dir;
   match Dir.find t.ctx ~dir name with
   | None -> Errno.raise_error ENOENT "no entry %S" name
@@ -446,6 +538,7 @@ let rmdir t ~dir name =
     Allocator.free t.ctx.Fs_ctx.ialloc ino
 
 let rename t ~src_dir ~src ~dst_dir ~dst =
+  check_writable t;
   check_ino t src_dir;
   check_ino t dst_dir;
   match Dir.find t.ctx ~dir:src_dir src with
@@ -475,7 +568,10 @@ let unmount t =
   if t.mounted then begin
     t.mounted <- false;
     Log.stop_cleaner (log t);
-    Layout.write_superblock (device t) (geometry t) ~clean:true
+    (* A degraded mount never certifies the image clean: the next mount
+       must re-run recovery and re-detect the damage. *)
+    if not (read_only t) then
+      Layout.write_superblock (device t) (geometry t) ~clean:true
   end
 
 (* --- Backend.S instance --- *)

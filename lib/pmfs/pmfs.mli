@@ -32,6 +32,24 @@ val mkfs_and_mount :
 val unmount : t -> unit
 val recovered_txns : t -> int
 
+(** {1 Graceful degradation}
+
+    An unrecoverable metadata fault (poisoned live inode slot, untrusted
+    journal records dropped during recovery) flips the mount to read-only:
+    mutations raise [EROFS], reads are still served. Transient media
+    faults on the data path are retried a bounded number of times;
+    persistent ones surface as [EIO]. *)
+
+val read_only : t -> bool
+val read_only_reason : t -> string option
+
+val degrade : t -> string -> unit
+(** Flip the mount to read-only with a reason (first reason wins). Used by
+    mount, recovery, and the scrubber when repair is impossible. *)
+
+val check_writable : t -> unit
+(** Raise [EROFS] when the mount is degraded; mutations call this first. *)
+
 (** {1 Accessors} *)
 
 val ctx : t -> Fs_ctx.t

@@ -65,6 +65,12 @@ type t = {
   mutable clflush_issued : int array; (* cachelines covered by clflush *)
   mutable clflush_dirty : int array; (* of those, lines actually written *)
   mutable mfences : int array;
+  (* media-fault accounting *)
+  mutable media_faults_transient : int; (* transient read faults delivered *)
+  mutable media_faults_poison : int; (* loads that hit a poisoned line *)
+  mutable media_retries : int; (* read retries after transient faults *)
+  mutable scrub_repairs : int; (* lines/structures repaired by the scrubber *)
+  mutable crc_mismatches : int; (* metadata checksum failures detected *)
 }
 
 let category_index = function
@@ -108,6 +114,11 @@ let create () =
     clflush_issued = Array.make 5 0;
     clflush_dirty = Array.make 5 0;
     mfences = Array.make 5 0;
+    media_faults_transient = 0;
+    media_faults_poison = 0;
+    media_retries = 0;
+    scrub_repairs = 0;
+    crc_mismatches = 0;
   }
 
 let reset t =
@@ -136,7 +147,12 @@ let reset t =
   t.lazy_writes <- 0;
   t.clflush_issued <- fresh.clflush_issued;
   t.clflush_dirty <- fresh.clflush_dirty;
-  t.mfences <- fresh.mfences
+  t.mfences <- fresh.mfences;
+  t.media_faults_transient <- 0;
+  t.media_faults_poison <- 0;
+  t.media_retries <- 0;
+  t.scrub_repairs <- 0;
+  t.crc_mismatches <- 0
 
 (* --- time --- *)
 
@@ -251,6 +267,24 @@ let add_clflush t cat ~lines ~dirty =
 let add_mfence t cat =
   let i = category_index cat in
   t.mfences.(i) <- t.mfences.(i) + 1
+
+(* --- media faults --- *)
+
+let add_media_fault t ~transient =
+  if transient then
+    t.media_faults_transient <- t.media_faults_transient + 1
+  else t.media_faults_poison <- t.media_faults_poison + 1
+
+let add_media_retry t = t.media_retries <- t.media_retries + 1
+let add_scrub_repair ?(n = 1) t = t.scrub_repairs <- t.scrub_repairs + n
+let add_crc_mismatch t = t.crc_mismatches <- t.crc_mismatches + 1
+
+let media_faults_transient t = t.media_faults_transient
+let media_faults_poison t = t.media_faults_poison
+let total_media_faults t = t.media_faults_transient + t.media_faults_poison
+let media_retries t = t.media_retries
+let scrub_repairs t = t.scrub_repairs
+let crc_mismatches t = t.crc_mismatches
 
 let clflush_issued t cat = t.clflush_issued.(category_index cat)
 let clflush_dirty t cat = t.clflush_dirty.(category_index cat)

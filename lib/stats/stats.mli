@@ -110,4 +110,22 @@ val total_clflush_issued : t -> int
 val total_clflush_dirty : t -> int
 val total_mfences : t -> int
 
+(** {1 Media faults}
+
+    Counters for the NVMM media-fault subsystem: faults delivered by the
+    device's fault model, read retries after transient faults, scrubber
+    repairs, and metadata checksum mismatches detected by recovery or the
+    scrubber. *)
+
+val add_media_fault : t -> transient:bool -> unit
+val add_media_retry : t -> unit
+val add_scrub_repair : ?n:int -> t -> unit
+val add_crc_mismatch : t -> unit
+val media_faults_transient : t -> int
+val media_faults_poison : t -> int
+val total_media_faults : t -> int
+val media_retries : t -> int
+val scrub_repairs : t -> int
+val crc_mismatches : t -> int
+
 val pp_breakdown : Format.formatter -> t -> unit

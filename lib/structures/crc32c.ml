@@ -1,0 +1,27 @@
+(* CRC-32C (Castagnoli), the checksum NVMM file systems use for metadata
+   (NOVA's csum, PMEM's badblock scrubbing tools). Table-driven, reflected
+   polynomial 0x82F63B78. Values are 32-bit, carried in native ints. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0x82F63B78 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc bytes ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length bytes then
+    invalid_arg "Crc32c.update: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get bytes i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest bytes ~off ~len = update 0 bytes ~off ~len
+
+let digest_string s = digest (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)

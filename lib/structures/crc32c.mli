@@ -1,0 +1,12 @@
+(** CRC-32C (Castagnoli, reflected polynomial 0x82F63B78): the checksum
+    used on critical on-NVMM metadata. Results are 32-bit values carried in
+    native ints. *)
+
+val digest : Bytes.t -> off:int -> len:int -> int
+(** Checksum of [bytes[off, off+len)]. *)
+
+val update : int -> Bytes.t -> off:int -> len:int -> int
+(** Streaming form: [update crc b ~off ~len] extends a previous digest. *)
+
+val digest_string : string -> int
+(** [digest_string "123456789" = 0xE3069283] (the standard check value). *)

@@ -11,6 +11,7 @@ type t =
   | ENOTEMPTY
   | EFBIG
   | EROFS
+  | EIO
 
 exception Fs_error of t * string
 
@@ -25,6 +26,7 @@ let to_string = function
   | ENOTEMPTY -> "ENOTEMPTY"
   | EFBIG -> "EFBIG"
   | EROFS -> "EROFS"
+  | EIO -> "EIO"
 
 let raise_error code fmt =
   Fmt.kstr (fun msg -> raise (Fs_error (code, msg))) fmt

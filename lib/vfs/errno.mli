@@ -11,6 +11,7 @@ type t =
   | ENOTEMPTY
   | EFBIG
   | EROFS
+  | EIO  (** uncorrectable media error reached the data path *)
 
 exception Fs_error of t * string
 

@@ -1,0 +1,283 @@
+(* Media-fault model tests: deterministic placement, transient retry,
+   superblock replica repair, CRC-guarded journal recovery, and the
+   read-only degradation ladder. *)
+
+module Engine = Hinfs_sim.Engine
+module Stats = Hinfs_stats.Stats
+module Crc32c = Hinfs_structures.Crc32c
+module Device = Hinfs_nvmm.Device
+module Fault = Hinfs_nvmm.Fault
+module Log = Hinfs_journal.Cacheline_log
+module Pmfs = Hinfs_pmfs.Pmfs
+module Layout = Hinfs_pmfs.Layout
+module Errno = Hinfs_vfs.Errno
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cat = Stats.Other
+let root = Layout.root_ino
+let line_size = 64
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let raises_errno code f =
+  match f () with
+  | _ -> false
+  | exception Errno.Fs_error (c, _) -> c = code
+
+(* --- CRC-32C --- *)
+
+let test_crc32c_vector () =
+  (* The Castagnoli check value (RFC 3720 appendix B.4). *)
+  check_int "crc32c(123456789)" 0xE3069283 (Crc32c.digest_string "123456789");
+  let whole = Crc32c.digest_string "123456789" in
+  let b = Bytes.of_string "123456789" in
+  let partial = Crc32c.update (Crc32c.digest b ~off:0 ~len:4) b ~off:4 ~len:5 in
+  check_int "incremental update matches one-shot" whole partial
+
+(* --- deterministic placement --- *)
+
+(* One full workload under nonzero fault rates; returns every counter the
+   model and the stats layer expose. Two runs with the same seed must agree
+   bit for bit. *)
+let faulty_run () =
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let d, fs = Testkit.make_pmfs ~stats engine in
+      let fault =
+        Fault.create ~poison_rate:0.005 ~transient_rate:0.005 ~seed:99L ()
+      in
+      Device.set_fault_model d (Some fault);
+      let len = 48 * 1024 in
+      let payload = Testkit.pattern_bytes ~seed:5 len in
+      let inos =
+        List.init 6 (fun i -> Pmfs.create_file fs ~dir:root (Fmt.str "f%d" i))
+      in
+      List.iter
+        (fun ino ->
+          ignore
+            (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len
+               ~sync:true))
+        inos;
+      let eio = ref 0 in
+      List.iter
+        (fun ino ->
+          let buf = Bytes.create len in
+          match Pmfs.read fs ~ino ~off:0 ~len ~into:buf ~into_off:0 with
+          | _ -> ()
+          | exception Errno.Fs_error (Errno.EIO, _) -> incr eio)
+        inos;
+      ( Fault.poisoned_lines fault,
+        ( Fault.store_poisons fault,
+          Fault.transient_faults fault,
+          Fault.poison_hits fault,
+          Fault.heals fault ),
+        ( !eio,
+          Stats.media_faults_transient stats,
+          Stats.media_faults_poison stats,
+          Stats.media_retries stats ) ))
+
+let test_same_seed_same_faults () =
+  let lines1, model1, fsstats1 = faulty_run () in
+  let lines2, model2, fsstats2 = faulty_run () in
+  check_bool "identical poisoned-line placement" true (lines1 = lines2);
+  check_bool "at least one line poisoned" true (lines1 <> []);
+  check_bool "identical model counters" true (model1 = model2);
+  check_bool "identical fs-level counters" true (fsstats1 = fsstats2)
+
+(* --- transient faults are retried to success --- *)
+
+let test_transient_retried () =
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let d, fs = Testkit.make_pmfs ~stats engine in
+      let ino = Pmfs.create_file fs ~dir:root "t" in
+      let payload = Testkit.pattern_bytes ~seed:9 48 in
+      ignore (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:48 ~sync:true);
+      (* Every clean-line load now faults once; the bounded retry consumes
+         the pending transient and succeeds on the second attempt. The read
+         covers a single cacheline, so exactly one retry is needed. *)
+      let fault = Fault.create ~transient_rate:1.0 ~seed:7L () in
+      Device.set_fault_model d (Some fault);
+      let buf = Bytes.create 48 in
+      let n = Pmfs.read fs ~ino ~off:0 ~len:48 ~into:buf ~into_off:0 in
+      check_int "bytes read" 48 n;
+      Testkit.check_bytes "data intact after retry" payload (Bytes.sub buf 0 48);
+      check_int "one transient fault" 1 (Stats.media_faults_transient stats);
+      check_int "one retry" 1 (Stats.media_retries stats);
+      check_bool "mount still read-write" false (Pmfs.read_only fs))
+
+(* --- superblock replica repair --- *)
+
+let test_superblock_repaired_from_replica () =
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let d, fs = Testkit.make_pmfs ~stats engine in
+      let ino = Pmfs.create_file fs ~dir:root "keep" in
+      let payload = Testkit.pattern_bytes ~seed:11 4096 in
+      ignore
+        (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096
+           ~sync:true);
+      Pmfs.unmount fs;
+      let fault = Fault.create ~seed:1L () in
+      Device.set_fault_model d (Some fault);
+      (* Strike the first line of the primary superblock. *)
+      Fault.poison_line fault 0;
+      let fs = Pmfs.mount d () in
+      check_bool "mounted read-write" false (Pmfs.read_only fs);
+      check_bool "primary repaired (poison healed)" false
+        (Fault.is_poisoned fault 0);
+      check_bool "repair counted" true (Stats.scrub_repairs stats >= 1);
+      let buf = Bytes.create 4096 in
+      let n = Pmfs.read fs ~ino ~off:0 ~len:4096 ~into:buf ~into_off:0 in
+      check_int "file length intact" 4096 n;
+      Testkit.check_bytes "file intact after repair" payload buf)
+
+(* --- CRC-guarded journal recovery --- *)
+
+let journal_first = 1
+let journal_blocks = 8
+let target_base = 16 * 4096
+
+let test_corrupt_commit_detected () =
+  (* encode/corrupt unit check first. *)
+  let entry =
+    Log.encode_entry ~txn_id:1 ~seq:0 ~entry_type:Log.type_commit ~addr:0
+      ~payload:Bytes.empty
+  in
+  check_bool "fresh entry passes CRC" true (Log.entry_crc_ok entry);
+  let bad = Bytes.copy entry in
+  Bytes.set_uint8 bad 20 (Bytes.get_uint8 bad 20 lxor 0xFF);
+  check_bool "corrupt entry fails CRC" false (Log.entry_crc_ok bad);
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let d = Testkit.make_device ~stats engine in
+      let log = Log.create d ~first_block:journal_first ~blocks:journal_blocks in
+      let old = Testkit.pattern_bytes ~seed:2 64 in
+      Device.write_nt d ~cat ~addr:target_base ~src:old ~off:0 ~len:64;
+      (* Transaction logs the range and updates in place, but its commit
+         record reaches the medium torn: the stored CRC does not match. *)
+      let txn = Log.begin_txn log in
+      Log.log log txn ~addr:target_base ~len:64;
+      Device.write_cached d ~cat ~addr:target_base ~src:(Bytes.make 64 'Z')
+        ~off:0 ~len:64;
+      Device.clflush d ~cat ~addr:target_base ~len:64;
+      (* The 64-byte range takes two undo entries (slots 0-1); the torn
+         commit record lands in slot 2. *)
+      Device.poke d
+        ~addr:((journal_first * 4096) + (2 * Log.entry_size))
+        ~src:bad ~off:0 ~len:Log.entry_size;
+      Device.crash d;
+      let recovery =
+        Log.recover d ~first_block:journal_first ~blocks:journal_blocks
+      in
+      check_int "untrusted commit dropped" 1 recovery.Log.dropped;
+      check_int "txn rolled back despite torn commit" 1
+        recovery.Log.rolled_back;
+      check_bool "mismatch counted" true (Stats.crc_mismatches stats >= 1);
+      let back = Device.peek_persistent d ~addr:target_base ~len:64 in
+      Testkit.check_bytes "old value restored" old back)
+
+let test_corrupt_journal_degrades_mount () =
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let d, fs = Testkit.make_pmfs ~stats engine in
+      let geo = Pmfs.geometry fs in
+      let ino = Pmfs.create_file fs ~dir:root "survivor" in
+      let payload = Testkit.pattern_bytes ~seed:13 1024 in
+      ignore
+        (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:1024
+           ~sync:true);
+      Pmfs.unmount fs;
+      (* Fake an unclean shutdown that left a torn commit record behind:
+         clear the clean flag and plant a checksum-invalid record. *)
+      Device.poke d ~addr:56 ~src:(Bytes.make 1 '\000') ~off:0 ~len:1;
+      let entry =
+        Log.encode_entry ~txn_id:1 ~seq:0 ~entry_type:Log.type_commit ~addr:0
+          ~payload:Bytes.empty
+      in
+      Bytes.set_uint8 entry 20 (Bytes.get_uint8 entry 20 lxor 0xFF);
+      Device.poke d
+        ~addr:(geo.Layout.journal_start * geo.Layout.block_size)
+        ~src:entry ~off:0 ~len:Log.entry_size;
+      let fs = Pmfs.mount d () in
+      check_bool "mount degraded to read-only" true (Pmfs.read_only fs);
+      check_bool "mismatch counted" true (Stats.crc_mismatches stats >= 1);
+      let buf = Bytes.create 1024 in
+      let n = Pmfs.read fs ~ino ~off:0 ~len:1024 ~into:buf ~into_off:0 in
+      check_int "reads still served" 1024 n;
+      Testkit.check_bytes "data intact" payload buf;
+      check_bool "mutations raise EROFS" true
+        (raises_errno Errno.EROFS (fun () ->
+             Pmfs.create_file fs ~dir:root "nope")))
+
+(* --- unrecoverable itable poison: read-only with reads served --- *)
+
+let test_itable_poison_mounts_read_only () =
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let d, fs = Testkit.make_pmfs ~stats engine in
+      let geo = Pmfs.geometry fs in
+      let ino = Pmfs.create_file fs ~dir:root "victim" in
+      let payload = Testkit.pattern_bytes ~seed:17 4096 in
+      ignore
+        (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096
+           ~sync:true);
+      Pmfs.unmount fs;
+      let fault = Fault.create ~seed:3L () in
+      Device.set_fault_model d (Some fault);
+      (* Poison the live inode's slot in the table: no redundant copy
+         exists, so the mount must degrade rather than trust it. *)
+      Fault.poison_line fault (Layout.Inode.addr geo ino / line_size);
+      let fs = Pmfs.mount d () in
+      check_bool "mount degraded to read-only" true (Pmfs.read_only fs);
+      (match Pmfs.read_only_reason fs with
+      | Some reason ->
+        check_bool "reason names the inode table" true
+          (contains reason "inode")
+      | None -> Alcotest.fail "degraded mount must carry a reason");
+      let buf = Bytes.create 4096 in
+      let n = Pmfs.read fs ~ino ~off:0 ~len:4096 ~into:buf ~into_off:0 in
+      check_int "reads still served" 4096 n;
+      Testkit.check_bytes "data intact" payload buf;
+      check_bool "create raises EROFS" true
+        (raises_errno Errno.EROFS (fun () ->
+             Pmfs.create_file fs ~dir:root "nope"));
+      check_bool "unlink raises EROFS" true
+        (raises_errno Errno.EROFS (fun () ->
+             Pmfs.unlink fs ~dir:root "victim"));
+      ignore stats)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "crc32c",
+        [ Alcotest.test_case "known vector" `Quick test_crc32c_vector ] );
+      ( "fault-model",
+        [
+          Alcotest.test_case "same seed, same faults" `Quick
+            test_same_seed_same_faults;
+          Alcotest.test_case "transient retried" `Quick test_transient_retried;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "superblock replica repair" `Quick
+            test_superblock_repaired_from_replica;
+        ] );
+      ( "journal-crc",
+        [
+          Alcotest.test_case "corrupt commit detected" `Quick
+            test_corrupt_commit_detected;
+          Alcotest.test_case "corrupt journal degrades mount" `Quick
+            test_corrupt_journal_degrades_mount;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "itable poison mounts read-only" `Quick
+            test_itable_poison_mounts_read_only;
+        ] );
+    ]

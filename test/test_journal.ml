@@ -64,10 +64,11 @@ let test_crash_before_commit_rolls_back () =
         ~off:0 ~len:64;
       Device.clflush d ~cat ~addr:target_base ~len:64;
       Device.crash d;
-      let rolled =
+      let recovery =
         Log.recover d ~first_block:journal_first ~blocks:journal_blocks
       in
-      check_int "one txn rolled back" 1 rolled;
+      check_int "one txn rolled back" 1 recovery.Log.rolled_back;
+      check_int "nothing dropped" 0 recovery.Log.dropped;
       let back = Device.peek_persistent d ~addr:target_base ~len:64 in
       Testkit.check_bytes "old value restored" old back)
 
@@ -82,10 +83,10 @@ let test_crash_after_commit_preserves () =
           Device.write_cached d ~cat ~addr:target_base ~src:fresh ~off:0
             ~len:64);
       Device.crash d;
-      let rolled =
+      let recovery =
         Log.recover d ~first_block:journal_first ~blocks:journal_blocks
       in
-      check_int "nothing rolled back" 0 rolled;
+      check_int "nothing rolled back" 0 recovery.Log.rolled_back;
       let back = Device.peek_persistent d ~addr:target_base ~len:64 in
       Testkit.check_bytes "committed value kept" fresh back)
 
@@ -139,9 +140,9 @@ let test_multi_entry_large_range () =
       let old = Testkit.pattern_bytes ~seed:7 300 in
       Device.write_nt d ~cat ~addr:target_base ~src:old ~off:0 ~len:300;
       let txn = Log.begin_txn log in
-      (* 300 bytes at 44 per entry = 7 entries. *)
+      (* 300 bytes at 40 per entry = 8 entries. *)
       Log.log log txn ~addr:target_base ~len:300;
-      check_int "entries written" 7 (Log.entries_written log);
+      check_int "entries written" 8 (Log.entries_written log);
       Device.write_cached d ~cat ~addr:target_base ~src:(Bytes.make 300 'R')
         ~off:0 ~len:300;
       Device.clflush d ~cat ~addr:target_base ~len:300;
@@ -232,11 +233,13 @@ let test_block_journal_replay () =
       Bytes.set_int32_le descriptor 4 7l;
       Bytes.set_int32_le descriptor 8 1l;
       Bytes.set_int32_le descriptor 12 200l;
+      Bj.seal_block descriptor;
       Blockdev.poke_block bdev 32 ~src:descriptor ~off:0;
       Blockdev.poke_block bdev 33 ~src:image ~off:0;
       let commit = Bytes.make 4096 '\000' in
       Bytes.set_int32_le commit 0 0x434F4D54l;
       Bytes.set_int32_le commit 4 7l;
+      Bj.seal_block commit;
       Blockdev.poke_block bdev 34 ~src:commit ~off:0;
       let replayed = Bj.recover bdev ~first_block:32 ~blocks:16 in
       check_bool "replayed" true replayed;
@@ -253,6 +256,7 @@ let test_block_journal_discards_uncommitted () =
       Bytes.set_int32_le descriptor 4 9l;
       Bytes.set_int32_le descriptor 8 1l;
       Bytes.set_int32_le descriptor 12 300l;
+      Bj.seal_block descriptor;
       Blockdev.poke_block bdev 32 ~src:descriptor ~off:0;
       (* No commit block. *)
       let before = Blockdev.peek_block bdev 300 in
