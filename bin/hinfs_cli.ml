@@ -93,7 +93,8 @@ let print_stats stats =
       (100.0 *. Stats.bbm_accuracy stats)
       (Stats.bbm_predictions stats);
   Report.persistence Fmt.stdout stats;
-  Report.media Fmt.stdout stats
+  Report.media Fmt.stdout stats;
+  Report.recovery Fmt.stdout stats
 
 let workload_of = function
   | "fileserver" -> `Rate (Filebench.fileserver ())
@@ -187,6 +188,17 @@ let max_states_arg =
     & opt int Crashmc.default_params.max_states
     & info [ "max-states" ] ~doc)
 
+let recrash_checks_arg =
+  let doc =
+    "Per-scenario budget of crash-during-recovery verifications: each crash \
+     image is recovered with the persistence recorder armed, re-crashed at \
+     recovery fences, and recovered again (0 disables)."
+  in
+  Arg.(
+    value
+    & opt int Crashmc.default_params.recrash_checks
+    & info [ "recrash-checks" ] ~doc)
+
 let scenarios_arg =
   let doc =
     Fmt.str "Scenarios to check (default: all). Known: %s."
@@ -194,7 +206,7 @@ let scenarios_arg =
   in
   Arg.(value & pos_all string [] & info [] ~docv:"SCENARIO" ~doc)
 
-let crashmc_run seed k samples max_images max_states names =
+let crashmc_run seed k samples max_images max_states recrash_checks names =
   let params =
     {
       Crashmc.seed;
@@ -202,6 +214,9 @@ let crashmc_run seed k samples max_images max_states names =
       samples_per_state = samples;
       max_images_per_state = max_images;
       max_states;
+      recrash_states = Crashmc.default_params.recrash_states;
+      recrash_samples = Crashmc.default_params.recrash_samples;
+      recrash_checks;
     }
   in
   match
@@ -230,7 +245,7 @@ let crashmc_cmd =
     (Cmd.info "crashmc" ~doc)
     Term.(
       const crashmc_run $ seed_arg $ k_arg $ samples_arg $ max_images_arg
-      $ max_states_arg $ scenarios_arg)
+      $ max_states_arg $ recrash_checks_arg $ scenarios_arg)
 
 (* --- scrub: media-fault injection + repair demo --- *)
 
@@ -328,6 +343,7 @@ let scrub_run seed poison_rate transient_rate poison_lines files size_mb =
       | Some r -> Fmt.pr "mount degraded to read-only: %s@." r
       | None -> Fmt.pr "mount still read-write@.");
       Report.media Fmt.stdout stats;
+      Report.recovery Fmt.stdout stats;
       (* Silent corruption is the one unacceptable outcome. *)
       if !corrupt > 0 then exit_code := 1;
       (* A still-writable file system must also be structurally clean. *)

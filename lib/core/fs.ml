@@ -66,6 +66,7 @@ let stats t = Device.stats (device t)
 let config t = Device.config (device t)
 let hconfig t = t.hcfg
 let pool t = t.pool
+let recovered_txns t = Pmfs.recovered_txns t.pmfs
 let now t = Engine.now (Device.engine (device t))
 
 let block_size t = (config t).Config.block_size
@@ -148,18 +149,40 @@ let get_pending_txn t fst =
     txn
 
 (* Commit the pending transaction. Callers must ensure all the file's
-   buffered dirty data has been persisted (ordered mode). *)
+   buffered dirty data has been persisted (ordered mode).
+
+   Detach the transaction only once the commit lands: if commit fails
+   partway (a journal-slot fault at the commit entry, a media error on the
+   flush), the still-uncommitted transaction stays pending — its undo
+   entries and block allocations remain owned by this file and the next
+   barrier retries the commit. Aborting here instead would roll back the
+   metadata of earlier lazy writes whose buffered data still references the
+   allocated home blocks. *)
 let commit_pending t fst =
   match fst.pending_txn with
   | None -> ()
   | Some txn ->
+    (try Log.commit (Pmfs.log t.pmfs) txn
+     with e ->
+       if Log.txn_committed txn then begin
+         (* Durable, only the checkpoint tripped: safe to detach. *)
+         fst.pending_txn <- None;
+         fst.pending_allocs <- []
+       end;
+       raise e);
     fst.pending_txn <- None;
-    fst.pending_allocs <- [];
-    Log.commit (Pmfs.log t.pmfs) txn
+    fst.pending_allocs <- []
 
 (* Commit if the ordered-mode invariant allows it right now. *)
 let maybe_commit t fst =
   if fst.dirty_blocks = 0 && fst.writers = 0 then commit_pending t fst
+
+(* Opportunistic commit from the writeback daemons and pool reclaim: a
+   transient commit failure (injected journal fault, media error) must not
+   kill a daemon or fail an unrelated foreground write. The transaction
+   stays pending and the next explicit barrier (fsync, unmount) surfaces
+   any persistent error. *)
+let try_commit t fst = try maybe_commit t fst with _ -> ()
 
 (* Abort the pending transaction and reclaim the NVMM blocks it had
    allocated (unlink of a never-synced file). *)
@@ -291,7 +314,7 @@ let daemon_body t =
             | None -> ()
             | Some b ->
               flush_block ~background:true t b ~evict:true;
-              maybe_commit t (file_state t b.Buffer_pool.ino);
+              try_commit t (file_state t b.Buffer_pool.ino);
               reclaim ()
           end
         in
@@ -314,7 +337,7 @@ let daemon_body t =
             let b = Buffer_pool.block t.pool id in
             if b.Buffer_pool.in_use then begin
               flush_block ~background:true t b ~evict:false;
-              maybe_commit t (file_state t b.Buffer_pool.ino)
+              try_commit t (file_state t b.Buffer_pool.ino)
             end)
           stale;
         loop ()
@@ -347,7 +370,7 @@ let alloc_buffer_block t ~ino ~fblock ~home =
         (match Buffer_pool.pick_victim ~policy:t.hcfg.Hconfig.replacement t.pool with
         | Some victim ->
           flush_block t victim ~evict:true;
-          maybe_commit t (file_state t victim.Buffer_pool.ino)
+          try_commit t (file_state t victim.Buffer_pool.ino)
         | None -> ());
         attempt ()
       end

@@ -60,6 +60,10 @@ val stats : t -> Hinfs_stats.Stats.t
 val hconfig : t -> Hconfig.t
 val pool : t -> Buffer_pool.t
 
+val recovered_txns : t -> int
+(** Uncommitted transactions the underlying PMFS rolled back during this
+    mount's log recovery (0 after a clean mount). *)
+
 (** {1 Inode-level operations}
 
     These are what {!Backend} wires into the VFS; exposed for tests and

@@ -110,6 +110,13 @@ type params = {
   samples_per_state : int;  (** sampled images per state beyond K *)
   max_images_per_state : int;  (** exhaustive-product budget per state *)
   max_states : int;  (** captured crash states per scenario (adaptive) *)
+  recrash_states : int;
+      (** crash states captured *during recovery* per outer image *)
+  recrash_samples : int;
+      (** nested images per recovery state (incl. the two extremes) *)
+  recrash_checks : int;
+      (** per-scenario budget of nested re-crash verifications (0 turns
+          crash-during-recovery checking off) *)
 }
 
 let default_params =
@@ -119,6 +126,9 @@ let default_params =
     samples_per_state = 20;
     max_images_per_state = 64;
     max_states = 20;
+    recrash_states = 4;
+    recrash_samples = 3;
+    recrash_checks = 48;
   }
 
 type scenario_result = {
@@ -127,6 +137,9 @@ type scenario_result = {
   sr_states : int;  (** crash states captured *)
   sr_images : int;  (** distinct crash images explored *)
   sr_checked : int;  (** image verifications executed *)
+  sr_recovery_states : int;
+      (** crash states captured during recovery (nested) *)
+  sr_recovery_images : int;  (** nested re-crash images verified *)
   sr_violations : (string * string) list;  (** (state label, message) *)
 }
 
@@ -202,6 +215,85 @@ let verify_image scenario image expectations =
    with e -> out := [ Fmt.str "verify engine: %s" (Printexc.to_string e) ]);
   !out
 
+(* Run [verify] on a materialised image with the persistence recorder armed
+   *during recovery*: every fence inside mount-time log recovery,
+   superblock-replica repair and scrubbing becomes a nested crash point
+   (crash -> partially recover -> crash again). The captured recovery
+   states are enumerated like outer states (the two extremes plus seeded
+   samples, content-deduped) and each nested image is verified again,
+   unrecorded, against the same expectations: recovery must be idempotent
+   under a re-crash at any fence epoch. Returns the first-pass violations
+   plus any nested ones (labelled), and the nested state/image counts.
+   [budget] bounds the nested verifications across a whole scenario. *)
+let verify_image_recrash scenario params rng ~budget image expectations =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let device = Device.of_snapshot engine stats scenario.config image in
+  let states = ref [] in
+  let nstates = ref 0 in
+  let fences = ref 0 in
+  let stride = ref 1 in
+  let on_fence () =
+    incr fences;
+    if !fences mod !stride = 0 && Device.pending_choice_lines device > 0
+    then begin
+      if !nstates >= params.recrash_states then begin
+        states := List.filteri (fun i _ -> i mod 2 = 0) !states;
+        nstates := List.length !states;
+        stride := !stride * 2
+      end;
+      states :=
+        Device.capture_crash_state
+          ~label:(Fmt.str "recovery-fence-%d" !fences)
+          device
+        :: !states;
+      incr nstates
+    end
+  in
+  Device.enable_recording device;
+  Device.set_on_fence device on_fence;
+  let out = ref [ "verification did not run" ] in
+  Engine.spawn engine ~name:"crashmc-verify" (fun () ->
+      out :=
+        (try scenario.verify device expectations
+         with e ->
+           [ Fmt.str "verify raised: %s" (Printexc.to_string e) ]));
+  (try Engine.run engine
+   with e -> out := [ Fmt.str "verify engine: %s" (Printexc.to_string e) ]);
+  let nested_violations = ref [] in
+  let recovery_states = List.rev !states in
+  let seen = Hashtbl.create 64 in
+  let nested = ref 0 in
+  List.iter
+    (fun (state : Device.crash_state) ->
+      let base_digest = Digest.bytes state.cs_image in
+      let counts =
+        Array.of_list
+          (List.map (fun (_, c) -> Array.length c) state.cs_choices)
+      in
+      let vecs =
+        if Array.length counts = 0 then [ [||] ]
+        else sampled_vectors rng counts ~samples:params.recrash_samples
+      in
+      List.iter
+        (fun vec ->
+          let key = image_key ~base_digest state vec in
+          if (not (Hashtbl.mem seen key)) && !budget > 0 then begin
+            Hashtbl.replace seen key ();
+            decr budget;
+            incr nested;
+            let nimage = Device.materialize_crash_image state ~choice:vec in
+            List.iter
+              (fun v ->
+                nested_violations :=
+                  Fmt.str "[recovery-recrash %s] %s" state.cs_label v
+                  :: !nested_violations)
+              (verify_image scenario nimage expectations)
+          end)
+        vecs)
+    recovery_states;
+  (!out @ List.rev !nested_violations, List.length recovery_states, !nested)
+
 (* --- scenario driver --- *)
 
 let run_scenario ?(params = default_params) scenario =
@@ -263,6 +355,9 @@ let run_scenario ?(params = default_params) scenario =
   let images = ref 0 in
   let checked = ref 0 in
   let violations = ref [] in
+  let recrash_budget = ref params.recrash_checks in
+  let recovery_states = ref 0 in
+  let recovery_images = ref 0 in
   List.iter
     (fun ((state : Device.crash_state), exps) ->
       let base_digest = Digest.bytes state.cs_image in
@@ -274,9 +369,21 @@ let run_scenario ?(params = default_params) scenario =
             incr images;
             incr checked;
             let image = Device.materialize_crash_image state ~choice:vec in
+            let vs =
+              if !recrash_budget > 0 then begin
+                let vs, rstates, rimages =
+                  verify_image_recrash scenario params rng
+                    ~budget:recrash_budget image exps
+                in
+                recovery_states := !recovery_states + rstates;
+                recovery_images := !recovery_images + rimages;
+                vs
+              end
+              else verify_image scenario image exps
+            in
             List.iter
               (fun v -> violations := (state.cs_label, v) :: !violations)
-              (verify_image scenario image exps)
+              vs
           end)
         (vectors_for rng params state))
     ordered;
@@ -286,6 +393,8 @@ let run_scenario ?(params = default_params) scenario =
     sr_states = List.length ordered;
     sr_images = !images;
     sr_checked = !checked;
+    sr_recovery_states = !recovery_states;
+    sr_recovery_images = !recovery_images;
     sr_violations = List.rev !violations;
   }
 
@@ -301,6 +410,12 @@ let total_images report =
 
 let total_states report =
   List.fold_left (fun acc r -> acc + r.sr_states) 0 report.results
+
+let total_recovery_states report =
+  List.fold_left (fun acc r -> acc + r.sr_recovery_states) 0 report.results
+
+let total_recovery_images report =
+  List.fold_left (fun acc r -> acc + r.sr_recovery_images) 0 report.results
 
 (* Violations in scenarios that are supposed to be correct. *)
 let unexpected_violations report =
@@ -328,8 +443,8 @@ let pp_result ppf r =
     | true, [] -> "FIXTURE MISSED"
     | true, _ -> "flagged (expected)"
   in
-  Fmt.pf ppf "%-24s %4d states %6d images  %s" r.sr_name r.sr_states
-    r.sr_images status;
+  Fmt.pf ppf "%-32s %4d states %6d images %5d recrash  %s" r.sr_name
+    r.sr_states r.sr_images r.sr_recovery_images status;
   match (r.sr_expect_violation, r.sr_violations) with
   | false, _ :: _ ->
     List.iter
@@ -344,8 +459,12 @@ let pp_report ppf report =
     report.params.seed report.params.k_exhaustive
     report.params.samples_per_state;
   List.iter (fun r -> Fmt.pf ppf "%a@," pp_result r) report.results;
-  Fmt.pf ppf "total: %d crash states, %d distinct crash images, %s@]"
+  Fmt.pf ppf
+    "total: %d crash states, %d distinct crash images, %d recovery states, \
+     %d re-crash images, %s@]"
     (total_states report) (total_images report)
+    (total_recovery_states report)
+    (total_recovery_images report)
     (if ok report then "all checks passed"
      else
        Fmt.str "%d unexpected violation(s), %d missed fixture(s)"

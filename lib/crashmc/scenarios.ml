@@ -352,6 +352,65 @@ let fixture_correct_fence =
     verify = fixture_verify;
   }
 
+(* Deliberately *non-idempotent* recovery: a recovery step that is only
+   correct if it runs exactly once. The workload persists a counter and a
+   "recovery needed" marker; the fixture's verify plays recovery by
+   incrementing the counter (a relative update — the bug) before clearing
+   the marker, with a fence between the two. On any single crash image this
+   is invisible: verify runs once and the counter lands on the expected
+   value. Only the nested enumeration catches it — a re-crash after the
+   increment's fence but before the marker clear leaves both the
+   incremented counter and the marker, so the second recovery increments
+   again. This is the vacuity check for crash-during-recovery coverage:
+   without [recrash_checks] the fixture is reported as missed. *)
+let nonid_counter_addr = 4096
+let nonid_marker_addr = 4096 + 64 (* separate cacheline *)
+let nonid_base = 7
+
+let fixture_nonidempotent_recovery =
+  {
+    name = "fixture-nonidempotent-recovery";
+    config = small_config;
+    expect_violation = true;
+    run =
+      (fun device ctl ->
+        ctl.start ();
+        let b = Bytes.make 1 (Char.chr nonid_base) in
+        Device.write_cached device ~cat ~addr:nonid_counter_addr ~src:b ~off:0
+          ~len:1;
+        Device.clflush device ~cat ~addr:nonid_counter_addr ~len:1;
+        let m = Bytes.make 1 '\001' in
+        Device.write_cached device ~cat ~addr:nonid_marker_addr ~src:m ~off:0
+          ~len:1;
+        Device.clflush device ~cat ~addr:nonid_marker_addr ~len:1;
+        Device.mfence device ~cat);
+    verify =
+      (fun device _expectations ->
+        let peek addr =
+          Bytes.get_uint8 (Device.peek_persistent device ~addr ~len:1) 0
+        in
+        let poke addr v =
+          Device.poke_flushed device ~addr
+            ~src:(Bytes.make 1 (Char.chr v))
+            ~off:0 ~len:1;
+          Device.fence_untimed device
+        in
+        (if peek nonid_marker_addr = 1 then begin
+           (* BUG: relative update ordered before the marker clear — not
+              idempotent if recovery itself is interrupted in between. *)
+           poke nonid_counter_addr (peek nonid_counter_addr + 1);
+           poke nonid_marker_addr 0
+         end);
+        let counter = peek nonid_counter_addr in
+        if counter > nonid_base + 1 then
+          [
+            Fmt.str
+              "non-idempotent recovery replay: counter %d (max legal %d)"
+              counter (nonid_base + 1);
+          ]
+        else []);
+  }
+
 let all =
   [
     pmfs_create_write;
@@ -362,6 +421,7 @@ let all =
     hinfs_unlink_buffered;
     fixture_missing_fence;
     fixture_correct_fence;
+    fixture_nonidempotent_recovery;
   ]
 
 let by_name name = List.find_opt (fun s -> s.name = name) all

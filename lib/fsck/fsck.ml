@@ -31,6 +31,11 @@ let max_name_len = 55
 type report = {
   inodes_checked : int;
   blocks_claimed : int;
+  leaked_blocks : int;
+      (* blocks the live allocator holds as used beyond the reachable set:
+         an aborted operation failed to return an allocation *)
+  leaked_inodes : int;
+      (* inode slots the live allocator holds beyond the in-use set *)
   poisoned_data_lines : int;
   violations : string list;
 }
@@ -202,10 +207,15 @@ let check_pmfs fs =
       end
     end
   done;
-  (* 5. Allocator cross-check: the rebuilt bitmaps must cover exactly the
-     reachable set. *)
+  (* 5. Allocator cross-check: the bitmaps must cover exactly the
+     reachable set. On a fresh mount the allocators are rebuilt from the
+     live trees, so this is vacuous; on a *live* mount after failed
+     operations it is the leak detector — every block or inode an aborted
+     operation failed to return shows up as used-but-unreachable. *)
   let balloc = ctx.Fs_ctx.balloc and ialloc = ctx.Fs_ctx.ialloc in
   let claimed = Hashtbl.length owner in
+  let leaked_blocks = max 0 (Allocator.used_blocks balloc - claimed) in
+  let leaked_inodes = max 0 (Allocator.used_blocks ialloc - !inodes_checked) in
   if Allocator.used_blocks balloc <> claimed then
     add
       (Fmt.str "block allocator: %d blocks marked used, %d reachable"
@@ -268,6 +278,8 @@ let check_pmfs fs =
   {
     inodes_checked = !inodes_checked;
     blocks_claimed = claimed;
+    leaked_blocks;
+    leaked_inodes;
     poisoned_data_lines = !poisoned_data;
     violations = List.rev !violations;
   }

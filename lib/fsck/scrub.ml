@@ -16,8 +16,10 @@
      structural fault.
 
    Any unrecoverable finding degrades the mount to read-only. All repairs
-   go through [Device.poke], the untimed reliable-store path that heals
-   poison at the fault model's store hook. *)
+   go through [Device.poke_flushed], the untimed reliable-store path that
+   heals poison at the fault model's store hook *and* is visible to the
+   persistence recorder, so crash enumeration covers a crash in the middle
+   of a scrub. *)
 
 module Device = Hinfs_nvmm.Device
 module Config = Hinfs_nvmm.Config
@@ -67,7 +69,8 @@ let run fs =
   and data_lost = ref 0
   and unrecoverable = ref [] in
   let heal counter addr =
-    Device.poke device ~addr ~src:zero_line ~off:0 ~len:ls;
+    Device.poke_flushed device ~addr ~src:zero_line ~off:0 ~len:ls;
+    Device.fence_untimed device;
     Stats.add_scrub_repair stats;
     incr counter
   in

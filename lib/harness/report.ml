@@ -106,6 +106,24 @@ let media ppf stats =
       ]
   end
 
+(* Mount-time recovery counters (recovery passes run, transactions rolled
+   back, unusable journal records dropped). Prints nothing when every mount
+   in the run was clean. *)
+let recovery ppf stats =
+  let module Stats = Hinfs_stats.Stats in
+  if Stats.recoveries stats > 0 then begin
+    subheading ppf "log recovery";
+    table ppf
+      ~header:[ "recoveries"; "rolled-back"; "dropped" ]
+      [
+        [
+          string_of_int (Stats.recoveries stats);
+          string_of_int (Stats.recovered_txns stats);
+          string_of_int (Stats.recovery_dropped stats);
+        ];
+      ]
+  end
+
 let f1 v = Fmt.str "%.1f" v
 let f2 v = Fmt.str "%.2f" v
 let f0 v = Fmt.str "%.0f" v

@@ -18,6 +18,10 @@ val media : Format.formatter -> Hinfs_stats.Stats.t -> unit
 (** Media-fault counters (injected faults, retries, scrub repairs, CRC
     mismatches); silent when the run recorded none. *)
 
+val recovery : Format.formatter -> Hinfs_stats.Stats.t -> unit
+(** Mount-time log-recovery counters (passes run, transactions rolled back,
+    unusable records dropped); silent when every mount was clean. *)
+
 val f0 : float -> string
 val f1 : float -> string
 val f2 : float -> string

@@ -137,7 +137,11 @@ let commit_batch t entries =
   end
 
 (* Commit the running transaction. Transactions larger than the journal
-   region are split into multiple batches, as jbd2 does. *)
+   region are split into multiple batches, as jbd2 does. If the commit
+   fails partway (a media error surfacing from an ordered-data flush or a
+   journal write), the not-yet-committed entries are put back into the
+   running transaction instead of being dropped — losing them would
+   silently skip their metadata on the next commit. *)
 let commit t =
   Resource.with_resource t.lock 1 @@ fun () ->
   let entries =
@@ -146,24 +150,37 @@ let commit t =
   let ordered = t.ordered_data in
   t.running <- Hashtbl.create 16;
   t.ordered_data <- [];
-  (* 1. Ordered data first. *)
-  List.iter (fun flush -> flush ()) (List.rev ordered);
   (* Deterministic journal image regardless of hash order. *)
   let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
-  let max_batch = max_blocks_per_txn t in
-  let rec batches = function
-    | [] -> ()
-    | remaining ->
-      let rec take n acc rest =
-        match rest with
-        | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
-        | _ -> (List.rev acc, rest)
-      in
-      let batch, rest = take max_batch [] remaining in
-      commit_batch t batch;
-      batches rest
-  in
-  batches entries
+  let pending = ref entries in
+  try
+    (* 1. Ordered data first. *)
+    List.iter (fun flush -> flush ()) (List.rev ordered);
+    let max_batch = max_blocks_per_txn t in
+    let rec batches = function
+      | [] -> ()
+      | remaining ->
+        let rec take n acc rest =
+          match rest with
+          | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+          | _ -> (List.rev acc, rest)
+        in
+        let batch, rest = take max_batch [] remaining in
+        commit_batch t batch;
+        pending := rest;
+        batches rest
+    in
+    batches entries
+  with e ->
+    (* Re-register what has not been durably committed (batches already
+       checkpointed are safe to drop). A newer provider registered since is
+       kept — it supersedes this image. *)
+    List.iter
+      (fun (block, content) ->
+        if not (Hashtbl.mem t.running block) then
+          Hashtbl.replace t.running block content)
+      !pending;
+    raise e
 
 (* Mount-time recovery: if the journal holds a committed transaction whose
    checkpoint did not finish, replay it. Untimed. Returns true if a replay

@@ -67,6 +67,8 @@ type t = {
   (* statistics *)
   mutable txns_committed : int;
   mutable entries_written : int;
+  (* operation-level fault hook: [true] = fail this slot allocation *)
+  mutable injector : (unit -> bool) option;
 }
 
 let cat = Stats.Journal
@@ -92,7 +94,10 @@ let create device ~first_block ~blocks =
     stop_cleaner = false;
     txns_committed = 0;
     entries_written = 0;
+    injector = None;
   }
+
+let set_fault_injector t f = t.injector <- f
 
 let capacity t = t.capacity
 let free_slots t = t.free_slots
@@ -125,6 +130,11 @@ let drain_pending ?background t =
   done
 
 let alloc_slot t =
+  (* Injected failures look exactly like a full journal, so callers
+     exercise their genuine backpressure/abort paths. *)
+  (match t.injector with
+  | Some f when f () -> raise Journal_full
+  | _ -> ());
   (* Under pressure, checkpoint retired transactions inline (PMFS also
      kicks its cleaner synchronously when the log fills). *)
   if t.free_slots = 0 then drain_pending t;
@@ -150,6 +160,8 @@ let begin_txn t =
   t.next_txn <- id + 1;
   t.live_txns <- t.live_txns + 1;
   { id; slots = []; ranges = []; logged = Hashtbl.create 8; committed = false }
+
+let txn_committed txn = txn.committed
 
 (* Build one entry image: checksum set before the valid flag, so a record
    is only ever valid-with-CRC (single-cacheline writes are not reordered
@@ -274,6 +286,11 @@ let abort t txn =
     entries;
   Device.mfence t.device ~cat;
   List.iter (fun slot -> clear_slot t slot) txn.slots;
+  (* Order the cleared slots before anything that follows the abort: without
+     this fence a crash can persist a later transaction's update yet still
+     hold this transaction's (aborted) undo entries, and recovery would roll
+     the later committed value back. *)
+  Device.mfence t.device ~cat;
   t.live_txns <- t.live_txns - 1
 
 (* --- background cleaner lifecycle --- *)
@@ -375,20 +392,86 @@ let recover device ~first_block ~blocks =
       (fun e -> e.r_type = type_data && not (Hashtbl.mem committed e.r_txn))
       !entries
   in
-  (* Apply undo payloads newest-first: the oldest value wins. *)
+  (* Apply undo payloads newest-first: the oldest value wins. The stores
+     are recorded ([poke_flushed]) so a crash *during* recovery is
+     enumerable; they are also idempotent — each payload is an absolute old
+     value, so a re-crashed re-recovery that replays them lands on the same
+     image. *)
   let ordered =
     List.sort (fun a b -> compare b.r_seq a.r_seq) to_undo
   in
   List.iter
-    (fun e -> Device.poke device ~addr:e.r_addr ~src:e.r_payload ~off:0 ~len:e.r_len)
+    (fun e ->
+      Device.poke_flushed device ~addr:e.r_addr ~src:e.r_payload ~off:0
+        ~len:e.r_len)
     ordered;
-  (* Wipe the journal region. *)
+  (* Undo data is ordered before any journal wipe: a re-crash after this
+     fence still finds every entry intact and re-runs the same rollback. *)
+  Device.fence_untimed device;
+  (* Wipe the journal region in fenced passes. Two hazards bound the order:
+     a commit entry must never disappear while data entries are still on
+     the medium (a re-crash in the middle of a single-pass wipe could keep
+     a committed transaction's data entries but lose its commit entry, and
+     the next recovery would roll the committed transaction back); and when
+     one transaction logged overlapping ranges of the same address, an
+     older entry must never be wiped while a newer one survives — the
+     survivors' newest-first replay would end on the newer (intermediate)
+     value instead of the original. So: the data entries go first, strictly
+     newest-first with a fence per entry, making the surviving subset an
+     oldest-suffix per address at every crash point; then the rest of the
+     region (healing poisoned and torn slots) with the commit entries
+     preserved; then, once no data entry can survive, the commit entries
+     themselves. *)
+  let data_entries =
+    List.sort
+      (fun a b -> compare b.r_seq a.r_seq)
+      (List.filter (fun e -> e.r_type = type_data) !entries)
+  in
+  let zero_entry = Bytes.make entry_size '\000' in
+  List.iter
+    (fun e ->
+      Device.poke_flushed device
+        ~addr:(base + (e.r_slot * entry_size))
+        ~src:zero_entry ~off:0 ~len:entry_size;
+      Device.fence_untimed device)
+    data_entries;
+  let commit_slots = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if e.r_type = type_commit then Hashtbl.replace commit_slots e.r_slot ())
+    !entries;
   let zero_block = Bytes.make block_size '\000' in
+  let slots_per_block = block_size / entry_size in
   for b = 0 to blocks - 1 do
-    Device.poke device
+    let img =
+      if Hashtbl.length commit_slots = 0 then zero_block
+      else begin
+        let img = Bytes.make block_size '\000' in
+        for s = 0 to slots_per_block - 1 do
+          let slot = (b * slots_per_block) + s in
+          if Hashtbl.mem commit_slots slot then
+            Bytes.blit
+              (Device.peek_persistent device
+                 ~addr:(base + (slot * entry_size))
+                 ~len:entry_size)
+              0 img (s * entry_size) entry_size
+        done;
+        img
+      end
+    in
+    Device.poke_flushed device
       ~addr:((first_block + b) * block_size)
-      ~src:zero_block ~off:0 ~len:block_size
+      ~src:img ~off:0 ~len:block_size
   done;
+  Device.fence_untimed device;
+  (* Second pass: no data entry survives, so the commit entries can go. *)
+  Hashtbl.fold (fun slot () acc -> slot :: acc) commit_slots []
+  |> List.sort compare
+  |> List.iter (fun slot ->
+         Device.poke_flushed device
+           ~addr:(base + (slot * entry_size))
+           ~src:zero_entry ~off:0 ~len:entry_size);
+  Device.fence_untimed device;
   let rolled_back = Hashtbl.create 8 in
   List.iter (fun e -> Hashtbl.replace rolled_back e.r_txn ()) to_undo;
   { rolled_back = Hashtbl.length rolled_back; dropped = !dropped }
@@ -411,12 +494,18 @@ let count_valid_entries device ~first_block ~blocks =
   done;
   !n
 
-(* Run [f] inside a transaction; aborts on exception. *)
+(* Run [f] inside a transaction; aborts on exception — including one
+   raised by [commit] itself before the commit entry lands (e.g. an
+   injected journal-slot failure while appending it): the undo entries are
+   still valid, so the abort restores the pre-transaction state. *)
 let with_txn t f =
   let txn = begin_txn t in
   match f txn with
   | result ->
-    commit t txn;
+    (try commit t txn
+     with e ->
+       if not txn.committed then abort t txn;
+       raise e);
     result
   | exception e ->
     if not txn.committed then abort t txn;

@@ -35,6 +35,10 @@ val entries_written : t -> int
 
 val begin_txn : t -> txn
 
+val txn_committed : txn -> bool
+(** Whether {!commit} completed for this transaction — callers handling a
+    commit-time exception must only {!abort} when this is [false]. *)
+
 val log : t -> txn -> addr:int -> len:int -> unit
 (** Persist the current contents of the range as undo entries. Call before
     updating the range in place. *)
@@ -66,7 +70,17 @@ val recover :
 (** Mount-time recovery on the persistent image: rolls back uncommitted
     transactions and wipes (thereby healing) the journal region. Records
     on poisoned cachelines or failing their CRC-32C are never applied —
-    they are counted in [dropped]. Untimed. *)
+    they are counted in [dropped]. Untimed, but visible to the persistence
+    recorder ({!Hinfs_nvmm.Device.poke_flushed}) and re-crash idempotent:
+    undo data is fenced before the wipe, and the wipe clears data entries
+    strictly before commit entries, so a crash at any recovery fence and a
+    second recovery land on the same final image. *)
+
+val set_fault_injector : t -> (unit -> bool) option -> unit
+(** Operation-level fault hook, polled once per entry-slot allocation: when
+    it returns [true] the allocation raises {!Journal_full} exactly as a
+    full journal would. Used by {!Hinfs_nvmm.Faultops} to force journal
+    exhaustion mid-transaction. *)
 
 val encode_entry :
   txn_id:int -> seq:int -> entry_type:int -> addr:int -> payload:Bytes.t ->

@@ -10,6 +10,8 @@ type t = {
   count : int;
   used : Hinfs_structures.Bitmap.t;
   mutable cursor : int; (* next-fit start, relative index *)
+  mutable injector : (unit -> bool) option;
+      (* operation-level fault hook: [true] = fail this allocation *)
 }
 
 module Bitmap = Hinfs_structures.Bitmap
@@ -17,7 +19,14 @@ module Bitmap = Hinfs_structures.Bitmap
 let create ~first_block ~count =
   if first_block < 0 || count <= 0 then
     invalid_arg "Allocator.create: bad region";
-  { first_block; count; used = Bitmap.create count; cursor = 0 }
+  { first_block; count; used = Bitmap.create count; cursor = 0; injector = None }
+
+let set_fault_injector t f = t.injector <- f
+
+(* Injected failures look exactly like exhaustion (alloc returns [None]),
+   so callers exercise their genuine ENOSPC paths. *)
+let injected_failure t =
+  match t.injector with None -> false | Some f -> f ()
 
 let capacity t = t.count
 let free_blocks t = Bitmap.count_clear t.used
@@ -31,6 +40,8 @@ let is_allocated t block =
   Bitmap.get t.used (block - t.first_block)
 
 let alloc t =
+  if injected_failure t then None
+  else
   match Bitmap.find_first_clear ~from:t.cursor t.used with
   | Some i ->
     Bitmap.set t.used i;
@@ -46,6 +57,8 @@ let alloc t =
 
 let alloc_contiguous t n =
   if n <= 0 then invalid_arg "Allocator.alloc_contiguous: n must be > 0";
+  if injected_failure t then None
+  else
   let claim start =
     for j = start to start + n - 1 do
       Bitmap.set t.used j

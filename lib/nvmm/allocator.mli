@@ -22,4 +22,10 @@ val free : t -> int -> unit
 val mark_allocated : t -> int -> unit
 (** Used when rebuilding allocation state during recovery. *)
 
+val set_fault_injector : t -> (unit -> bool) option -> unit
+(** Operation-level fault hook, polled once per {!alloc} /
+    {!alloc_contiguous}: when it returns [true] the allocation fails
+    ([None]) exactly as exhaustion would. Used by {!Faultops} to force
+    ENOSPC / out-of-inodes mid-transaction. *)
+
 val reset : t -> unit

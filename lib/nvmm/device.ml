@@ -552,6 +552,48 @@ let poke t ~addr ~src ~off ~len =
     done
   end
 
+(* Untimed recorded store for recovery/repair paths. Like [poke] it is the
+   reliable path — reaches the medium directly, heals fully covered poisoned
+   lines, never draws new faults — but the persistence recorder sees it as a
+   flushed-but-unfenced version (exactly a non-temporal store minus the
+   timing), so crash enumeration *during* recovery observes what replay and
+   scrub persist. Equivalent to [poke] when recording is off, except that
+   pending records for the covered lines are kept, not forgotten. *)
+let poke_flushed t ~addr ~src ~off ~len =
+  check_range t ~addr ~len;
+  if len > 0 then begin
+    record_nt_pre t ~addr ~len;
+    Bytes.blit src off t.persistent addr len;
+    (* Same cache rule as [write_nt]: fully covered cached lines are
+       invalidated, partially covered ones merge the new bytes. *)
+    let ls = line_size t in
+    let first = addr / ls and last = (addr + len - 1) / ls in
+    for idx = first to last do
+      match Hashtbl.find_opt t.overlay idx with
+      | None -> ()
+      | Some line ->
+        let line_start = idx * ls in
+        if addr <= line_start && line_start + ls <= addr + len then
+          Hashtbl.remove t.overlay idx
+        else begin
+          let copy_start = max addr line_start in
+          let copy_end = min (addr + len) (line_start + ls) in
+          Bytes.blit src
+            (off + copy_start - addr)
+            line (copy_start - line_start)
+            (copy_end - copy_start)
+        end
+    done;
+    record_nt_post t ~addr ~len;
+    fault_heal_range t ~addr ~len
+  end
+
+(* Untimed ordering point pairing with [poke_flushed]: fires the recorder's
+   fence (running the on_fence hook, then collapsing flushed versions into
+   the guaranteed base) without charging time or stats. No-op when recording
+   is off. *)
+let fence_untimed t = record_fence t
+
 let get_u8 t addr = peek_byte t addr
 
 let get_u16 t addr = Bytes.get_uint16_le (peek t ~addr ~len:2) 0

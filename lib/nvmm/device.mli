@@ -101,6 +101,19 @@ val peek_persistent : t -> addr:int -> len:int -> Bytes.t
 val poke : t -> addr:int -> src:Bytes.t -> off:int -> len:int -> unit
 (** Untimed raw store to the medium (mkfs-time initialisation). *)
 
+val poke_flushed : t -> addr:int -> src:Bytes.t -> off:int -> len:int -> unit
+(** Untimed reliable store that the persistence recorder can see: behaves
+    like {!poke} (direct to the medium, heals fully covered poisoned lines,
+    never draws faults) but registers with the recorder as a
+    flushed-but-unfenced version, ordered by the next {!fence_untimed} or
+    {!mfence}. Recovery, scrub, and superblock repair use it so crash
+    enumeration covers a re-crash in the middle of repair. *)
+
+val fence_untimed : t -> unit
+(** Untimed ordering point pairing with {!poke_flushed}: runs the recorder's
+    fence (on_fence hook, then version collapse) without charging time or
+    stats. No-op when recording is off. *)
+
 val dirty_cachelines : t -> int
 (** Number of cachelines currently dirty in the CPU cache. *)
 

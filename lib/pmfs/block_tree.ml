@@ -101,8 +101,9 @@ let needed_height ctx fblock =
    through [txn]; the fresh node's slot-0 store does not (the node is
    unreachable until the transaction commits). Every allocated block is
    reported through [allocated] so the caller can reclaim it if the
-   transaction is later aborted. *)
-let grow ctx txn ~ino ~fblock ~allocated =
+   transaction is later aborted; every journaled mutation pushes an
+   [undo] thunk restoring the old value (see [ensure]). *)
+let grow ctx txn ~ino ~fblock ~allocated ~undo =
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
   let inode_addr = Layout.Inode.addr geo ino in
@@ -115,12 +116,17 @@ let grow ctx txn ~ino ~fblock ~allocated =
     Device.clflush device ~cat:mcat ~addr:(ptr_addr ctx node 0) ~len:8;
     Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:24;
     Layout.Inode.set_height device ~cat:mcat geo ino (height + 1);
-    Layout.Inode.set_tree_root device ~cat:mcat geo ino node
+    Layout.Inode.set_tree_root device ~cat:mcat geo ino node;
+    undo :=
+      (fun () ->
+        Layout.Inode.set_height device ~cat:mcat geo ino height;
+        Layout.Inode.set_tree_root device ~cat:mcat geo ino root)
+      :: !undo
   done
 
 (* Descend from an index node to the data block for [fblock], allocating
    missing index nodes and the data block as needed. *)
-let rec descend_ensure ctx txn ~fblock ~allocated node level =
+let rec descend_ensure ctx txn ~fblock ~allocated ~undo node level =
   let slot = slot_at ctx ~level fblock in
   let ptr = read_ptr ctx node slot in
   if level = 1 then
@@ -129,14 +135,24 @@ let rec descend_ensure ctx txn ~fblock ~allocated node level =
       let data = alloc_block ctx in
       allocated := data :: !allocated;
       write_ptr ctx txn node slot data;
+      undo :=
+        (fun () ->
+          Device.set_u64 ctx.Fs_ctx.device ~cat:mcat (ptr_addr ctx node slot)
+            0L)
+        :: !undo;
       (data, true)
     end
-  else if ptr <> 0 then descend_ensure ctx txn ~fblock ~allocated ptr (level - 1)
+  else if ptr <> 0 then
+    descend_ensure ctx txn ~fblock ~allocated ~undo ptr (level - 1)
   else begin
     let child = alloc_index_node ctx in
     allocated := child :: !allocated;
     write_ptr ctx txn node slot child;
-    descend_ensure ctx txn ~fblock ~allocated child (level - 1)
+    undo :=
+      (fun () ->
+        Device.set_u64 ctx.Fs_ctx.device ~cat:mcat (ptr_addr ctx node slot) 0L)
+      :: !undo;
+    descend_ensure ctx txn ~fblock ~allocated ~undo child (level - 1)
   end
 
 (* Find the data block for [fblock], allocating the tree path and the data
@@ -151,7 +167,17 @@ let ensure ctx txn ~ino ~fblock =
   let inode_addr = Layout.Inode.addr geo ino in
   let root = Layout.Inode.tree_root device geo ino in
   let allocated = ref [] in
+  let undo = ref [] in
+  (* Failure atomicity: a mid-path allocation failure (ENOSPC, injected
+     fault) raises after part of the path was built. A failed ensure must be
+     net-zero: the undo thunks restore every pointer and inode field this
+     call changed (the addresses are already journaled under [txn], so a
+     later abort re-restores the same values — idempotent), and the
+     partially allocated blocks are reclaimed. This matters for HiNFS's
+     long-lived pending transactions, which must stay valid for *either*
+     commit or abort after a failed segment. *)
   let result =
+    try
     if root = 0 then begin
       (* Empty file: build a fresh path of the needed height. *)
       let h = needed_height ctx fblock in
@@ -163,24 +189,34 @@ let ensure ctx txn ~ino ~fblock =
         (data, true)
       end
       else begin
+        let old_height = Layout.Inode.height device geo ino in
         let node = alloc_index_node ctx in
         allocated := node :: !allocated;
         Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:24;
         Layout.Inode.set_height device ~cat:mcat geo ino h;
         Layout.Inode.set_tree_root device ~cat:mcat geo ino node;
-        descend_ensure ctx txn ~fblock ~allocated node h
+        undo :=
+          (fun () ->
+            Layout.Inode.set_height device ~cat:mcat geo ino old_height;
+            Layout.Inode.set_tree_root device ~cat:mcat geo ino 0)
+          :: !undo;
+        descend_ensure ctx txn ~fblock ~allocated ~undo node h
       end
     end
     else begin
-      grow ctx txn ~ino ~fblock ~allocated;
+      grow ctx txn ~ino ~fblock ~allocated ~undo;
       let height = Layout.Inode.height device geo ino in
       let root = Layout.Inode.tree_root device geo ino in
       if height = 0 then begin
         assert (fblock = 0);
         (root, false)
       end
-      else descend_ensure ctx txn ~fblock ~allocated root height
+      else descend_ensure ctx txn ~fblock ~allocated ~undo root height
     end
+    with e ->
+      List.iter (fun f -> f ()) !undo;
+      List.iter (Allocator.free ctx.Fs_ctx.balloc) !allocated;
+      raise e
   in
   let block, fresh = result in
   (block, fresh, !allocated)
@@ -228,37 +264,42 @@ let iter_index_nodes ctx ~ino f =
     walk root height
   end
 
-(* Free all tree blocks (index + data) back to the allocator. The inode's
-   root/height/blocks fields are reset through [txn]; the freed blocks need
-   no on-NVMM scrubbing because nothing reachable points at them once the
-   transaction commits (the allocator is rebuilt from live trees at
-   mount). *)
+(* Detach all tree blocks (index + data) from the inode: root/height/blocks
+   are reset through [txn], and the detached blocks are *returned*, not
+   freed — the caller hands them to the allocator only after the
+   transaction commits. Freeing inside the transaction would let an abort
+   restore the pointers to blocks the allocator already re-issued
+   (reachable-but-free corruption). The freed blocks need no on-NVMM
+   scrubbing: nothing reachable points at them once the transaction commits
+   (the allocator is rebuilt from live trees at mount). *)
 let free_all ctx txn ~ino =
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
   let inode_addr = Layout.Inode.addr geo ino in
-  iter_blocks ctx ~ino (fun _fblock block ->
-      Allocator.free ctx.Fs_ctx.balloc block);
-  iter_index_nodes ctx ~ino (fun node -> Allocator.free ctx.Fs_ctx.balloc node);
+  let detached = ref [] in
+  iter_blocks ctx ~ino (fun _fblock block -> detached := block :: !detached);
+  iter_index_nodes ctx ~ino (fun node -> detached := node :: !detached);
   Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:40;
   Layout.Inode.set_height device ~cat:mcat geo ino 0;
   Layout.Inode.set_tree_root device ~cat:mcat geo ino 0;
-  Layout.Inode.set_blocks device ~cat:mcat geo ino 0
+  Layout.Inode.set_blocks device ~cat:mcat geo ino 0;
+  List.rev !detached
 
-(* Free data blocks with fblock >= keep_blocks (truncate). Index nodes that
-   become empty are left in place (they are reclaimed when the file is
-   deleted); pointers to freed data blocks are zeroed through the txn. *)
+(* Detach data blocks with fblock >= keep_blocks (truncate). Index nodes
+   that become empty are left in place (they are reclaimed when the file is
+   deleted); pointers to detached data blocks are zeroed through the txn.
+   As with [free_all], the detached blocks are returned for the caller to
+   free after commit, never freed inside the transaction. *)
 let free_from ctx txn ~ino ~keep_blocks =
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
   let height = Layout.Inode.height device geo ino in
   let root = Layout.Inode.tree_root device geo ino in
-  let freed = ref 0 in
+  let detached = ref [] in
   if root <> 0 then
     if height = 0 then begin
       if keep_blocks <= 0 then begin
-        Allocator.free ctx.Fs_ctx.balloc root;
-        incr freed;
+        detached := root :: !detached;
         Log.log ctx.Fs_ctx.log txn ~addr:(Layout.Inode.addr geo ino) ~len:24;
         Layout.Inode.set_tree_root device ~cat:mcat geo ino 0
       end
@@ -273,8 +314,7 @@ let free_from ctx txn ~ino ~keep_blocks =
             let ptr = read_ptr ctx node slot in
             if ptr <> 0 then
               if level = 1 then begin
-                Allocator.free ctx.Fs_ctx.balloc ptr;
-                incr freed;
+                detached := ptr :: !detached;
                 write_ptr ctx txn node slot 0
               end
               else walk ptr (level - 1) fblock_base
@@ -283,4 +323,4 @@ let free_from ctx txn ~ino ~keep_blocks =
       in
       walk root height 0
     end;
-  !freed
+  List.rev !detached

@@ -129,33 +129,47 @@ let write_dirent ctx txn ~block ~slot ~name ~ino =
   Bytes.blit_string name 0 raw 6 (String.length name);
   Device.set_bytes ctx.Fs_ctx.device ~cat:mcat ~addr raw
 
+(* Insert an entry. Returns the NVMM blocks allocated for the directory by
+   this call (a fresh dirent block plus any index nodes): they are only
+   reachable once [txn] commits, so a caller that aborts the transaction
+   must hand them back to the allocator. A failure *inside* [add] reclaims
+   its own allocations before re-raising. *)
 let add ctx txn ~dir name ~ino =
   check_name name;
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
-  let block, slot =
-    match find_free_slot ctx ~dir with
-    | Some (block, slot) -> (block, slot)
-    | None ->
-      (* Append a fresh dirent block: zero it persistently before it
-         becomes reachable, then extend the directory size. *)
-      let nblocks = dir_blocks ctx ~dir in
-      let block, fresh, _allocated = Block_tree.ensure ctx txn ~ino:dir ~fblock:nblocks in
-      if fresh then begin
-        let zero = Bytes.make geo.Layout.block_size '\000' in
-        Device.write_nt device ~cat:mcat
-          ~addr:(Fs_ctx.block_addr ctx block)
-          ~src:zero ~off:0 ~len:(Bytes.length zero)
-      end;
-      let inode_addr = Layout.Inode.addr geo dir in
-      Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:40;
-      Layout.Inode.set_size device ~cat:mcat geo dir
-        ((nblocks + 1) * geo.Layout.block_size);
-      Layout.Inode.set_blocks device ~cat:mcat geo dir
-        (Layout.Inode.blocks device geo dir + if fresh then 1 else 0);
-      (block, 0)
-  in
-  write_dirent ctx txn ~block ~slot ~name ~ino
+  let allocated = ref [] in
+  try
+    let block, slot =
+      match find_free_slot ctx ~dir with
+      | Some (block, slot) -> (block, slot)
+      | None ->
+        (* Append a fresh dirent block: zero it persistently before it
+           becomes reachable, then extend the directory size. *)
+        let nblocks = dir_blocks ctx ~dir in
+        let block, fresh, blocks =
+          Block_tree.ensure ctx txn ~ino:dir ~fblock:nblocks
+        in
+        allocated := blocks;
+        if fresh then begin
+          let zero = Bytes.make geo.Layout.block_size '\000' in
+          Device.write_nt device ~cat:mcat
+            ~addr:(Fs_ctx.block_addr ctx block)
+            ~src:zero ~off:0 ~len:(Bytes.length zero)
+        end;
+        let inode_addr = Layout.Inode.addr geo dir in
+        Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:40;
+        Layout.Inode.set_size device ~cat:mcat geo dir
+          ((nblocks + 1) * geo.Layout.block_size);
+        Layout.Inode.set_blocks device ~cat:mcat geo dir
+          (Layout.Inode.blocks device geo dir + if fresh then 1 else 0);
+        (block, 0)
+    in
+    write_dirent ctx txn ~block ~slot ~name ~ino;
+    !allocated
+  with e ->
+    List.iter (Hinfs_nvmm.Allocator.free ctx.Fs_ctx.balloc) !allocated;
+    raise e
 
 let remove ctx txn ~dir name =
   match find ctx ~dir name with

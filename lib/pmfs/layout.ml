@@ -102,34 +102,43 @@ let superblock_image geometry ~clean =
   b
 
 (* Write the superblock and its replica (mkfs/mount/unmount; untimed). The
-   poke path is the reliable one: rewriting a copy heals any poison on its
-   lines. *)
+   reliable store path heals any poison on the copies' lines; the stores
+   are recorder-visible and fenced, so crash enumeration covers a crash
+   between the two copy updates. *)
 let write_superblock device geometry ~clean =
   let b = superblock_image geometry ~clean in
-  Device.poke device ~addr:0 ~src:b ~off:0 ~len:geometry.block_size;
-  Device.poke device
+  Device.poke_flushed device ~addr:0 ~src:b ~off:0 ~len:geometry.block_size;
+  Device.poke_flushed device
     ~addr:(geometry.sb_replica * geometry.block_size)
-    ~src:b ~off:0 ~len:geometry.block_size
+    ~src:b ~off:0 ~len:geometry.block_size;
+  Device.fence_untimed device
 
-(* One superblock copy is trustworthy if its lines carry no poison, the
-   magic matches, and the CRC over the fixed fields checks out. *)
-let superblock_ok device ~addr =
+(* Why one superblock copy cannot be trusted: [`Poisoned] and [`Bad_crc]
+   mean damage to a formatted device, [`No_magic] means there is (probably)
+   no file system here at all — mount reports the two differently (EIO vs
+   EINVAL). *)
+let superblock_status device ~addr =
   let config = Device.config device in
   let block_size = config.Config.block_size in
-  if Device.verify_range device ~addr ~len:block_size <> [] then None
+  if Device.verify_range device ~addr ~len:block_size <> [] then `Poisoned
   else begin
     let b = Device.peek_persistent device ~addr ~len:block_size in
     let m = Int32.to_int (Bytes.get_int32_le b Sb.magic_off) in
     let stored =
       Int32.to_int (Bytes.get_int32_le b Sb.crc_off) land 0xFFFFFFFF
     in
-    if m <> magic then None
+    if m <> magic then `No_magic
     else if stored <> Crc32c.digest b ~off:0 ~len:Sb.crc_len then begin
       Hinfs_stats.Stats.add_crc_mismatch (Device.stats device);
-      None
+      `Bad_crc
     end
-    else Some b
+    else `Ok b
   end
+
+(* One superblock copy is trustworthy if its lines carry no poison, the
+   magic matches, and the CRC over the fixed fields checks out. *)
+let superblock_ok device ~addr =
+  match superblock_status device ~addr with `Ok b -> Some b | _ -> None
 
 let geometry_of_superblock ~block_size b =
   let geti64 off = Int64.to_int (Bytes.get_int64_le b off) in
@@ -150,7 +159,11 @@ let geometry_of_superblock ~block_size b =
 
 (* Read the superblock, falling back to the replica — and repairing the
    bad copy from the good one — when the primary is poisoned or fails its
-   checksum. [None] only when both copies are unusable. *)
+   checksum. Repairs use the recorder-visible reliable store, so crash
+   enumeration covers a crash in the middle of replica repair. When both
+   copies are unusable the result distinguishes a damaged formatted device
+   ([`Corrupt] — mount must fail with EIO, never fabricate a mount) from a
+   device that was never formatted ([`Absent]). *)
 let read_superblock device =
   let config = Device.config device in
   let block_size = config.Config.block_size in
@@ -159,22 +172,28 @@ let read_superblock device =
     ( geometry_of_superblock ~block_size b,
       Bytes.get_uint8 b Sb.clean_unmount_off = 1 )
   in
-  match superblock_ok device ~addr:0 with
-  | Some b ->
+  match superblock_status device ~addr:0 with
+  | `Ok b ->
     (if superblock_ok device ~addr:replica_addr = None then begin
        (* Replica lost: rewrite it from the primary. *)
-       Device.poke device ~addr:replica_addr ~src:b ~off:0 ~len:block_size;
+       Device.poke_flushed device ~addr:replica_addr ~src:b ~off:0
+         ~len:block_size;
+       Device.fence_untimed device;
        Hinfs_stats.Stats.add_scrub_repair (Device.stats device)
      end);
-    Some (parse b)
-  | None -> (
-    match superblock_ok device ~addr:replica_addr with
-    | Some b ->
-      (* Primary lost: repair it from the replica (poke heals poison). *)
-      Device.poke device ~addr:0 ~src:b ~off:0 ~len:block_size;
+    `Ok (parse b)
+  | primary -> (
+    match superblock_status device ~addr:replica_addr with
+    | `Ok b ->
+      (* Primary lost: repair it from the replica (heals poison). *)
+      Device.poke_flushed device ~addr:0 ~src:b ~off:0 ~len:block_size;
+      Device.fence_untimed device;
       Hinfs_stats.Stats.add_scrub_repair (Device.stats device);
-      Some (parse b)
-    | None -> None)
+      `Ok (parse b)
+    | replica -> (
+      match (primary, replica) with
+      | `No_magic, `No_magic -> `Absent
+      | _ -> `Corrupt))
 
 let set_clean_unmount device ~cat ~clean =
   Device.set_u8 device ~cat Sb.clean_unmount_off (if clean then 1 else 0);

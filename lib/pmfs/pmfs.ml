@@ -152,14 +152,23 @@ let itable_poison_reason device geo =
 
 let mount device ?(sync_mount = false) ?(journal_cleaner = false) () =
   match Layout.read_superblock device with
-  | None -> Errno.raise_error EINVAL "no PMFS superblock on device"
-  | Some (geo, clean) ->
+  | `Absent -> Errno.raise_error EINVAL "no PMFS superblock on device"
+  | `Corrupt ->
+    (* Both superblock copies damaged (poison or checksum failure): the
+       device is formatted but unreadable. Failing with EIO — rather than
+       guessing a geometry — is the only honest answer; a bogus mount
+       would corrupt whatever is still recoverable offline. *)
+    Errno.raise_error EIO "both superblock copies are corrupt"
+  | `Ok (geo, clean) ->
     let recovery =
       if clean then { Log.rolled_back = 0; dropped = 0 }
       else
         Log.recover device ~first_block:geo.Layout.journal_start
           ~blocks:geo.Layout.journal_blocks
     in
+    if not clean then
+      Stats.add_recovery (Device.stats device)
+        ~rolled_back:recovery.Log.rolled_back ~dropped:recovery.Log.dropped;
     let log =
       Log.create device ~first_block:geo.Layout.journal_start
         ~blocks:geo.Layout.journal_blocks
@@ -195,6 +204,20 @@ let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?sync_mount
     ?journal_cleaner () =
   mkfs device ?journal_blocks ?inodes_per_mb ();
   mount device ?sync_mount ?journal_cleaner ()
+
+(* Wire an operation-level fault injector into every software resource
+   path of this mount: data-block allocation, inode allocation, and
+   journal-slot allocation. [None] detaches. *)
+let attach_faultops t fo =
+  let module Faultops = Hinfs_nvmm.Faultops in
+  let hook kind =
+    match fo with
+    | None -> None
+    | Some fo -> Some (fun () -> Faultops.check fo kind)
+  in
+  Allocator.set_fault_injector t.ctx.Fs_ctx.balloc (hook Faultops.Block_alloc);
+  Allocator.set_fault_injector t.ctx.Fs_ctx.ialloc (hook Faultops.Inode_alloc);
+  Log.set_fault_injector (log t) (hook Faultops.Journal_slot)
 
 (* --- inode helpers --- *)
 
@@ -343,6 +366,7 @@ let write_direct ?(background = false) ?(cat = Stats.Write_access) t ~ino ~off
   let bs = geo.Layout.block_size in
   let size = inode_size t ino in
   let txn_ref = ref None in
+  let allocated = ref [] in
   let get_txn () =
     match !txn_ref with
     | Some txn -> txn
@@ -361,9 +385,10 @@ let write_direct ?(background = false) ?(cat = Stats.Write_access) t ~ino ~off
         match Data.lookup_block t ~ino ~fblock with
         | Some block -> block
         | None ->
-          let block, fresh, _allocated =
+          let block, fresh, blocks =
             Data.ensure_block t (get_txn ()) ~ino ~fblock
           in
+          allocated := blocks @ !allocated;
           if fresh then
             Data.zero_fresh_block ~background t ~cat ~block
               ~covered_start:in_block ~covered_end:(in_block + chunk);
@@ -375,20 +400,31 @@ let write_direct ?(background = false) ?(cat = Stats.Write_access) t ~ino ~off
       copy (done_ + chunk)
     end
   in
-  copy 0;
-  (* Data is persistent (non-temporal); order it before metadata. *)
-  Device.mfence (device t) ~cat;
-  let new_size = max size (off + len) in
-  (if new_size <> size then begin
-     let txn = get_txn () in
-     Data.update_size t txn ~ino ~size:new_size;
-     Data.touch_mtime_txn t txn ~ino
-   end
-   else
-     match !txn_ref with
-     | Some txn -> Data.touch_mtime_txn t txn ~ino
-     | None -> Data.touch_mtime_atomic t ~ino);
-  (match !txn_ref with Some txn -> Log.commit (log t) txn | None -> ());
+  (try
+     copy 0;
+     (* Data is persistent (non-temporal); order it before metadata. *)
+     Device.mfence (device t) ~cat;
+     let new_size = max size (off + len) in
+     (if new_size <> size then begin
+        let txn = get_txn () in
+        Data.update_size t txn ~ino ~size:new_size;
+        Data.touch_mtime_txn t txn ~ino
+      end
+      else
+        match !txn_ref with
+        | Some txn -> Data.touch_mtime_txn t txn ~ino
+        | None -> Data.touch_mtime_atomic t ~ino);
+     (match !txn_ref with Some txn -> Log.commit (log t) txn | None -> ())
+   with e ->
+     (* Mid-op failure (ENOSPC, journal exhaustion, injected fault): roll
+        the metadata back and reclaim every block this write allocated, so
+        a failed write leaks nothing. Data already streamed into those
+        blocks becomes unreachable with them. *)
+     (match !txn_ref with
+     | Some txn when not (Log.txn_committed txn) -> Log.abort (log t) txn
+     | _ -> ());
+     List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !allocated;
+     raise e);
   len
 
 let write t ~ino ~off ~src ~src_off ~len ~sync =
@@ -404,15 +440,19 @@ let truncate t ~ino ~size =
   let bs = geo.Layout.block_size in
   let old_size = inode_size t ino in
   if size <> old_size then begin
+    (* Blocks detached inside the transaction go back to the allocator only
+       after commit: an abort restores the pointers, so freeing early would
+       corrupt (reachable blocks the allocator re-issues). *)
+    let detached = ref [] in
     Log.with_txn (log t) (fun txn ->
         if size < old_size then begin
           let keep_blocks = (size + bs - 1) / bs in
-          let freed = Block_tree.free_from t.ctx txn ~ino ~keep_blocks in
+          detached := Block_tree.free_from t.ctx txn ~ino ~keep_blocks;
           let device = device t in
           let addr = Layout.Inode.addr geo ino + Layout.Inode.blocks_off in
           Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
           Layout.Inode.set_blocks device ~cat:Stats.Other geo ino
-            (Layout.Inode.blocks device geo ino - freed);
+            (Layout.Inode.blocks device geo ino - List.length !detached);
           (* Zero the tail of the last kept block so a later size extension
              cannot expose stale bytes. *)
           let tail = size mod bs in
@@ -427,7 +467,8 @@ let truncate t ~ino ~size =
           end
         end;
         Data.update_size t txn ~ino ~size;
-        Data.touch_mtime_txn t txn ~ino)
+        Data.touch_mtime_txn t txn ~ino);
+    List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !detached
   end
 
 let fsync t ~ino =
@@ -472,11 +513,16 @@ let create_entry t ~dir name ~kind =
   match Allocator.alloc t.ctx.Fs_ctx.ialloc with
   | None -> Errno.raise_error ENOSPC "out of inodes"
   | Some ino ->
+    let allocated = ref [] in
     (try
        Log.with_txn (log t) (fun txn ->
            init_inode t txn ~ino ~kind;
-           Dir.add t.ctx txn ~dir name ~ino)
+           allocated := Dir.add t.ctx txn ~dir name ~ino)
      with e ->
+       (* The abort rolled the metadata back; reclaim the dirent blocks
+          [Dir.add] allocated (empty if it was [Dir.add] that failed — it
+          reclaims its own) and the inode number. *)
+       List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !allocated;
        Allocator.free t.ctx.Fs_ctx.ialloc ino;
        raise e);
     ino
@@ -487,17 +533,19 @@ let create_file t ~dir name =
 let mkdir t ~dir name =
   create_entry t ~dir name ~kind:Layout.Inode.kind_directory
 
-(* Release an inode and all its blocks. Caller must have removed all
-   directory entries pointing at it. *)
+(* Release an inode and detach all its blocks; returns the detached blocks
+   for the caller to free after the transaction commits. Caller must have
+   removed all directory entries pointing at it. *)
 let free_inode t txn ~ino =
   let device = device t in
   let geo = geometry t in
-  Block_tree.free_all t.ctx txn ~ino;
+  let detached = Block_tree.free_all t.ctx txn ~ino in
   let addr = Layout.Inode.addr geo ino in
   Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
   Layout.Inode.set_in_use device ~cat:Stats.Other geo ino false;
   Layout.Inode.set_kind device ~cat:Stats.Other geo ino Layout.Inode.kind_free;
-  Layout.Inode.set_links device ~cat:Stats.Other geo ino 0
+  Layout.Inode.set_links device ~cat:Stats.Other geo ino 0;
+  detached
 
 let unlink t ~dir name =
   check_writable t;
@@ -507,10 +555,11 @@ let unlink t ~dir name =
   | Some (ino, _, _) ->
     if inode_kind t ino = Layout.Inode.kind_directory then
       Errno.raise_error EISDIR "%S is a directory" name;
+    let detached = ref [] in
     Log.with_txn (log t) (fun txn ->
         ignore (Dir.remove t.ctx txn ~dir name);
         let links = Layout.Inode.links (device t) (geometry t) ino in
-        if links <= 1 then free_inode t txn ~ino
+        if links <= 1 then detached := free_inode t txn ~ino
         else begin
           let addr =
             Layout.Inode.addr (geometry t) ino + Layout.Inode.links_off
@@ -519,6 +568,8 @@ let unlink t ~dir name =
           Layout.Inode.set_links (device t) ~cat:Stats.Other (geometry t) ino
             (links - 1)
         end);
+    (* Committed: the blocks and the inode number are now reclaimable. *)
+    List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !detached;
     if Layout.Inode.links (device t) (geometry t) ino = 0 then
       Allocator.free t.ctx.Fs_ctx.ialloc ino
 
@@ -532,9 +583,11 @@ let rmdir t ~dir name =
       Errno.raise_error ENOTDIR "%S is not a directory" name;
     if not (Dir.is_empty t.ctx ~dir:ino) then
       Errno.raise_error ENOTEMPTY "%S is not empty" name;
+    let detached = ref [] in
     Log.with_txn (log t) (fun txn ->
         ignore (Dir.remove t.ctx txn ~dir name);
-        free_inode t txn ~ino);
+        detached := free_inode t txn ~ino);
+    List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !detached;
     Allocator.free t.ctx.Fs_ctx.ialloc ino
 
 let rename t ~src_dir ~src ~dst_dir ~dst =
@@ -544,17 +597,32 @@ let rename t ~src_dir ~src ~dst_dir ~dst =
   match Dir.find t.ctx ~dir:src_dir src with
   | None -> Errno.raise_error ENOENT "no entry %S" src
   | Some (ino, _, _) ->
-    Log.with_txn (log t) (fun txn ->
-        (match Dir.find t.ctx ~dir:dst_dir dst with
-        | Some (existing, _, _) ->
-          if inode_kind t existing = Layout.Inode.kind_directory then
-            Errno.raise_error EISDIR "rename target %S is a directory" dst;
-          ignore (Dir.remove t.ctx txn ~dir:dst_dir dst);
-          free_inode t txn ~ino:existing;
-          Allocator.free t.ctx.Fs_ctx.ialloc existing
-        | None -> ());
-        Dir.add t.ctx txn ~dir:dst_dir dst ~ino;
-        ignore (Dir.remove t.ctx txn ~dir:src_dir src))
+    (* Resources released by replacing the target — its blocks and inode
+       number — go back to the allocators only after commit; blocks the
+       [Dir.add] allocates must conversely be reclaimed if the transaction
+       aborts after it returned. *)
+    let detached = ref [] in
+    let replaced = ref None in
+    let added = ref [] in
+    (try
+       Log.with_txn (log t) (fun txn ->
+           (match Dir.find t.ctx ~dir:dst_dir dst with
+           | Some (existing, _, _) ->
+             if inode_kind t existing = Layout.Inode.kind_directory then
+               Errno.raise_error EISDIR "rename target %S is a directory" dst;
+             ignore (Dir.remove t.ctx txn ~dir:dst_dir dst);
+             detached := free_inode t txn ~ino:existing;
+             replaced := Some existing
+           | None -> ());
+           added := Dir.add t.ctx txn ~dir:dst_dir dst ~ino;
+           ignore (Dir.remove t.ctx txn ~dir:src_dir src))
+     with e ->
+       List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !added;
+       raise e);
+    List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !detached;
+    (match !replaced with
+    | Some existing -> Allocator.free t.ctx.Fs_ctx.ialloc existing
+    | None -> ())
 
 let readdir t ~dir =
   check_ino t dir;

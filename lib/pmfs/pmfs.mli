@@ -32,6 +32,12 @@ val mkfs_and_mount :
 val unmount : t -> unit
 val recovered_txns : t -> int
 
+val attach_faultops : t -> Hinfs_nvmm.Faultops.t option -> unit
+(** Wire an operation-level fault injector into every software resource
+    path of this mount — data-block allocation, inode allocation, journal
+    slot allocation. [None] detaches. Injected failures take the same
+    ENOSPC / [Journal_full] paths genuine exhaustion would. *)
+
 (** {1 Graceful degradation}
 
     An unrecoverable metadata fault (poisoned live inode slot, untrusted

@@ -71,6 +71,10 @@ type t = {
   mutable media_retries : int; (* read retries after transient faults *)
   mutable scrub_repairs : int; (* lines/structures repaired by the scrubber *)
   mutable crc_mismatches : int; (* metadata checksum failures detected *)
+  (* mount-time recovery accounting *)
+  mutable recoveries : int; (* unclean mounts that ran log recovery *)
+  mutable recovered_txns : int; (* uncommitted transactions rolled back *)
+  mutable recovery_dropped : int; (* journal entries dropped as unusable *)
 }
 
 let category_index = function
@@ -119,6 +123,9 @@ let create () =
     media_retries = 0;
     scrub_repairs = 0;
     crc_mismatches = 0;
+    recoveries = 0;
+    recovered_txns = 0;
+    recovery_dropped = 0;
   }
 
 let reset t =
@@ -152,7 +159,10 @@ let reset t =
   t.media_faults_poison <- 0;
   t.media_retries <- 0;
   t.scrub_repairs <- 0;
-  t.crc_mismatches <- 0
+  t.crc_mismatches <- 0;
+  t.recoveries <- 0;
+  t.recovered_txns <- 0;
+  t.recovery_dropped <- 0
 
 (* --- time --- *)
 
@@ -285,6 +295,17 @@ let total_media_faults t = t.media_faults_transient + t.media_faults_poison
 let media_retries t = t.media_retries
 let scrub_repairs t = t.scrub_repairs
 let crc_mismatches t = t.crc_mismatches
+
+(* --- mount-time recovery --- *)
+
+let add_recovery t ~rolled_back ~dropped =
+  t.recoveries <- t.recoveries + 1;
+  t.recovered_txns <- t.recovered_txns + rolled_back;
+  t.recovery_dropped <- t.recovery_dropped + dropped
+
+let recoveries t = t.recoveries
+let recovered_txns t = t.recovered_txns
+let recovery_dropped t = t.recovery_dropped
 
 let clflush_issued t cat = t.clflush_issued.(category_index cat)
 let clflush_dirty t cat = t.clflush_dirty.(category_index cat)

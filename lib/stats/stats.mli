@@ -128,4 +128,15 @@ val media_retries : t -> int
 val scrub_repairs : t -> int
 val crc_mismatches : t -> int
 
+(** {1 Mount-time recovery}
+
+    Counters for undo-log recovery: how many unclean mounts ran recovery,
+    how many uncommitted transactions they rolled back, and how many
+    journal entries had to be dropped as unusable (CRC-damaged). *)
+
+val add_recovery : t -> rolled_back:int -> dropped:int -> unit
+val recoveries : t -> int
+val recovered_txns : t -> int
+val recovery_dropped : t -> int
+
 val pp_breakdown : Format.formatter -> t -> unit

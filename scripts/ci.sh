@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 CI gate: full build, the whole test suite, then the two soak
+# aliases re-run explicitly so their output lands in the CI log even when
+# dune serves them from cache.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+dune build @crashmc-recovery --force
+dune build @torture-soak --force

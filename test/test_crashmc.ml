@@ -305,6 +305,9 @@ let quick_params =
     samples_per_state = 12;
     max_images_per_state = 48;
     max_states = 12;
+    recrash_states = 3;
+    recrash_samples = 2;
+    recrash_checks = 16;
   }
 
 let test_missing_fence_flagged () =

@@ -11,6 +11,7 @@ module Log = Hinfs_journal.Cacheline_log
 module Pmfs = Hinfs_pmfs.Pmfs
 module Layout = Hinfs_pmfs.Layout
 module Errno = Hinfs_vfs.Errno
+module Fsck = Hinfs_fsck.Fsck
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -136,6 +137,106 @@ let test_superblock_repaired_from_replica () =
       let n = Pmfs.read fs ~ino ~off:0 ~len:4096 ~into:buf ~into_off:0 in
       check_int "file length intact" 4096 n;
       Testkit.check_bytes "file intact after repair" payload buf)
+
+(* Both superblock copies struck: the device is formatted but its geometry
+   is unreadable. The mount must fail cleanly with EIO — fabricating a
+   mount from a guessed geometry would corrupt whatever is still
+   recoverable offline. *)
+let test_both_superblocks_corrupt_mount_eio () =
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let d, fs = Testkit.make_pmfs ~stats engine in
+      let geo = Pmfs.geometry fs in
+      ignore (Pmfs.create_file fs ~dir:root "keep");
+      Pmfs.unmount fs;
+      let fault = Fault.create ~seed:2L () in
+      Device.set_fault_model d (Some fault);
+      Fault.poison_line fault 0;
+      Fault.poison_line fault
+        (geo.Layout.sb_replica * geo.Layout.block_size / line_size);
+      match Pmfs.mount d () with
+      | _ -> Alcotest.fail "mount succeeded with both superblocks corrupt"
+      | exception Errno.Fs_error (Errno.EIO, msg) ->
+        check_bool "failure names the superblock" true
+          (contains msg "superblock"))
+
+(* --- resource exhaustion --- *)
+
+(* Fill a small device to exhaustion: every failed operation must surface
+   as a stable ENOSPC, and the aborted operations must leak nothing — the
+   live allocators still cover exactly the reachable set, and freeing
+   space makes the file system fully writable again. *)
+let test_enospc_exhaustion_leak_free () =
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let config =
+        { Hinfs_nvmm.Config.default with
+          Hinfs_nvmm.Config.nvmm_size = 2 * 1024 * 1024
+        }
+      in
+      let d = Testkit.make_device ~config ~stats engine in
+      let fs = Pmfs.mkfs_and_mount d ~journal_blocks:8 () in
+      let chunk = 16 * 1024 in
+      let payload = Testkit.pattern_bytes ~seed:31 chunk in
+      let created = ref [] in
+      let failures = ref 0 in
+      (try
+         for i = 0 to 10_000 do
+           let name = Fmt.str "fill%04d" i in
+           let ino = Pmfs.create_file fs ~dir:root name in
+           created := (name, ino) :: !created;
+           ignore
+             (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:chunk
+                ~sync:true)
+         done;
+         Alcotest.fail "2 MB device absorbed 160 MB of writes"
+       with Errno.Fs_error (Errno.ENOSPC, _) -> incr failures);
+      (* Exhaustion is sticky and stable: further attempts keep failing
+         with ENOSPC (never a crash, never a different errno). *)
+      for i = 1 to 8 do
+        let name = Fmt.str "retry%02d" i in
+        match Pmfs.create_file fs ~dir:root name with
+        | ino ->
+          (match
+             Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:chunk
+               ~sync:true
+           with
+          | _ -> ()
+          | exception Errno.Fs_error (Errno.ENOSPC, _) -> incr failures);
+          Pmfs.unlink fs ~dir:root name
+        | exception Errno.Fs_error (Errno.ENOSPC, _) -> incr failures
+      done;
+      check_bool "exhaustion reached" true (!failures > 0);
+      (* No leaks: the live allocators must agree with the reachable set
+         even after all those aborted operations. *)
+      let freport = Fsck.check_pmfs fs in
+      check_bool
+        (Fmt.str "fsck clean on the exhausted live mount: %a" Fsck.pp_report
+           freport)
+        true (Fsck.ok freport);
+      check_int "no leaked blocks" 0 freport.Fsck.leaked_blocks;
+      check_int "no leaked inodes" 0 freport.Fsck.leaked_inodes;
+      (* Freeing space restores full service. *)
+      (match !created with
+      | (name, _) :: (name2, _) :: _ ->
+        Pmfs.unlink fs ~dir:root name;
+        Pmfs.unlink fs ~dir:root name2
+      | _ -> Alcotest.fail "device filled before creating two files");
+      let ino = Pmfs.create_file fs ~dir:root "after" in
+      let n =
+        Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:chunk
+          ~sync:true
+      in
+      check_int "write succeeds after space freed" chunk n;
+      (* And the image is still consistent across a remount. *)
+      Pmfs.unmount fs;
+      let fs = Pmfs.mount d () in
+      let freport = Fsck.check_pmfs fs in
+      check_bool "fsck clean after remount" true (Fsck.ok freport);
+      let buf = Bytes.create chunk in
+      let n = Pmfs.read fs ~ino ~off:0 ~len:chunk ~into:buf ~into_off:0 in
+      check_int "data intact" chunk n;
+      Testkit.check_bytes "data intact after remount" payload buf)
 
 (* --- CRC-guarded journal recovery --- *)
 
@@ -267,6 +368,13 @@ let () =
         [
           Alcotest.test_case "superblock replica repair" `Quick
             test_superblock_repaired_from_replica;
+          Alcotest.test_case "both superblocks corrupt mounts EIO" `Quick
+            test_both_superblocks_corrupt_mount_eio;
+        ] );
+      ( "exhaustion",
+        [
+          Alcotest.test_case "ENOSPC soak is leak-free" `Quick
+            test_enospc_exhaustion_leak_free;
         ] );
       ( "journal-crc",
         [

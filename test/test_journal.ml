@@ -105,6 +105,55 @@ let test_abort_restores () =
       check_int "slots free again"
         (Log.capacity log) (Log.free_slots log))
 
+(* The regression this guards: abort restores the old values and
+   invalidates the transaction's entries, but without abort's trailing
+   fence the invalidation could still be undecided at a crash. A later
+   committed transaction re-modifying the same range would then share a
+   crash image with the aborted transaction's still-valid data entries
+   (and no commit entry), and recovery would "roll back" the committed
+   value to the aborted transaction's stale undo payload. *)
+let test_aborted_entries_not_replayed () =
+  Testkit.run_sim (fun engine ->
+      let d, log = make_log engine in
+      let a = Testkit.pattern_bytes ~seed:21 64 in
+      Device.write_nt d ~cat ~addr:target_base ~src:a ~off:0 ~len:64;
+      Device.flush_all_untimed d;
+      Device.enable_recording d;
+      (* txn1: update in place, flush the update, then abort. *)
+      let txn1 = Log.begin_txn log in
+      Log.log log txn1 ~addr:target_base ~len:64;
+      Device.write_cached d ~cat ~addr:target_base ~src:(Bytes.make 64 'B')
+        ~off:0 ~len:64;
+      Device.clflush d ~cat ~addr:target_base ~len:64;
+      Log.abort log txn1;
+      (* Abort's trailing fence must leave both the restore and the entry
+         invalidation decided on the medium — no crash image may differ. *)
+      check_int "abort leaves no undecided lines" 0
+        (Device.pending_choice_lines d);
+      check_int "no valid entries on the medium after abort" 0
+        (Log.count_valid_entries d ~first_block:journal_first
+           ~blocks:journal_blocks);
+      Device.disable_recording d;
+      (* txn2: commit a fresh value over the same range. *)
+      let c = Testkit.pattern_bytes ~seed:22 64 in
+      Log.with_txn log (fun txn ->
+          Log.log log txn ~addr:target_base ~len:64;
+          Device.write_cached d ~cat ~addr:target_base ~src:c ~off:0 ~len:64);
+      (* Crash and remount-style recovery on the image: the committed
+         value survives; the aborted transaction is never replayed. *)
+      let image = Device.snapshot d in
+      let d2 =
+        Device.of_snapshot engine (Stats.create ()) Testkit.small_config image
+      in
+      let recovery =
+        Log.recover d2 ~first_block:journal_first ~blocks:journal_blocks
+      in
+      check_int "no txn rolled back" 0 recovery.Log.rolled_back;
+      check_int "nothing dropped" 0 recovery.Log.dropped;
+      let back = Device.peek_persistent d2 ~addr:target_base ~len:64 in
+      Testkit.check_bytes "committed value survives, abort not replayed" c
+        back)
+
 let test_with_txn_aborts_on_exception () =
   Testkit.run_sim (fun engine ->
       let d, log = make_log engine in
@@ -278,6 +327,8 @@ let () =
           Alcotest.test_case "crash after commit preserves" `Quick
             test_crash_after_commit_preserves;
           Alcotest.test_case "abort restores" `Quick test_abort_restores;
+          Alcotest.test_case "aborted entries never replayed" `Quick
+            test_aborted_entries_not_replayed;
           Alcotest.test_case "with_txn aborts on exception" `Quick
             test_with_txn_aborts_on_exception;
           Alcotest.test_case "journal full" `Quick test_journal_full;

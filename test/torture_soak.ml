@@ -1,0 +1,402 @@
+(* Torture soak: the composition test for crash-during-recovery idempotence
+   and failure-atomic operations. One seeded run composes every failure
+   mode the robustness work covers, on a single oracle-checked op mix:
+
+   - media faults (low-rate poison + transient) on the live device;
+   - operation-level mid-transaction faults (forced ENOSPC, out-of-inodes,
+     journal exhaustion) through {!Hinfs_nvmm.Faultops};
+   - a crash captured at a seeded fence *mid-round* via the persistence
+     recorder, materialised with seeded choices for the undecided lines;
+   - recovery of that crash image run under the recorder too, a second
+     crash materialised at a seeded *recovery* fence, and a second
+     recovery over the nested image.
+
+   Acceptance, per round: every mount of a (possibly nested) crash image
+   is fsck-clean, durable completed operations survive with the right
+   bytes, and the live mount ends the run leak-free. Across the whole run:
+   every failure kind actually fired (non-vacuous), at least one recovery
+   rolled a transaction back, at least one nested re-crash image was
+   verified, and a second run with the same seed reproduces every image
+   digest bit for bit.
+
+   Wired into `dune runtest` through the torture-soak alias; also runnable
+   directly: dune exec test/torture_soak.exe *)
+
+module Engine = Hinfs_sim.Engine
+module Rng = Hinfs_sim.Rng
+module Stats = Hinfs_stats.Stats
+module Config = Hinfs_nvmm.Config
+module Device = Hinfs_nvmm.Device
+module Fault = Hinfs_nvmm.Fault
+module Faultops = Hinfs_nvmm.Faultops
+module Pmfs = Hinfs_pmfs.Pmfs
+module Layout = Hinfs_pmfs.Layout
+module Log = Hinfs_journal.Cacheline_log
+module Errno = Hinfs_vfs.Errno
+module Fsck = Hinfs_fsck.Fsck
+
+let seed = 1337L
+let rounds = 6
+let ops_per_round = 80
+let max_files = 16
+let root = Layout.root_ino
+let chunk_max = 8 * 1024
+
+let config = { Config.default with Config.nvmm_size = 8 * 1024 * 1024 }
+
+let failures = ref []
+let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt
+
+(* Oracle entry: contents as of the last *successful* operation, plus a
+   taint flag once a failed or EIO-hit write may have torn the data range
+   (PMFS journals metadata only, so a rolled-back overwrite legally leaves
+   a mix of old and new bytes; the metadata — size, block structure — must
+   still be exact). *)
+type entry = { ino : int; content : Bytes.t; tainted : bool }
+
+let copy_oracle oracle =
+  let c = Hashtbl.create (Hashtbl.length oracle) in
+  Hashtbl.iter
+    (fun name e -> Hashtbl.replace c name { e with content = Bytes.copy e.content })
+    oracle;
+  c
+
+(* Per-round record compared across runs for bit-for-bit determinism. *)
+type round_outcome = {
+  r_ops_ok : int;
+  r_ops_failed : int;
+  r_capture_fence : int option;
+  r_digest1 : string; (* first crash image *)
+  r_rolled_back1 : int;
+  r_digest2 : string option; (* nested crash-during-recovery image *)
+  r_rolled_back2 : int option;
+}
+
+type outcome = {
+  o_rounds : round_outcome list;
+  o_injected : (string * int) list;
+  o_live_leaks : int * int;
+  o_live_violations : int;
+}
+
+(* Verify one crash image: mount (running recovery), fsck, and check the
+   durability oracle captured with the image. [in_flight] is the operation
+   that was racing the crash — its target is exempt from every check
+   (either outcome of an unfinished operation is legal). When [record] is
+   set, the mount runs under the persistence recorder and the crash state
+   at the [target]-th recovery fence is returned for nested re-crashing. *)
+let verify_image engine ~label ~oracle ~in_flight ?record image =
+  let stats = Stats.create () in
+  let d = Device.of_snapshot engine stats config image in
+  let captured = ref None in
+  (match record with
+  | None -> ()
+  | Some target ->
+    Device.enable_recording d;
+    let fences = ref 0 in
+    Device.set_on_fence d (fun () ->
+        (* Keep the newest state at or before the target fence: bounded
+           memory, and a seeded position inside the recovery window. *)
+        if !fences <= target && Device.pending_choice_lines d > 0 then
+          captured :=
+            Some (Device.capture_crash_state ~label:(Fmt.str "%s-recovery-fence-%d" label !fences) d);
+        incr fences));
+  let fs = Pmfs.mount d () in
+  (match record with Some _ -> Device.disable_recording d | None -> ());
+  let freport = Fsck.check_pmfs fs in
+  if not (Fsck.ok freport) then
+    fail "[%s] crash image fails fsck: %a" label Fsck.pp_report freport;
+  Hashtbl.iter
+    (fun name e ->
+      if Some name <> in_flight then
+        match Pmfs.lookup fs ~dir:root name with
+        | None -> fail "[%s] durable file %S lost" label name
+        | Some ino ->
+          let len = Bytes.length e.content in
+          let size = Pmfs.inode_size fs ino in
+          if size <> len then
+            fail "[%s] file %S: size %d, expected %d" label name size len
+          else if (not e.tainted) && len > 0 then begin
+            let buf = Bytes.create len in
+            let n = Pmfs.read fs ~ino ~off:0 ~len ~into:buf ~into_off:0 in
+            if n <> len || not (Bytes.equal buf e.content) then
+              fail "[%s] file %S: content mismatch after recovery" label name
+          end)
+    oracle;
+  (Stats.recovered_txns stats, !captured)
+
+let run_soak () =
+  let engine = Engine.create () in
+  let result = ref None in
+  Engine.spawn engine ~name:"torture" (fun () ->
+      let stats = Stats.create () in
+      let d = Device.create engine stats config in
+      let fs = Pmfs.mkfs_and_mount d ~journal_blocks:32 () in
+      let fops =
+        Faultops.create ~block_alloc_rate:0.02 ~inode_alloc_rate:0.05
+          ~journal_slot_rate:0.01 ~seed ()
+      in
+      Pmfs.attach_faultops fs (Some fops);
+      let fault = Fault.create ~poison_rate:1e-4 ~transient_rate:5e-4 ~seed () in
+      Device.set_fault_model d (Some fault);
+      let rng = Rng.create ~seed in
+      let oracle : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+      let names () =
+        Array.of_list
+          (List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) oracle []))
+      in
+      let pick_name () =
+        let arr = names () in
+        if Array.length arr = 0 then None
+        else Some arr.(Rng.int rng (Array.length arr))
+      in
+      let ops_ok = ref 0 and ops_failed = ref 0 in
+      let in_flight = ref None in
+      (* A failed or EIO-hit write must be metadata-atomic, but the data
+         range may be torn: rebase the oracle on what is actually there
+         and taint the entry. *)
+      let rebase name =
+        match Hashtbl.find_opt oracle name with
+        | None -> ()
+        | Some e ->
+          let size = Pmfs.inode_size fs e.ino in
+          let content =
+            if size = 0 then Bytes.empty
+            else begin
+              let buf = Bytes.create size in
+              match
+                Pmfs.read fs ~ino:e.ino ~off:0 ~len:size ~into:buf ~into_off:0
+              with
+              | _ -> buf
+              | exception Errno.Fs_error (Errno.EIO, _) -> buf
+            end
+          in
+          Hashtbl.replace oracle name { e with content; tainted = true }
+      in
+      let do_create () =
+        if Hashtbl.length oracle < max_files then begin
+          let name = Fmt.str "t%04d" (Rng.int rng 10_000) in
+          if not (Hashtbl.mem oracle name) then begin
+            in_flight := Some name;
+            match Pmfs.create_file fs ~dir:root name with
+            | ino ->
+              Hashtbl.replace oracle name
+                { ino; content = Bytes.empty; tainted = false };
+              incr ops_ok
+            | exception
+                ( Errno.Fs_error ((Errno.ENOSPC | Errno.EIO), _)
+                | Log.Journal_full ) ->
+              incr ops_failed
+          end
+        end
+      in
+      let do_write () =
+        match pick_name () with
+        | None -> do_create ()
+        | Some name ->
+          let e = Hashtbl.find oracle name in
+          let off = Rng.int rng (Bytes.length e.content + 1) in
+          let len = 1 + Rng.int rng chunk_max in
+          let src = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+          in_flight := Some name;
+          (match
+             Pmfs.write fs ~ino:e.ino ~off ~src ~src_off:0 ~len ~sync:true
+           with
+          | n ->
+            let newlen = max (Bytes.length e.content) (off + n) in
+            let updated = Bytes.make newlen '\000' in
+            Bytes.blit e.content 0 updated 0 (Bytes.length e.content);
+            Bytes.blit src 0 updated off n;
+            Hashtbl.replace oracle name { e with content = updated };
+            incr ops_ok
+          | exception
+              ( Errno.Fs_error ((Errno.ENOSPC | Errno.EIO), _)
+              | Log.Journal_full ) ->
+            incr ops_failed;
+            rebase name)
+      in
+      let do_read () =
+        match pick_name () with
+        | None -> ()
+        | Some name ->
+          let e = Hashtbl.find oracle name in
+          let len = Bytes.length e.content in
+          if len > 0 then begin
+            in_flight := Some name;
+            let buf = Bytes.create len in
+            match Pmfs.read fs ~ino:e.ino ~off:0 ~len ~into:buf ~into_off:0 with
+            | n ->
+              if
+                (not e.tainted)
+                && (n <> len || not (Bytes.equal (Bytes.sub buf 0 n) e.content))
+              then fail "SILENT CORRUPTION: %S read back wrong" name
+              else incr ops_ok
+            | exception Errno.Fs_error (Errno.EIO, _) -> incr ops_failed
+          end
+      in
+      let do_unlink () =
+        match pick_name () with
+        | None -> ()
+        | Some name -> (
+          let e = Hashtbl.find oracle name in
+          ignore e.ino;
+          in_flight := Some name;
+          match Pmfs.unlink fs ~dir:root name with
+          | () ->
+            Hashtbl.remove oracle name;
+            incr ops_ok
+          | exception
+              ( Errno.Fs_error ((Errno.ENOSPC | Errno.EIO), _)
+              | Log.Journal_full ) ->
+            incr ops_failed)
+      in
+      let round_outcomes = ref [] in
+      for round = 1 to rounds do
+        (* Arm the recorder and pick a seeded mid-round fence to crash at;
+           the hook keeps the newest capturable state at or before it. *)
+        Device.enable_recording d;
+        let target = Rng.int rng 300 in
+        let fences = ref 0 in
+        let captured = ref None in
+        let capture_meta = ref None in
+        Device.set_on_fence d (fun () ->
+            if !fences <= target && Device.pending_choice_lines d > 0 then begin
+              captured :=
+                Some
+                  (Device.capture_crash_state
+                     ~label:(Fmt.str "round-%d-fence-%d" round !fences)
+                     d);
+              capture_meta := Some (copy_oracle oracle, !in_flight, !fences)
+            end;
+            incr fences);
+        let ok0 = !ops_ok and failed0 = !ops_failed in
+        for _ = 1 to ops_per_round do
+          (match Rng.int rng 10 with
+          | 0 | 1 -> do_create ()
+          | 2 | 3 | 4 | 5 -> do_write ()
+          | 6 | 7 | 8 -> do_read ()
+          | _ -> do_unlink ());
+          in_flight := None
+        done;
+        Device.disable_recording d;
+        (* Crash: the captured mid-round state if one exists (a real
+           mid-transaction image), else the end-of-round medium. *)
+        let image, capture_fence, oracle_at_crash, racing =
+          match (!captured, !capture_meta) with
+          | Some state, Some (osnap, racing, fence) ->
+            let counts =
+              Array.of_list
+                (List.map (fun (_, c) -> Array.length c) state.Device.cs_choices)
+            in
+            let vec = Array.map (fun c -> Rng.int rng c) counts in
+            ( Device.materialize_crash_image state ~choice:vec,
+              Some fence,
+              osnap,
+              racing )
+          | _ -> (Device.snapshot d, None, copy_oracle oracle, None)
+        in
+        let label = Fmt.str "round-%d" round in
+        let recovery_target = Rng.int rng 8 in
+        let rolled_back1, recovery_state =
+          verify_image engine ~label ~oracle:oracle_at_crash ~in_flight:racing
+            ~record:recovery_target image
+        in
+        (* Re-crash *during* that recovery and recover again: the nested
+           image must satisfy the exact same oracle. *)
+        let digest2, rolled_back2 =
+          match recovery_state with
+          | None -> (None, None)
+          | Some state ->
+            let counts =
+              Array.of_list
+                (List.map (fun (_, c) -> Array.length c) state.Device.cs_choices)
+            in
+            let vec = Array.map (fun c -> Rng.int rng c) counts in
+            let nested = Device.materialize_crash_image state ~choice:vec in
+            let rb, _ =
+              verify_image engine ~label:(label ^ "-recrash")
+                ~oracle:oracle_at_crash ~in_flight:racing nested
+            in
+            (Some (Digest.bytes nested), Some rb)
+        in
+        round_outcomes :=
+          {
+            r_ops_ok = !ops_ok - ok0;
+            r_ops_failed = !ops_failed - failed0;
+            r_capture_fence = capture_fence;
+            r_digest1 = Digest.bytes image;
+            r_rolled_back1 = rolled_back1;
+            r_digest2 = digest2;
+            r_rolled_back2 = rolled_back2;
+          }
+          :: !round_outcomes
+      done;
+      (* The live mount must end the run leak-free: every aborted
+         operation returned its blocks, inodes, and journal slots. *)
+      let freport = Fsck.check_pmfs fs in
+      let live_violations =
+        (* Poisoned lines from the media-fault model are tolerated on the
+           live mount (fault_soak owns the degradation ladder); leaks and
+           structural damage are not. *)
+        List.filter
+          (fun v -> not (String.length v >= 6 && String.sub v 0 6 = "media:"))
+          freport.Fsck.violations
+      in
+      if live_violations <> [] then
+        fail "live mount fails fsck: %s" (String.concat "; " live_violations);
+      result :=
+        Some
+          {
+            o_rounds = List.rev !round_outcomes;
+            o_injected =
+              List.map
+                (fun k -> (Faultops.kind_name k, Faultops.injected fops k))
+                Faultops.kinds;
+            o_live_leaks = (freport.Fsck.leaked_blocks, freport.Fsck.leaked_inodes);
+            o_live_violations = List.length live_violations;
+          });
+  Engine.run engine;
+  match !result with
+  | Some o -> o
+  | None -> Fmt.failwith "torture-soak simulation did not complete"
+
+let () =
+  let o1 = run_soak () in
+  List.iteri
+    (fun i r ->
+      let at =
+        match r.r_capture_fence with
+        | Some f -> Fmt.str "fence %d" f
+        | None -> "round end"
+      in
+      let recrash =
+        match r.r_rolled_back2 with
+        | Some rb -> Fmt.str "recrash verified (%d rolled back)" rb
+        | None -> "no recrash state"
+      in
+      Fmt.pr "round %d: %d ok / %d failed ops, crash at %s (%d rolled back), %s@."
+        (i + 1) r.r_ops_ok r.r_ops_failed at r.r_rolled_back1 recrash)
+    o1.o_rounds;
+  Fmt.pr "injected: %a@."
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
+    o1.o_injected;
+  let lb, li = o1.o_live_leaks in
+  if lb > 0 || li > 0 then fail "live mount leaks: %d blocks, %d inodes" lb li;
+  (* Non-vacuity: every fault kind fired, at least one recovery really
+     rolled a transaction back, and at least one nested re-crash image was
+     verified. *)
+  List.iter
+    (fun (k, n) -> if n = 0 then fail "fault kind %s never injected" k)
+    o1.o_injected;
+  if not (List.exists (fun r -> r.r_rolled_back1 > 0) o1.o_rounds) then
+    fail "no recovery rolled back a transaction (crashes all landed idle)";
+  if not (List.exists (fun r -> r.r_digest2 <> None) o1.o_rounds) then
+    fail "no crash-during-recovery image was exercised";
+  (* Bit-for-bit reproducibility, images included. *)
+  let o2 = run_soak () in
+  if o1 <> o2 then fail "torture soak is not deterministic for seed %Ld" seed;
+  match !failures with
+  | [] -> Fmt.pr "torture-soak OK@."
+  | fs ->
+    List.iter (Fmt.epr "torture-soak FAIL: %s@.") (List.rev fs);
+    exit 1
