@@ -20,6 +20,8 @@ module Kernel = Hinfs_workloads.Kernel
 module Trace = Hinfs_trace.Trace
 module Stats = Hinfs_stats.Stats
 module Config = Hinfs_nvmm.Config
+module Profile = Hinfs_harness.Profile
+module Ojson = Hinfs_obs.Ojson
 
 let ppf = Fmt.stdout
 
@@ -590,6 +592,81 @@ let ablate_repl () =
      LFU the 'sophisticated' candidate.@."
 
 (* ------------------------------------------------------------------ *)
+(* Baseline: machine-readable perf summary (BENCH_HINFS.json).         *)
+(* ------------------------------------------------------------------ *)
+
+(* Short obs-enabled runs over the two headline file systems. Everything
+   in the artifact derives from the virtual clock, so two invocations with
+   the same seed write byte-identical files — scripts/bench_check.sh diffs
+   a pair of runs to enforce that. Set BENCH_HINFS_OUT to redirect the
+   output path. *)
+let baseline () =
+  Report.heading ppf
+    "Baseline: machine-readable latency/throughput summary (BENCH_HINFS.json)";
+  let duration = 50_000_000L in
+  let kinds = [ Fixtures.Hinfs_fs; Fixtures.Pmfs_fs ] in
+  let rate_cells =
+    [
+      ("fileserver", fun () -> Filebench.fileserver ());
+      ("varmail", fun () -> Filebench.varmail ());
+      ("fio", fun () -> Fio.make ());
+    ]
+  in
+  let experiments =
+    List.concat_map
+      (fun kind ->
+        let fs = Fixtures.name kind in
+        let rates =
+          List.map
+            (fun (wname, make) ->
+              let result, _stats, obs =
+                Experiment.run_workload_obs ~spec ~threads:2 ~duration kind
+                  (make ())
+              in
+              Report.subheading ppf (Fmt.str "%s / %s" wname fs);
+              Report.latency ppf obs;
+              Report.gauges ppf obs;
+              Fmt.pf ppf "@.";
+              Profile.experiment_json ~name:wname ~fs
+                ~ops:result.Workload.ops
+                ~elapsed_ns:result.Workload.elapsed_ns obs)
+            rate_cells
+        in
+        let jobs =
+          List.map
+            (fun (jname, job) ->
+              let r, _stats, obs = Experiment.run_job_obs ~spec kind job in
+              Report.subheading ppf (Fmt.str "%s / %s" jname fs);
+              Report.latency ppf obs;
+              Report.gauges ppf obs;
+              Fmt.pf ppf "@.";
+              Profile.experiment_json ~name:jname ~fs
+                ~ops:r.Workload.jr_ops ~elapsed_ns:r.Workload.jr_elapsed_ns
+                obs)
+            [ ("postmark", Postmark.make ()) ]
+        in
+        rates @ jobs)
+      kinds
+  in
+  let config =
+    [
+      ("seed", Ojson.Int (Int64.to_int spec.Experiment.seed));
+      ("threads", Ojson.Int 2);
+      ("duration_ns", Ojson.Int (Int64.to_int duration));
+      ("nvmm_write_ns", Ojson.Int spec.Experiment.nvmm_write_ns);
+      ("buffer_bytes", Ojson.Int spec.Experiment.buffer_bytes);
+    ]
+  in
+  let json = Profile.bench_json ~config experiments in
+  let path =
+    match Sys.getenv_opt "BENCH_HINFS_OUT" with
+    | Some p -> p
+    | None -> "BENCH_HINFS.json"
+  in
+  Profile.write_file path json;
+  Fmt.pf ppf "wrote %s (%d experiments)@." path (List.length experiments)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core data structures (wall clock).  *)
 (* ------------------------------------------------------------------ *)
 
@@ -690,6 +767,7 @@ let experiments =
     ("fig12", fig12);
     ("fig13", fig13);
     ("ablate-repl", ablate_repl);
+    ("baseline", baseline);
     ("micro", micro);
   ]
 

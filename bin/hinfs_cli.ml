@@ -25,6 +25,7 @@ module Layout = Hinfs_pmfs.Layout
 module Errno = Hinfs_vfs.Errno
 module Fsck = Hinfs_fsck.Fsck
 module Scrub = Hinfs_fsck.Scrub
+module Obs = Hinfs_obs.Obs
 
 open Cmdliner
 
@@ -150,6 +151,73 @@ let run_term =
 let run_cmd =
   let doc = "Run one workload cell (default command)" in
   Cmd.v (Cmd.info "run" ~doc) run_term
+
+(* --- profile: obs-enabled run with trace export + histogram tables --- *)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file to $(docv) (load it in \
+     chrome://tracing or Perfetto). Timestamps are virtual nanoseconds."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let hist_arg =
+  let doc = "Print per-span latency histograms and sampled-gauge tables." in
+  Arg.(value & flag & info [ "hist" ] ~doc)
+
+let profile fs threads duration_ms latency buffer_mb trace_out hist
+    workload_name =
+  let spec = spec_of latency buffer_mb in
+  let trace = trace_out <> None in
+  Fmt.pr "# profile %s on %s (%s)@." workload_name (Fixtures.name fs)
+    (Fixtures.description fs);
+  let obs =
+    match workload_of workload_name with
+    | `Rate w ->
+      let result, _stats, obs =
+        Experiment.run_workload_obs ~spec ~threads
+          ~duration:(Int64.of_int (duration_ms * 1_000_000))
+          ~trace fs w
+      in
+      Fmt.pr "%a@." Workload.pp_result result;
+      obs
+    | `Job job ->
+      let result, _stats, obs = Experiment.run_job_obs ~spec ~trace fs job in
+      Fmt.pr "%a@." Workload.pp_job_result result;
+      obs
+    | `Trace t ->
+      let result, _stats, obs = Experiment.run_trace_obs ~spec ~trace fs t in
+      Fmt.pr "%a@." Trace.pp_replay_result result;
+      obs
+  in
+  if hist then begin
+    Report.latency Fmt.stdout obs;
+    Report.gauges Fmt.stdout obs
+  end;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Hinfs_harness.Profile.write_file path (Obs.chrome_trace obs);
+    Fmt.pr "trace written to %s@." path);
+  let open_spans = Obs.open_spans obs and mismatches = Obs.mismatches obs in
+  if open_spans > 0 || mismatches > 0 then begin
+    Fmt.epr "hinfs-cli: span accounting broken (%d open, %d mismatched)@."
+      open_spans mismatches;
+    1
+  end
+  else 0
+
+let profile_cmd =
+  let doc =
+    "Run one workload with the observability sink installed: latency \
+     histograms, sampled gauges, and optional Chrome trace export"
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const profile $ fs_arg $ threads_arg $ duration_arg $ latency_arg
+      $ buffer_arg $ trace_out_arg $ hist_arg $ workload_arg)
 
 (* --- crashmc: crash-state enumeration + fsck --- *)
 
@@ -367,6 +435,6 @@ let cmd =
   let doc = "HiNFS-reproduction workbench" in
   Cmd.group ~default:run_term
     (Cmd.info "hinfs-cli" ~doc)
-    [ run_cmd; crashmc_cmd; scrub_cmd ]
+    [ run_cmd; profile_cmd; crashmc_cmd; scrub_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -36,6 +36,7 @@ module Errno = Hinfs_vfs.Errno
 module Types = Hinfs_vfs.Types
 module Pmfs = Hinfs_pmfs.Pmfs
 module Layout = Hinfs_pmfs.Layout
+module Obs = Hinfs_obs.Obs
 
 type file_state = {
   f_ino : int;
@@ -218,7 +219,16 @@ let mark_block_dirty t fst b lines =
    flush never pay this — the short-lived-file win of §1.
 
    If [evict], the block is also freed (unless re-dirtied concurrently). *)
-let flush_block ?(background = false) ?(cat = Stats.Write_access) t b ~evict =
+let rec flush_block ?(background = false) ?(cat = Stats.Write_access) t b ~evict
+    =
+  Obs.span_begin Obs.Writeback;
+  match flush_block_body ~background ~cat t b ~evict with
+  | () -> Obs.span_end Obs.Writeback
+  | exception e ->
+    Obs.span_end Obs.Writeback;
+    raise e
+
+and flush_block_body ~background ~cat t b ~evict =
   let fst = file_state t b.Buffer_pool.ino in
   let dev = device t in
   let cl = cacheline t in
@@ -392,6 +402,7 @@ let fetch_lines t b lines =
   let nlines = lines_per_block t in
   let home_addr = Pmfs.Data.block_addr t.pmfs b.Buffer_pool.home in
   let needed = Clbitmap.diff lines b.Buffer_pool.present in
+  let obs_t0 = if Obs.enabled () then Proc.now () else 0L in
   let from_home = Clbitmap.inter needed b.Buffer_pool.home_valid in
   Clbitmap.iter_set_runs from_home ~nlines (fun ~first ~count ->
       Device.read dev ~cat:Stats.Write_access
@@ -400,6 +411,8 @@ let fetch_lines t b lines =
   let as_zero = Clbitmap.diff needed b.Buffer_pool.home_valid in
   Clbitmap.iter_set_runs as_zero ~nlines (fun ~first ~count ->
       Bytes.fill b.Buffer_pool.data (first * cl) (count * cl) '\000');
+  if not (Clbitmap.is_empty needed) then
+    Obs.span_since Obs.Buffer_fetch ~t0:obs_t0;
   b.Buffer_pool.present <- Clbitmap.union b.Buffer_pool.present lines
 
 (* One block-aligned segment of a lazy-persistent write. *)
@@ -528,6 +541,9 @@ let write t ~ino ~off ~src ~src_off ~len ~sync =
                && Benefit.is_eager fst.model fblock ~now:(now t)
                     ~eager_decay_ns:t.hcfg.Hconfig.eager_decay_ns)
           in
+          Obs.instant
+            (if eager then Obs.Ev_bbm_eager else Obs.Ev_bbm_lazy)
+            ~a:ino ~b:fblock;
           segments := (fblock, in_block, done_, chunk, eager) :: !segments;
           split (done_ + chunk)
         end
@@ -705,7 +721,10 @@ let drop_buffers t ino =
         end)
       ids;
     Stats.dead_block_drop st !dropped;
-    if !dropped > 0 then ignore (Condvar.broadcast t.free_cv);
+    if !dropped > 0 then begin
+      Obs.instant Obs.Ev_dead_drop ~a:ino ~b:!dropped;
+      ignore (Condvar.broadcast t.free_cv)
+    end;
     abort_pending t fst;
     Hashtbl.remove t.files ino
 
@@ -761,11 +780,13 @@ let mmap t ~ino =
      buffer can never diverge. *)
   flush_file t fst ~evict:true;
   commit_pending t fst;
-  Benefit.pin_mmap fst.model
+  Benefit.pin_mmap fst.model;
+  Obs.instant Obs.Ev_mmap_pin ~a:ino ~b:0
 
 let munmap t ~ino =
   let fst = file_state t ino in
-  Benefit.unpin_mmap fst.model
+  Benefit.unpin_mmap fst.model;
+  Obs.instant Obs.Ev_mmap_unpin ~a:ino ~b:0
 
 let msync t ~ino =
   ignore ino;

@@ -8,6 +8,7 @@ module Stats = Hinfs_stats.Stats
 module Config = Hinfs_nvmm.Config
 module Workload = Hinfs_workloads.Workload
 module Trace = Hinfs_trace.Trace
+module Obs = Hinfs_obs.Obs
 
 type spec = {
   nvmm_size : int;
@@ -90,3 +91,53 @@ let run_trace ?(spec = trace_spec) kind trace =
   let spec = spec in
   with_env spec kind (fun env ->
       Trace.replay ~stats:env.Fixtures.stats trace env.Fixtures.handle)
+
+(* --- observability-enabled runs --- *)
+
+(* Same shape as [with_env], but with an [Obs] sink installed for the
+   run's lifetime and the periodic gauge sampler running between mount and
+   teardown. The sink is global, so obs runs must not nest; the harness
+   only ever runs one simulation at a time. *)
+let with_env_obs ?(trace = false) ?sampler_period_ns spec kind f =
+  let engine = Engine.create () in
+  let obs = Obs.create ~trace engine in
+  Obs.install obs;
+  Fun.protect ~finally:Obs.uninstall (fun () ->
+      let result = ref None in
+      Engine.spawn engine ~name:"experiment" (fun () ->
+          let env =
+            Fixtures.setup engine ~config:(config_of spec)
+              ~buffer_bytes:spec.buffer_bytes ~cache_pages:spec.cache_pages
+              kind
+          in
+          let stop =
+            Obs.start_sampler ?period_ns:sampler_period_ns obs
+              ~gauges:env.Fixtures.gauges
+          in
+          let value = f env in
+          stop ();
+          env.Fixtures.teardown ();
+          result := Some (value, env.Fixtures.stats));
+      Engine.run engine;
+      match !result with
+      | Some (value, stats) -> (value, stats, obs)
+      | None -> failwith "experiment did not complete")
+
+let run_workload_obs ?spec ?threads ?duration ?trace ?sampler_period_ns kind
+    workload =
+  let spec = Option.value ~default:default_spec spec in
+  let threads = Option.value ~default:spec.threads threads in
+  let duration = Option.value ~default:spec.duration_ns duration in
+  with_env_obs ?trace ?sampler_period_ns spec kind (fun env ->
+      Workload.run ~seed:spec.seed ~stats:env.Fixtures.stats ~threads
+        ~duration workload env.Fixtures.handle)
+
+let run_job_obs ?spec ?trace ?sampler_period_ns kind job =
+  let spec = Option.value ~default:default_spec spec in
+  with_env_obs ?trace ?sampler_period_ns spec kind (fun env ->
+      Workload.run_job ~seed:spec.seed ~stats:env.Fixtures.stats job
+        env.Fixtures.handle)
+
+let run_trace_obs ?(spec = trace_spec) ?trace ?sampler_period_ns kind tr =
+  with_env_obs ?trace ?sampler_period_ns spec kind (fun env ->
+      Trace.replay ~stats:env.Fixtures.stats tr env.Fixtures.handle)

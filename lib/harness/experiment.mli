@@ -41,3 +41,44 @@ val run_trace :
   Fixtures.fs_kind ->
   Hinfs_trace.Trace.t ->
   Hinfs_trace.Trace.replay_result * Hinfs_stats.Stats.t
+
+(** {2 Observability-enabled runs}
+
+    Same cells with an {!Hinfs_obs.Obs} sink installed for the run and the
+    periodic gauge sampler running between mount and teardown. [trace]
+    additionally keeps per-event data for Chrome-trace export. The sink is
+    global: do not nest obs runs. *)
+
+val with_env_obs :
+  ?trace:bool ->
+  ?sampler_period_ns:int64 ->
+  spec ->
+  Fixtures.fs_kind ->
+  (Fixtures.env -> 'a) ->
+  'a * Hinfs_stats.Stats.t * Hinfs_obs.Obs.t
+
+val run_workload_obs :
+  ?spec:spec ->
+  ?threads:int ->
+  ?duration:int64 ->
+  ?trace:bool ->
+  ?sampler_period_ns:int64 ->
+  Fixtures.fs_kind ->
+  Hinfs_workloads.Workload.t ->
+  Hinfs_workloads.Workload.result * Hinfs_stats.Stats.t * Hinfs_obs.Obs.t
+
+val run_job_obs :
+  ?spec:spec ->
+  ?trace:bool ->
+  ?sampler_period_ns:int64 ->
+  Fixtures.fs_kind ->
+  Hinfs_workloads.Workload.job ->
+  Hinfs_workloads.Workload.job_result * Hinfs_stats.Stats.t * Hinfs_obs.Obs.t
+
+val run_trace_obs :
+  ?spec:spec ->
+  ?trace:bool ->
+  ?sampler_period_ns:int64 ->
+  Fixtures.fs_kind ->
+  Hinfs_trace.Trace.t ->
+  Hinfs_trace.Trace.replay_result * Hinfs_stats.Stats.t * Hinfs_obs.Obs.t

@@ -6,6 +6,8 @@ module Config = Hinfs_nvmm.Config
 module Device = Hinfs_nvmm.Device
 module Vfs = Hinfs_vfs.Vfs
 module Hconfig = Hinfs.Hconfig
+module Resource = Hinfs_sim.Resource
+module Log = Hinfs_journal.Cacheline_log
 
 type fs_kind =
   | Hinfs_fs (* the contribution *)
@@ -49,8 +51,22 @@ type env = {
   device : Device.t;
   handle : Vfs.handle;
   kind : fs_kind;
+  gauges : (string * (unit -> int)) list;
   teardown : unit -> unit;
 }
+
+(* Gauges every kind exposes: bandwidth-slot utilisation/queueing and the
+   volatile-cacheline footprint, read straight off the device. *)
+let device_gauges device =
+  let bw = Device.bandwidth device in
+  [
+    ("bw.slots_in_use", fun () -> Resource.capacity bw - Resource.available bw);
+    ("bw.queued", fun () -> Resource.queued bw);
+    ("dev.dirty_cachelines", fun () -> Device.dirty_cachelines device);
+  ]
+
+let journal_gauges log =
+  [ ("journal.free_slots", fun () -> Log.free_slots log) ]
 
 (* Mount a fresh file system of the given kind on a fresh device. Must run
    inside a simulation process (daemons are spawned). *)
@@ -59,16 +75,25 @@ let setup engine ~config ~buffer_bytes ~cache_pages kind =
   let device = Device.create engine stats config in
   let hinfs_with hcfg =
     let fs = Hinfs.Fs.mkfs_and_mount device ~hcfg ~daemons:true () in
-    (Hinfs.Fs.handle fs, fun () -> Hinfs.Fs.unmount fs)
+    let gauges =
+      [
+        ("buffer.used_blocks", fun () -> Hinfs.Fs.buffered_blocks fs);
+        ("buffer.free_blocks", fun () -> Hinfs.Fs.free_buffer_blocks fs);
+        ("buffer.dirty_blocks", fun () -> Hinfs.Fs.dirty_buffered_blocks fs);
+        ("txns.pending", fun () -> Hinfs.Fs.pending_txns fs);
+      ]
+      @ journal_gauges (Hinfs_pmfs.Pmfs.log (Hinfs.Fs.pmfs fs))
+    in
+    (Hinfs.Fs.handle fs, gauges, fun () -> Hinfs.Fs.unmount fs)
   in
   let ext_with mode =
     let fs =
       Hinfs_extfs.Extfs.mkfs_and_mount device ~mode ~cache_pages ~daemons:true
         ()
     in
-    (Hinfs_extfs.Extfs.handle fs, fun () -> Hinfs_extfs.Extfs.unmount fs)
+    (Hinfs_extfs.Extfs.handle fs, [], fun () -> Hinfs_extfs.Extfs.unmount fs)
   in
-  let handle, teardown =
+  let handle, fs_gauges, teardown =
     match kind with
     | Hinfs_fs -> hinfs_with { Hconfig.default with Hconfig.buffer_bytes }
     | Hinfs_nclfw ->
@@ -93,9 +118,12 @@ let setup engine ~config ~buffer_bytes ~cache_pages kind =
         }
     | Pmfs_fs ->
       let fs = Hinfs_pmfs.Pmfs.mkfs_and_mount device ~journal_cleaner:true () in
-      (Hinfs_pmfs.Pmfs.handle fs, fun () -> Hinfs_pmfs.Pmfs.unmount fs)
+      ( Hinfs_pmfs.Pmfs.handle fs,
+        journal_gauges (Hinfs_pmfs.Pmfs.log fs),
+        fun () -> Hinfs_pmfs.Pmfs.unmount fs )
     | Ext4_dax -> ext_with Hinfs_extfs.Extfs.Ext4_dax
     | Ext2_nvmmbd -> ext_with Hinfs_extfs.Extfs.Ext2
     | Ext4_nvmmbd -> ext_with Hinfs_extfs.Extfs.Ext4
   in
-  { engine; stats; device; handle; kind; teardown }
+  let gauges = fs_gauges @ device_gauges device in
+  { engine; stats; device; handle; kind; gauges; teardown }

@@ -23,6 +23,10 @@ type env = {
   device : Hinfs_nvmm.Device.t;
   handle : Hinfs_vfs.Vfs.handle;
   kind : fs_kind;
+  gauges : (string * (unit -> int)) list;
+      (** Named gauges for the {!Hinfs_obs.Obs} periodic sampler: write-buffer
+          occupancy, journal free entries, bandwidth-slot utilisation,
+          writeback queue depth — whatever the kind exposes. *)
   teardown : unit -> unit;
 }
 

@@ -124,6 +124,53 @@ let recovery ppf stats =
       ]
   end
 
+(* Latency histograms from an observability sink: one row per span kind
+   with at least one sample. All values are virtual nanoseconds. *)
+let latency ppf obs =
+  let module Obs = Hinfs_obs.Obs in
+  let module Hist = Hinfs_obs.Hist in
+  match Obs.nonempty_hists obs with
+  | [] -> ()
+  | hists ->
+    subheading ppf "latency (virtual ns)";
+    table ppf
+      ~header:[ "span"; "count"; "p50"; "p90"; "p99"; "p999"; "max"; "mean" ]
+      (List.map
+         (fun (k, s) ->
+           [
+             Obs.kind_name k;
+             string_of_int s.Hist.count;
+             string_of_int s.Hist.p50;
+             string_of_int s.Hist.p90;
+             string_of_int s.Hist.p99;
+             string_of_int s.Hist.p999;
+             string_of_int s.Hist.max;
+             Fmt.str "%.1f" s.Hist.mean;
+           ])
+         hists)
+
+(* Sampled-gauge statistics (write-buffer occupancy, journal free entries,
+   bandwidth-slot utilisation, ...) from the periodic sampler. *)
+let gauges ppf obs =
+  let module Obs = Hinfs_obs.Obs in
+  let module Hist = Hinfs_obs.Hist in
+  match Obs.counter_summaries obs with
+  | [] -> ()
+  | counters ->
+    subheading ppf "sampled gauges";
+    table ppf
+      ~header:[ "gauge"; "samples"; "min"; "mean"; "max" ]
+      (List.map
+         (fun (name, s) ->
+           [
+             name;
+             string_of_int s.Hist.count;
+             string_of_int s.Hist.min;
+             Fmt.str "%.1f" s.Hist.mean;
+             string_of_int s.Hist.max;
+           ])
+         counters)
+
 let f1 v = Fmt.str "%.1f" v
 let f2 v = Fmt.str "%.2f" v
 let f0 v = Fmt.str "%.0f" v

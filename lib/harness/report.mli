@@ -22,6 +22,14 @@ val recovery : Format.formatter -> Hinfs_stats.Stats.t -> unit
 (** Mount-time log-recovery counters (passes run, transactions rolled back,
     unusable records dropped); silent when every mount was clean. *)
 
+val latency : Format.formatter -> Hinfs_obs.Obs.t -> unit
+(** Per-span latency histogram table (count/p50/p90/p99/p999/max/mean in
+    virtual ns); silent when the sink recorded no spans. *)
+
+val gauges : Format.formatter -> Hinfs_obs.Obs.t -> unit
+(** Sampled-gauge statistics from the periodic sampler; silent when no
+    samples were recorded. *)
+
 val f0 : float -> string
 val f1 : float -> string
 val f2 : float -> string

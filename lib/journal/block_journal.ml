@@ -15,6 +15,7 @@
 module Stats = Hinfs_stats.Stats
 module Resource = Hinfs_sim.Resource
 module Crc32c = Hinfs_structures.Crc32c
+module Obs = Hinfs_obs.Obs
 
 let descriptor_magic = 0x4A424432 (* "JBD2" *)
 let commit_magic = 0x434F4D54 (* "COMT" *)
@@ -142,7 +143,15 @@ let commit_batch t entries =
    journal write), the not-yet-committed entries are put back into the
    running transaction instead of being dropped — losing them would
    silently skip their metadata on the next commit. *)
-let commit t =
+let rec commit t =
+  Obs.span_begin Obs.Journal_commit;
+  match commit_locked t with
+  | () -> Obs.span_end Obs.Journal_commit
+  | exception e ->
+    Obs.span_end Obs.Journal_commit;
+    raise e
+
+and commit_locked t =
   Resource.with_resource t.lock 1 @@ fun () ->
   let entries =
     Hashtbl.fold (fun block content acc -> (block, content) :: acc) t.running []

@@ -30,6 +30,7 @@ module Stats = Hinfs_stats.Stats
 module Device = Hinfs_nvmm.Device
 module Config = Hinfs_nvmm.Config
 module Crc32c = Hinfs_structures.Crc32c
+module Obs = Hinfs_obs.Obs
 
 let entry_size = 64
 let payload_capacity = 40
@@ -241,26 +242,35 @@ let clear_slot t slot =
 let commit t txn =
   if txn.committed then
     invalid_arg "Cacheline_log.commit: txn already committed";
-  (* 1. Persist the in-place updates covered by this transaction. *)
-  List.iter
-    (fun (addr, len) -> Device.clflush t.device ~cat ~addr ~len)
-    txn.ranges;
-  Device.mfence t.device ~cat;
-  (* 2. Persist the commit entry: the transaction is now durable. *)
-  let commit_slot =
-    write_entry t ~txn_id:txn.id ~entry_type:type_commit ~addr:0
-      ~payload:Bytes.empty
-  in
-  txn.committed <- true;
-  t.txns_committed <- t.txns_committed + 1;
-  t.live_txns <- t.live_txns - 1;
-  (* 3. Checkpoint: hand the entries to the background cleaner when one is
-     running; otherwise clean inline. *)
-  match t.cleaner with
-  | Some cv ->
-    Queue.add (txn.slots, commit_slot) t.pending_clean;
-    ignore (Condvar.signal cv)
-  | None -> clean_txn t (txn.slots, commit_slot)
+  Obs.span_begin Obs.Journal_commit;
+  match
+    begin
+      (* 1. Persist the in-place updates covered by this transaction. *)
+      List.iter
+        (fun (addr, len) -> Device.clflush t.device ~cat ~addr ~len)
+        txn.ranges;
+      Device.mfence t.device ~cat;
+      (* 2. Persist the commit entry: the transaction is now durable. *)
+      let commit_slot =
+        write_entry t ~txn_id:txn.id ~entry_type:type_commit ~addr:0
+          ~payload:Bytes.empty
+      in
+      txn.committed <- true;
+      t.txns_committed <- t.txns_committed + 1;
+      t.live_txns <- t.live_txns - 1;
+      (* 3. Checkpoint: hand the entries to the background cleaner when one
+         is running; otherwise clean inline. *)
+      match t.cleaner with
+      | Some cv ->
+        Queue.add (txn.slots, commit_slot) t.pending_clean;
+        ignore (Condvar.signal cv)
+      | None -> clean_txn t (txn.slots, commit_slot)
+    end
+  with
+  | () -> Obs.span_end Obs.Journal_commit
+  | exception e ->
+    Obs.span_end Obs.Journal_commit;
+    raise e
 
 (* Abort: restore old contents (volatile first, then persisted) and clear
    the entries. Used on ENOSPC-style failure paths. *)
@@ -345,7 +355,7 @@ type recovered_entry = {
   r_payload : Bytes.t;
 }
 
-let recover device ~first_block ~blocks =
+let recover_body device ~first_block ~blocks =
   let config = Device.config device in
   let block_size = config.Config.block_size in
   let base = first_block * block_size in
@@ -475,6 +485,16 @@ let recover device ~first_block ~blocks =
   let rolled_back = Hashtbl.create 8 in
   List.iter (fun e -> Hashtbl.replace rolled_back e.r_txn ()) to_undo;
   { rolled_back = Hashtbl.length rolled_back; dropped = !dropped }
+
+let recover device ~first_block ~blocks =
+  Obs.span_begin Obs.Journal_recover;
+  match recover_body device ~first_block ~blocks with
+  | r ->
+    Obs.span_end Obs.Journal_recover;
+    r
+  | exception e ->
+    Obs.span_end Obs.Journal_recover;
+    raise e
 
 (* Fsck helper: number of valid entries currently on the medium in the
    journal region. Immediately after recovery (and after clean unmount)

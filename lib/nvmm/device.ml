@@ -91,6 +91,7 @@ module Engine = Hinfs_sim.Engine
 module Proc = Hinfs_sim.Proc
 module Resource = Hinfs_sim.Resource
 module Stats = Hinfs_stats.Stats
+module Obs = Hinfs_obs.Obs
 
 let create engine stats config =
   let config = Config.validate config in
@@ -396,7 +397,9 @@ let write_nt ?(background = false) t ~cat ~addr ~src ~off ~len =
   if len > 0 then begin
     let lines = Config.cachelines_in t.config ~addr ~len in
     charge t cat (fun () ->
+        let t0 = if Obs.enabled () then Proc.now () else 0L in
         Resource.with_resource t.bandwidth 1 (fun () ->
+            Obs.span_since Obs.Slot_wait ~t0;
             Proc.delay_int (lines * t.config.Config.nvmm_write_ns)));
     record_nt_pre t ~addr ~len;
     Bytes.blit src off t.persistent addr len;
@@ -474,11 +477,16 @@ let clflush ?(background = false) t ~cat ~addr ~len =
     done;
     let total_lines = last - first + 1 in
     Stats.add_clflush t.stats cat ~lines:total_lines ~dirty:!dirty;
+    let obs_t0 = if Obs.enabled () then Proc.now () else 0L in
     charge t cat (fun () ->
         Proc.delay_int (total_lines * t.config.Config.clflush_issue_ns);
-        if !dirty > 0 then
+        if !dirty > 0 then begin
+          let t0 = if Obs.enabled () then Proc.now () else 0L in
           Resource.with_resource t.bandwidth 1 (fun () ->
-              Proc.delay_int (!dirty * t.config.Config.nvmm_write_ns)));
+              Obs.span_since Obs.Slot_wait ~t0;
+              Proc.delay_int (!dirty * t.config.Config.nvmm_write_ns))
+        end);
+    Obs.span_since Obs.Flush ~t0:obs_t0;
     for idx = first to last do
       persist_line t idx
     done;
@@ -488,7 +496,9 @@ let clflush ?(background = false) t ~cat ~addr ~len =
 
 let mfence t ~cat =
   Stats.add_mfence t.stats cat;
+  let obs_t0 = if Obs.enabled () then Proc.now () else 0L in
   charge t cat (fun () -> Proc.delay_int t.config.Config.mfence_ns);
+  Obs.span_since Obs.Fence ~t0:obs_t0;
   record_fence t
 
 (* --- small typed accessors (metadata fields) --- *)

@@ -1,0 +1,127 @@
+(* Log-linear histogram.
+
+   Bucket layout: values below [linear] (= 2^sub_bits = 32) get one exact
+   bucket each. Above that, the octave containing the value (msb position
+   [e] >= sub_bits) is split into 32 linear sub-buckets of width
+   2^(e - sub_bits). Index arithmetic:
+
+     idx v = v                                          if v < 32
+           = (e - sub_bits + 1) * 32
+             + ((v lsr (e - sub_bits)) land 31)         otherwise
+
+   which is contiguous: idx 32 lands exactly at bucket 32. *)
+
+let sub_bits = 5
+let linear = 1 lsl sub_bits (* 32 *)
+
+(* Enough buckets for values up to max_int on 64-bit. *)
+let n_buckets = (62 - sub_bits + 2) * linear
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+}
+
+let create () =
+  { buckets = Array.make n_buckets 0; count = 0; sum = 0; min = 0; max = 0 }
+
+let reset t =
+  Array.fill t.buckets 0 n_buckets 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.min <- 0;
+  t.max <- 0
+
+let msb_pos v =
+  (* Position of the most significant set bit; v >= 1. *)
+  let pos = ref 0 in
+  let v = ref v in
+  if !v lsr 32 > 0 then begin pos := !pos + 32; v := !v lsr 32 end;
+  if !v lsr 16 > 0 then begin pos := !pos + 16; v := !v lsr 16 end;
+  if !v lsr 8 > 0 then begin pos := !pos + 8; v := !v lsr 8 end;
+  if !v lsr 4 > 0 then begin pos := !pos + 4; v := !v lsr 4 end;
+  if !v lsr 2 > 0 then begin pos := !pos + 2; v := !v lsr 2 end;
+  if !v lsr 1 > 0 then pos := !pos + 1;
+  !pos
+
+let index_of v =
+  if v < linear then v
+  else
+    let e = msb_pos v in
+    ((e - sub_bits + 1) * linear) + ((v lsr (e - sub_bits)) land (linear - 1))
+
+(* Inclusive upper bound of bucket [idx]: the largest value mapping to it. *)
+let bucket_upper idx =
+  if idx < linear then idx
+  else
+    let e = (idx / linear) - 1 + sub_bits in
+    let sub = idx land (linear - 1) in
+    let width = 1 lsl (e - sub_bits) in
+    (1 lsl e) + (sub * width) + width - 1
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let idx = index_of v in
+  t.buckets.(idx) <- t.buckets.(idx) + 1;
+  if t.count = 0 then begin
+    t.min <- v;
+    t.max <- v
+  end
+  else begin
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v
+  end;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v
+
+let count t = t.count
+let min_value t = t.min
+let max_value t = t.max
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+    let rank = if rank < 1 then 1 else if rank > t.count then t.count else rank in
+    let acc = ref 0 in
+    let idx = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let v = bucket_upper !idx in
+    if v > t.max then t.max else v
+  end
+
+type summary = {
+  count : int;
+  min : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+}
+
+let summarize (t : t) =
+  {
+    count = t.count;
+    min = t.min;
+    max = t.max;
+    mean = mean t;
+    p50 = quantile t 0.5;
+    p90 = quantile t 0.9;
+    p99 = quantile t 0.99;
+    p999 = quantile t 0.999;
+  }

@@ -1,0 +1,41 @@
+(** Log-linear ("HDR-style") latency histogram.
+
+    Values are non-negative integers (virtual nanoseconds). Buckets are
+    exact below 32 and log-linear above: each power-of-two octave is split
+    into 32 linear sub-buckets, bounding the relative quantile error at
+    about 3%. Recording is O(1) and allocation-free; all state is two flat
+    int arrays plus exact count/sum/min/max. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val record : t -> int -> unit
+(** Record one value. Negative values are clamped to 0. *)
+
+val count : t -> int
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+val sum : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in \[0;1\]: an upper bound on the value at rank
+    [ceil (q * count)], exact to the bucket width (~3%), clamped to the
+    exact recorded max. 0 when empty. *)
+
+type summary = {
+  count : int;
+  min : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+}
+
+val summarize : t -> summary

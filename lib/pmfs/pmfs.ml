@@ -25,6 +25,7 @@ module Engine = Hinfs_sim.Engine
 module Proc = Hinfs_sim.Proc
 module Errno = Hinfs_vfs.Errno
 module Types = Hinfs_vfs.Types
+module Obs = Hinfs_obs.Obs
 
 type t = {
   ctx : Fs_ctx.t;
@@ -664,10 +665,16 @@ module Backend : Hinfs_vfs.Backend.S with type t = t = struct
   let truncate = truncate
   let fsync = fsync
 
-  (* PMFS maps NVMM pages straight into user space. *)
-  let mmap _ ~ino:_ = ()
-  let munmap _ ~ino:_ = ()
-  let msync t ~ino:_ = Device.mfence (device t) ~cat:Stats.Other
+  (* PMFS maps NVMM pages straight into user space (DAX). Before the
+     mapping is exposed, the file's in-flight updates must be ordered on
+     the medium — the same fence fsync pays (extfs's DAX msync path);
+     mmap was previously a silent no-op, which skipped that ordering. *)
+  let mmap t ~ino =
+    fsync t ~ino;
+    Obs.instant Obs.Ev_mmap_pin ~a:ino ~b:0
+
+  let munmap _ ~ino = Obs.instant Obs.Ev_mmap_unpin ~a:ino ~b:0
+  let msync t ~ino = fsync t ~ino
   let sync_all = sync_all
   let unmount = unmount
 end

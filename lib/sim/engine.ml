@@ -27,16 +27,63 @@ type t = {
   events : (unit -> unit) Heap.t;
   mutable fatal : (exn * Printexc.raw_backtrace) option;
   mutable live_processes : int;
+  (* Process identity: pids are assigned in spawn order, which is itself
+     deterministic, so pids are stable across identical runs. Pid 0 is the
+     engine / main context. *)
+  mutable next_pid : int;
+  mutable cur_pid : int;
+  names : (int, string) Hashtbl.t;
+  mutable on_spawn : int -> string -> unit;
+  mutable on_switch : int -> unit;
 }
 
 exception Stopped
 
+let no_spawn (_ : int) (_ : string) = ()
+let no_switch (_ : int) = ()
+
 let create () =
-  { now = 0L; seq = 0; events = Heap.create (); fatal = None; live_processes = 0 }
+  let names = Hashtbl.create 16 in
+  Hashtbl.replace names 0 "engine";
+  {
+    now = 0L;
+    seq = 0;
+    events = Heap.create ();
+    fatal = None;
+    live_processes = 0;
+    next_pid = 1;
+    cur_pid = 0;
+    names;
+    on_spawn = no_spawn;
+    on_switch = no_switch;
+  }
 
 let now t = t.now
 
 let live_processes t = t.live_processes
+
+let current_pid t = t.cur_pid
+
+let proc_name t pid =
+  match Hashtbl.find_opt t.names pid with
+  | Some n -> n
+  | None -> "process"
+
+let set_proc_hooks t ~on_spawn ~on_switch =
+  t.on_spawn <- on_spawn;
+  t.on_switch <- on_switch
+
+let clear_proc_hooks t =
+  t.on_spawn <- no_spawn;
+  t.on_switch <- no_switch
+
+(* Restore [pid] as the running process. Called at every point where a fiber
+   (re)gains control, so [current_pid] is accurate from inside any process. *)
+let set_current t pid =
+  if t.cur_pid <> pid then begin
+    t.cur_pid <- pid;
+    t.on_switch pid
+  end
 
 let at t time thunk =
   if Int64.compare time t.now < 0 then
@@ -61,9 +108,14 @@ let is_fired w = w.state = Fired
    fiber performs that suspends it schedules the continuation back through
    the event queue. *)
 let rec exec : t -> string -> (unit -> unit) -> unit =
- fun t _name f ->
+ fun t name f ->
   let open Effect.Deep in
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  Hashtbl.replace t.names pid name;
+  t.on_spawn pid name;
   t.live_processes <- t.live_processes + 1;
+  set_current t pid;
   match_with f ()
     {
       retc = (fun () -> t.live_processes <- t.live_processes - 1);
@@ -84,7 +136,10 @@ let rec exec : t -> string -> (unit -> unit) -> unit =
               (fun (k : (a, unit) continuation) ->
                 if Int64.compare d 0L < 0 then
                   discontinue k (Invalid_argument "Engine: negative delay")
-                else after t d (fun () -> resume_or_kill t k))
+                else
+                  after t d (fun () ->
+                      set_current t pid;
+                      resume_or_kill t k))
           | Spawn (child_name, body) ->
             Some
               (fun (k : (a, unit) continuation) ->
@@ -97,7 +152,10 @@ let rec exec : t -> string -> (unit -> unit) -> unit =
                   {
                     state = Waiting;
                     resume =
-                      (fun v -> at t t.now (fun () -> resume_value t k v));
+                      (fun v ->
+                        at t t.now (fun () ->
+                            set_current t pid;
+                            resume_value t k v));
                   }
                 in
                 register w)
@@ -122,6 +180,9 @@ let step t =
   | None -> false
   | Some { time; payload = thunk; _ } ->
     t.now <- time;
+    (* Plain [at] thunks run in engine context; process resumptions restore
+       their own pid immediately. *)
+    set_current t 0;
     thunk ();
     true
 

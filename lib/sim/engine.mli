@@ -32,6 +32,23 @@ val now : t -> int64
 val live_processes : t -> int
 (** Number of processes that have started and not yet returned. *)
 
+val current_pid : t -> int
+(** Id of the process currently running (0 for the engine / main context).
+    Pids are assigned in spawn order, which is deterministic, so pids are
+    stable across identical runs. *)
+
+val proc_name : t -> int -> string
+(** Name the process was spawned with ("engine" for pid 0, "process" for
+    unknown pids). *)
+
+val set_proc_hooks :
+  t -> on_spawn:(int -> string -> unit) -> on_switch:(int -> unit) -> unit
+(** Install observability hooks: [on_spawn pid name] fires when a process
+    starts executing, [on_switch pid] whenever control transfers to a
+    different process. Hooks must not perform engine effects. *)
+
+val clear_proc_hooks : t -> unit
+
 val at : t -> int64 -> (unit -> unit) -> unit
 (** [at t time thunk] schedules [thunk] to run at virtual [time].
     @raise Invalid_argument if [time] is in the past. *)

@@ -25,6 +25,7 @@ module Zipf = Hinfs_sim.Zipf
 module Proc = Hinfs_sim.Proc
 module Stats = Hinfs_stats.Stats
 module Vfs = Hinfs_vfs.Vfs
+module Obs = Hinfs_obs.Obs
 module Types = Hinfs_vfs.Types
 module Errno = Hinfs_vfs.Errno
 
@@ -260,6 +261,7 @@ let replay ~stats trace (h : Vfs.handle) =
   done;
   h.Vfs.sync_all ();
   Stats.reset stats;
+  (match Obs.current () with Some o -> Obs.reset o | None -> ());
   let fds = Hashtbl.create 64 in
   let fd_of file =
     match Hashtbl.find_opt fds file with

@@ -17,6 +17,7 @@ module Rwlock = Hinfs_sim.Rwlock
 module Stats = Hinfs_stats.Stats
 module Device = Hinfs_nvmm.Device
 module Config = Hinfs_nvmm.Config
+module Obs = Hinfs_obs.Obs
 
 type fd = int
 
@@ -374,31 +375,86 @@ module Make (B : Backend.S) = struct
     Hashtbl.reset t.open_counts;
     Hashtbl.reset t.dirty_since_sync
 
+  (* Span wrappers, applied once at handle construction: each syscall runs
+     inside an [Obs] span named after its op class. The wrappers close the
+     span on any exit — normal return, [Errno.Fs_error], or the engine's
+     [Stopped] unwind — so span stacks stay balanced on error paths. When
+     no sink is installed, the begin/end calls return immediately and the
+     fast path allocates nothing. *)
+
+  let spanned1 k f a =
+    Obs.span_begin k;
+    match f a with
+    | v ->
+      Obs.span_end k;
+      v
+    | exception e ->
+      Obs.span_end k;
+      raise e
+
+  let spanned2 k f a b =
+    Obs.span_begin k;
+    match f a b with
+    | v ->
+      Obs.span_end k;
+      v
+    | exception e ->
+      Obs.span_end k;
+      raise e
+
+  let spanned3 k f a b c =
+    Obs.span_begin k;
+    match f a b c with
+    | v ->
+      Obs.span_end k;
+      v
+    | exception e ->
+      Obs.span_end k;
+      raise e
+
   let handle fs =
     let t = create fs in
     {
       fs_name = B.fs_name fs;
-      open_ = open_ t;
-      close = close t;
-      read = read t;
-      pread = (fun fd ~off buf len -> pread t fd ~off buf len);
-      write = write t;
-      pwrite = (fun fd ~off buf len -> pwrite t fd ~off buf len);
-      fsync = fsync t;
-      fstat = fstat t;
-      seek = seek t;
-      mkdir = mkdir t;
-      rmdir = rmdir t;
-      unlink = unlink t;
-      rename = rename t;
-      readdir = readdir t;
-      stat = stat_path t;
-      exists = exists t;
-      truncate = truncate t;
-      mmap = mmap t;
-      munmap = munmap t;
-      msync = msync t;
-      sync_all = (fun () -> sync_all t);
-      unmount = (fun () -> unmount t);
+      open_ = spanned2 Obs.Op_open (open_ t);
+      close = spanned1 Obs.Op_close (close t);
+      read = spanned3 Obs.Op_read (read t);
+      pread =
+        (fun fd ~off buf len ->
+          Obs.span_begin Obs.Op_read;
+          match pread t fd ~off buf len with
+          | v ->
+            Obs.span_end Obs.Op_read;
+            v
+          | exception e ->
+            Obs.span_end Obs.Op_read;
+            raise e);
+      write = spanned3 Obs.Op_write (write t);
+      pwrite =
+        (fun fd ~off buf len ->
+          Obs.span_begin Obs.Op_write;
+          match pwrite t fd ~off buf len with
+          | v ->
+            Obs.span_end Obs.Op_write;
+            v
+          | exception e ->
+            Obs.span_end Obs.Op_write;
+            raise e);
+      fsync = spanned1 Obs.Op_fsync (fsync t);
+      fstat = spanned1 Obs.Op_stat (fstat t);
+      seek = spanned2 Obs.Op_seek (seek t);
+      mkdir = spanned1 Obs.Op_mkdir (mkdir t);
+      rmdir = spanned1 Obs.Op_rmdir (rmdir t);
+      unlink = spanned1 Obs.Op_unlink (unlink t);
+      rename = spanned2 Obs.Op_rename (rename t);
+      readdir = spanned1 Obs.Op_readdir (readdir t);
+      stat = spanned1 Obs.Op_stat (stat_path t);
+      exists = spanned1 Obs.Op_exists (exists t);
+      truncate = spanned2 Obs.Op_truncate (truncate t);
+      mmap = spanned1 Obs.Op_mmap (mmap t);
+      munmap = spanned1 Obs.Op_munmap (munmap t);
+      msync = spanned1 Obs.Op_msync (msync t);
+      sync_all = spanned1 Obs.Op_sync_all (fun () -> sync_all t);
+      unmount = spanned1 Obs.Op_unmount (fun () -> unmount t);
     }
 end

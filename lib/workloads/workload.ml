@@ -11,6 +11,7 @@ module Engine = Hinfs_sim.Engine
 module Rng = Hinfs_sim.Rng
 module Stats = Hinfs_stats.Stats
 module Vfs = Hinfs_vfs.Vfs
+module Obs = Hinfs_obs.Obs
 
 type context = {
   handle : Vfs.handle;
@@ -63,6 +64,7 @@ let run_job ?(seed = 42L) ~stats (job : job) (handle : Vfs.handle) =
      the measurement window. *)
   handle.Vfs.sync_all ();
   Stats.reset stats;
+  (match Obs.current () with Some o -> Obs.reset o | None -> ());
   let start = Proc.now () in
   let ops = job.job_run handle rng in
   for _ = 1 to ops do
@@ -83,6 +85,7 @@ let run ?(seed = 42L) ~stats ~threads ~duration w (handle : Vfs.handle) =
   w.setup handle setup_rng;
   handle.Vfs.sync_all ();
   Stats.reset stats;
+  (match Obs.current () with Some o -> Obs.reset o | None -> ());
   let start = Proc.now () in
   let deadline = Int64.add start duration in
   let total_ops = ref 0 in

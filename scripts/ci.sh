@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tier-1 CI gate: full build, the whole test suite, then the two soak
-# aliases re-run explicitly so their output lands in the CI log even when
-# dune serves them from cache.
+# Tier-1 CI gate: full build, the whole test suite, then the soak and
+# smoke aliases re-run explicitly so their output lands in the CI log
+# even when dune serves them from cache, and finally the perf-baseline
+# determinism check.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -11,3 +12,6 @@ dune runtest
 
 dune build @crashmc-recovery --force
 dune build @torture-soak --force
+dune build @obs-smoke --force
+
+sh scripts/bench_check.sh

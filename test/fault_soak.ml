@@ -25,6 +25,7 @@ module Layout = Hinfs_pmfs.Layout
 module Errno = Hinfs_vfs.Errno
 module Fsck = Hinfs_fsck.Fsck
 module Scrub = Hinfs_fsck.Scrub
+module Obs = Hinfs_obs.Obs
 
 let seed = 42L
 let poison_rate = 1e-3
@@ -49,6 +50,11 @@ type outcome = {
 
 let run_soak () =
   let engine = Engine.create () in
+  (* Soak with the observability sink installed: every span opened on an
+     EIO/EROFS unwind must still close, so the accounting is checked at
+     the end of the run. *)
+  let obs = Obs.create engine in
+  Obs.install obs;
   let result = ref None in
   Engine.spawn engine ~name:"soak" (fun () ->
       let stats = Stats.create () in
@@ -185,6 +191,10 @@ let run_soak () =
             o_violations = List.length freport.Fsck.violations;
           });
   Engine.run engine;
+  if Obs.open_spans obs > 0 || Obs.mismatches obs > 0 then
+    fail "span accounting broken under faults (%d open, %d mismatched)"
+      (Obs.open_spans obs) (Obs.mismatches obs);
+  Obs.uninstall ();
   match !result with
   | Some o -> o
   | None -> Fmt.failwith "fault-soak simulation did not complete"

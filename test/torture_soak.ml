@@ -34,6 +34,7 @@ module Layout = Hinfs_pmfs.Layout
 module Log = Hinfs_journal.Cacheline_log
 module Errno = Hinfs_vfs.Errno
 module Fsck = Hinfs_fsck.Fsck
+module Obs = Hinfs_obs.Obs
 
 let seed = 1337L
 let rounds = 6
@@ -127,6 +128,11 @@ let verify_image engine ~label ~oracle ~in_flight ?record image =
 
 let run_soak () =
   let engine = Engine.create () in
+  (* Soak under the observability sink: crash-image mounts, rollbacks and
+     forced mid-op failures all unwind through instrumented spans, and the
+     accounting must still balance at the end. *)
+  let obs = Obs.create engine in
+  Obs.install obs;
   let result = ref None in
   Engine.spawn engine ~name:"torture" (fun () ->
       let stats = Stats.create () in
@@ -356,6 +362,10 @@ let run_soak () =
             o_live_violations = List.length live_violations;
           });
   Engine.run engine;
+  if Obs.open_spans obs > 0 || Obs.mismatches obs > 0 then
+    fail "span accounting broken under torture (%d open, %d mismatched)"
+      (Obs.open_spans obs) (Obs.mismatches obs);
+  Obs.uninstall ();
   match !result with
   | Some o -> o
   | None -> Fmt.failwith "torture-soak simulation did not complete"
