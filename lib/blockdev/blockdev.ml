@@ -7,12 +7,40 @@
 
    Requests are block-granular. Writes stream to the medium with NVMM cost
    (the brd "disk" is NVMM); reads are DRAM-speed. The per-request overhead
-   is charged to the [Block_layer] stats category. *)
+   is charged to the [Block_layer] stats category.
+
+   A durability tier (lib/nvcache) can be interposed with {!attach_tier}:
+   it sees every write before the request is issued and may absorb it into
+   NVMM, and every read so it can serve blocks it still holds. Absorbed
+   writes skip the block layer entirely — that bypass is the tier's whole
+   performance story — and are counted separately. The tier destages back
+   through {!write_range}, which pays the normal per-request overhead. *)
 
 module Proc = Hinfs_sim.Proc
 module Stats = Hinfs_stats.Stats
 module Device = Hinfs_nvmm.Device
 module Config = Hinfs_nvmm.Config
+
+type tier = {
+  tier_name : string;
+  tier_write :
+    background:bool ->
+    cat:Stats.category ->
+    block:int ->
+    src:Bytes.t ->
+    off:int ->
+    dirty:(int * int) option ->
+    bool;
+      (** Offered every block write first, with the block-relative dirty
+          byte run when the writer tracked one. Returning [true] means the
+          write is durable in the tier (same completion contract as
+          {!write_block}: ordered on media when the call returns). *)
+  tier_read : cat:Stats.category -> block:int -> into:Bytes.t -> off:int -> bool;
+      (** Offered every block read; [true] means [into] was filled with the
+          tier's (newest) view of the block. *)
+  tier_peek : block:int -> Bytes.t option;
+      (** Untimed coherent view for {!peek_block}. *)
+}
 
 type t = {
   device : Device.t;
@@ -20,6 +48,8 @@ type t = {
   nblocks : int;
   mutable reads : int;
   mutable writes : int;
+  mutable absorbed : int;
+  mutable tier : tier option;
 }
 
 let create device =
@@ -30,6 +60,8 @@ let create device =
     nblocks = Config.blocks config;
     reads = 0;
     writes = 0;
+    absorbed = 0;
+    tier = None;
   }
 
 let device t = t.device
@@ -37,6 +69,9 @@ let block_size t = t.block_size
 let nblocks t = t.nblocks
 let read_requests t = t.reads
 let write_requests t = t.writes
+let absorbed_writes t = t.absorbed
+let attach_tier t tier = t.tier <- tier
+let tier_name t = match t.tier with None -> None | Some x -> Some x.tier_name
 
 let check_block t block =
   if block < 0 || block >= t.nblocks then
@@ -53,28 +88,63 @@ let read_block t ~cat block ~into ~off =
     invalid_arg "Blockdev.read_block: bad destination range";
   charge_request t;
   t.reads <- t.reads + 1;
-  Device.read t.device ~cat ~addr:(block * t.block_size) ~len:t.block_size
-    ~into ~off
+  Stats.add_block_read (Device.stats t.device);
+  let served =
+    match t.tier with
+    | None -> false
+    | Some tier -> tier.tier_read ~cat ~block ~into ~off
+  in
+  if not served then
+    Device.read t.device ~cat ~addr:(block * t.block_size) ~len:t.block_size
+      ~into ~off
 
-let write_block ?(background = false) t ~cat block ~src ~off =
+let write_block ?(background = false) ?dirty t ~cat block ~src ~off =
   check_block t block;
   if off < 0 || off + t.block_size > Bytes.length src then
     invalid_arg "Blockdev.write_block: bad source range";
+  let absorbed =
+    match t.tier with
+    | None -> false
+    | Some tier -> tier.tier_write ~background ~cat ~block ~src ~off ~dirty
+  in
+  if absorbed then begin
+    t.absorbed <- t.absorbed + 1;
+    Stats.add_block_absorbed (Device.stats t.device)
+  end
+  else begin
+    charge_request t;
+    t.writes <- t.writes + 1;
+    Stats.add_block_write (Device.stats t.device);
+    Device.write_nt ~background t.device ~cat ~addr:(block * t.block_size)
+      ~src ~off ~len:t.block_size;
+    (* Bio completion implies durability on the NVMM-backed brd: the request
+       does not return until the streamed block is ordered on the medium.
+       Without this fence the block journal's descriptor/commit ordering
+       would not hold under partial-persist crash states. *)
+    Device.mfence t.device ~cat
+  end
+
+(* Destage path: write an arbitrary byte range below the tier interception
+   point as one block-layer request. No completion fence — the destage
+   daemon batches its own ordering points. *)
+let write_range ?(background = false) t ~cat ~addr ~src ~off ~len =
+  if addr < 0 || len < 0 || addr + len > t.nblocks * t.block_size then
+    invalid_arg "Blockdev.write_range: bad device range";
   charge_request t;
   t.writes <- t.writes + 1;
-  Device.write_nt ~background t.device ~cat ~addr:(block * t.block_size) ~src
-    ~off ~len:t.block_size;
-  (* Bio completion implies durability on the NVMM-backed brd: the request
-     does not return until the streamed block is ordered on the medium.
-     Without this fence the block journal's descriptor/commit ordering
-     would not hold under partial-persist crash states. *)
-  Device.mfence t.device ~cat
+  Stats.add_block_write (Device.stats t.device);
+  Device.write_nt ~background t.device ~cat ~addr ~src ~off ~len
 
 (* Untimed helpers for mkfs and tests. *)
 
 let peek_block t block =
   check_block t block;
-  Device.peek t.device ~addr:(block * t.block_size) ~len:t.block_size
+  match t.tier with
+  | Some tier -> (
+    match tier.tier_peek ~block with
+    | Some bytes -> bytes
+    | None -> Device.peek t.device ~addr:(block * t.block_size) ~len:t.block_size)
+  | None -> Device.peek t.device ~addr:(block * t.block_size) ~len:t.block_size
 
 let poke_block t block ~src ~off =
   check_block t block;

@@ -281,6 +281,112 @@ let hinfs_unlink_buffered =
     verify = verify_hinfs;
   }
 
+(* --- nvcache scenarios ---
+
+   ext4 (ordered journal, sync mount) behind the NVMM write-cache tier.
+   Every fsync'd file must survive any crash: the destage backlog lives
+   only in the cache area, so mount-time replay is on the recovery path of
+   every image, and the nested pass re-crashes inside the replay itself
+   (poke_flushed/fence_untimed make it enumerable). Mid-scenario
+   destage_all puts the batch write-back and the persistent truncation
+   (head advance / entry zeroing) under enumeration too. *)
+
+module Extfs = Hinfs_extfs.Extfs
+module Nvcache = Hinfs_nvcache.Nvcache
+
+let ext_root = 1
+
+let read_ext fs path =
+  let parts =
+    String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+  in
+  let rec go dir = function
+    | [] -> Some dir
+    | p :: rest -> (
+      match Extfs.lookup fs ~dir p with
+      | None -> None
+      | Some ino -> go ino rest)
+  in
+  match go ext_root parts with
+  | None -> None
+  | Some ino ->
+    let size = Extfs.inode_size fs ino in
+    let buf = Bytes.create size in
+    let n = Extfs.read fs ~ino ~off:0 ~len:size ~into:buf ~into_off:0 in
+    Some (Bytes.sub_string buf 0 n)
+
+let verify_nvcache device expectations =
+  let st =
+    Nvcache.mount device ~mode:Extfs.Ext4 ~sync_mount:true ~daemons:false ()
+  in
+  let replay_violations =
+    match Nvcache.last_recovery st with
+    | Some r when r.Nvcache.rec_dropped > 0 ->
+      [ Fmt.str "nvcache replay dropped %d record(s)" r.Nvcache.rec_dropped ]
+    | _ -> []
+  in
+  replay_violations
+  @ check_expectations ~read_file:(read_ext (Nvcache.fs st)) expectations
+
+let nvcache_scenario ~name ~design =
+  {
+    name;
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let st =
+          Nvcache.mkfs_and_mount device ~design ~mode:Extfs.Ext4
+            ~journal_blocks:16 ~sync_mount:true ~daemons:false ()
+        in
+        let fs = Nvcache.fs st in
+        let cache = Nvcache.cache st in
+        ctl.start ();
+        (* The oracle is armed only across the create+write window's end:
+           until fsync returns nothing is promised (retracted), after it
+           the exact content is. *)
+        let write_file name len =
+          let data = content name len in
+          ctl.retract name;
+          let ino = Extfs.create_file fs ~dir:ext_root name in
+          ignore
+            (Extfs.write fs ~ino ~off:0 ~src:(bytes_of data) ~src_off:0 ~len
+               ~sync:true);
+          Extfs.fsync fs ~ino;
+          ctl.expect name (Exactly (Content data));
+          (ino, data)
+        in
+        let ino0, d0 = write_file "n0" 1000 in
+        ctl.checkpoint "n0-fsynced";
+        ignore (write_file "n1" 3500);
+        ctl.checkpoint "n1-fsynced";
+        (* Drain under enumeration: crash points inside the batch
+           write-back and the persistent truncation. *)
+        Nvcache.destage_all cache;
+        ctl.checkpoint "destaged";
+        (* Overwrite an fsync'd single-block file: any crash image shows
+           the old or the new bytes, never a torn mix (record/slot CRC
+           cuts the replay prefix before a partial version applies). *)
+        let d0' = content "n0-v2" 1000 in
+        ctl.expect "n0" (Either (Content d0, Content d0'));
+        ignore
+          (Extfs.write fs ~ino:ino0 ~off:0 ~src:(bytes_of d0') ~src_off:0
+             ~len:1000 ~sync:true);
+        Extfs.fsync fs ~ino:ino0;
+        ctl.expect "n0" (Exactly (Content d0'));
+        ctl.checkpoint "n0-overwritten";
+        (* Left in the backlog at the final crash: replay must carry it. *)
+        ignore (write_file "n2" 2200);
+        ctl.checkpoint "n2-fsynced");
+    verify = verify_nvcache;
+  }
+
+let nvlog_fsync_destage =
+  nvcache_scenario ~name:"nvlog-fsync-destage" ~design:Nvcache.Logging
+
+let nvpage_fsync_destage =
+  nvcache_scenario ~name:"nvpage-fsync-destage" ~design:Nvcache.Paging
+
 (* --- known-bad fixtures (checker self-tests) --- *)
 
 let fixture_payload = content "fixture" 64
@@ -419,6 +525,8 @@ let all =
     pmfs_torn_txn;
     hinfs_fsync;
     hinfs_unlink_buffered;
+    nvlog_fsync_destage;
+    nvpage_fsync_destage;
     fixture_missing_fence;
     fixture_correct_fence;
     fixture_nonidempotent_recovery;

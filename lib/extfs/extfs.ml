@@ -25,6 +25,7 @@ module Bj = Hinfs_journal.Block_journal
 module Bitmap = Hinfs_structures.Bitmap
 module Errno = Hinfs_vfs.Errno
 module Types = Hinfs_vfs.Types
+module Obs = Hinfs_obs.Obs
 module Irec = Elayout.Irec
 
 type mode = Ext2 | Ext4 | Ext4_dax
@@ -51,6 +52,8 @@ type t = {
 }
 
 let device t = Blockdev.device t.bdev
+let bdev t = t.bdev
+let total_blocks t = t.geo.Elayout.total_blocks
 let stats t = Device.stats (device t)
 let now t = Engine.now (Device.engine (device t))
 let block_size t = t.geo.Elayout.block_size
@@ -741,12 +744,20 @@ let rename t ~src_dir ~src ~dst_dir ~dst =
 
 (* --- mkfs / mount / lifecycle --- *)
 
-let mkfs device ?journal_blocks ?inodes_per_mb () =
+let mkfs device ?journal_blocks ?inodes_per_mb ?total_blocks () =
   let config = Device.config device in
   let block_size = config.Config.block_size in
+  (* [total_blocks] lets a durability tier (lib/nvcache) reserve the tail
+     of the device for itself; the reduced geometry persists in the
+     superblock so mount needs no matching parameter. *)
+  let total_blocks =
+    match total_blocks with Some n -> n | None -> Config.blocks config
+  in
+  if total_blocks < 1 || total_blocks > Config.blocks config then
+    invalid_arg "Extfs.mkfs: bad total_blocks";
   let geo =
     Elayout.geometry_of ?journal_blocks ?inodes_per_mb ~block_size
-      ~total_blocks:(Config.blocks config) ()
+      ~total_blocks ()
   in
   let zero = Bytes.make block_size '\000' in
   for b = 0 to geo.Elayout.data_start - 1 do
@@ -864,9 +875,9 @@ let unmount t =
     sync_all t
   end
 
-let mkfs_and_mount device ~mode ?journal_blocks ?inodes_per_mb ?sync_mount
-    ?cache_pages ?commit_interval ?(daemons = false) () =
-  mkfs device ?journal_blocks ?inodes_per_mb ();
+let mkfs_and_mount device ~mode ?journal_blocks ?inodes_per_mb ?total_blocks
+    ?sync_mount ?cache_pages ?commit_interval ?(daemons = false) () =
+  mkfs device ?journal_blocks ?inodes_per_mb ?total_blocks ();
   let t = mount device ~mode ?sync_mount ?cache_pages ?commit_interval () in
   if daemons then start_daemons t;
   t
@@ -894,9 +905,15 @@ module Backend : Hinfs_vfs.Backend.S with type t = t = struct
   let fsync = fsync
 
   (* mmap through the page cache (or direct for DAX) is modelled as
-     fsync-equivalent synchronisation only. *)
-  let mmap t ~ino = if not (is_dax t) then flush_file_data t ~ino
-  let munmap _ ~ino:_ = ()
+     fsync-equivalent synchronisation: before the mapping is exposed the
+     file's in-flight updates must be ordered on the medium with full
+     fsync semantics (data flush plus journal commit / DAX fence), not
+     just a data writeback — the same ordering the Pmfs.mmap path pays. *)
+  let mmap t ~ino =
+    fsync t ~ino;
+    Obs.instant Obs.Ev_mmap_pin ~a:ino ~b:0
+
+  let munmap _ ~ino = Obs.instant Obs.Ev_mmap_unpin ~a:ino ~b:0
   let msync t ~ino = fsync t ~ino
   let sync_all = sync_all
   let unmount = unmount

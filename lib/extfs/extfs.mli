@@ -16,7 +16,15 @@ type t
 (** {1 mkfs / mount} *)
 
 val mkfs :
-  Hinfs_nvmm.Device.t -> ?journal_blocks:int -> ?inodes_per_mb:int -> unit -> unit
+  Hinfs_nvmm.Device.t ->
+  ?journal_blocks:int ->
+  ?inodes_per_mb:int ->
+  ?total_blocks:int ->
+  unit ->
+  unit
+(** [total_blocks] shrinks the file system below the device size (default:
+    the whole device) so a durability tier can reserve the tail; the
+    reduced geometry persists in the superblock. *)
 
 val mount :
   Hinfs_nvmm.Device.t ->
@@ -38,6 +46,7 @@ val mkfs_and_mount :
   mode:mode ->
   ?journal_blocks:int ->
   ?inodes_per_mb:int ->
+  ?total_blocks:int ->
   ?sync_mount:bool ->
   ?cache_pages:int ->
   ?commit_interval:int64 ->
@@ -52,6 +61,12 @@ val sync_all : t -> unit
 
 val mode : t -> mode
 val device : t -> Hinfs_nvmm.Device.t
+
+val bdev : t -> Hinfs_blockdev.Blockdev.t
+(** The NVMMBD instance this mount issues requests to — the attachment
+    point for a {!Hinfs_blockdev.Blockdev.tier}. *)
+
+val total_blocks : t -> int
 val free_data_blocks : t -> int
 val free_inodes : t -> int
 val journal_commits : t -> int

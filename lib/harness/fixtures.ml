@@ -19,6 +19,10 @@ type fs_kind =
   | Ext4_dax
   | Ext2_nvmmbd
   | Ext4_nvmmbd
+  | Ext4_sync (* ext4, sync mount: every write durable on return *)
+  | Ext2_nvlog (* ext2 sync-mount behind the logging nvcache tier *)
+  | Ext4_nvlog (* ext4 sync-mount behind the logging nvcache tier *)
+  | Ext4_nvpage (* ext4 sync-mount behind the paging nvcache tier *)
 
 let name = function
   | Hinfs_fs -> "hinfs"
@@ -30,6 +34,10 @@ let name = function
   | Ext4_dax -> "ext4-dax"
   | Ext2_nvmmbd -> "ext2+nvmmbd"
   | Ext4_nvmmbd -> "ext4+nvmmbd"
+  | Ext4_sync -> "ext4-sync"
+  | Ext2_nvlog -> "ext2+nvlog"
+  | Ext4_nvlog -> "ext4+nvlog"
+  | Ext4_nvpage -> "ext4+nvpage"
 
 (* The five systems of the paper's main comparison, in Fig. 7 order. *)
 let paper_five = [ Pmfs_fs; Ext4_dax; Ext2_nvmmbd; Ext4_nvmmbd; Hinfs_fs ]
@@ -44,6 +52,10 @@ let description = function
   | Ext4_dax -> "ext4 with the DAX direct-access patch"
   | Ext2_nvmmbd -> "ext2 on the NVMM block device (no journal)"
   | Ext4_nvmmbd -> "ext4 on the NVMM block device (ordered journal)"
+  | Ext4_sync -> "ext4+nvmmbd, sync mount (durable-write baseline)"
+  | Ext2_nvlog -> "ext2 sync mount behind the logging nvcache tier"
+  | Ext4_nvlog -> "ext4 sync mount behind the logging nvcache tier"
+  | Ext4_nvpage -> "ext4 sync mount behind the paging nvcache tier"
 
 type env = {
   engine : Engine.t;
@@ -86,12 +98,30 @@ let setup engine ~config ~buffer_bytes ~cache_pages kind =
     in
     (Hinfs.Fs.handle fs, gauges, fun () -> Hinfs.Fs.unmount fs)
   in
-  let ext_with mode =
+  let ext_with ?sync_mount mode =
     let fs =
-      Hinfs_extfs.Extfs.mkfs_and_mount device ~mode ~cache_pages ~daemons:true
-        ()
+      Hinfs_extfs.Extfs.mkfs_and_mount device ~mode ?sync_mount ~cache_pages
+        ~daemons:true ()
     in
     (Hinfs_extfs.Extfs.handle fs, [], fun () -> Hinfs_extfs.Extfs.unmount fs)
+  in
+  (* Durability tier: extfs sync-mounted (every write synchronous, like the
+     bare Ext4_sync baseline) so the tier's absorb latency is what the
+     workload's write path measures. *)
+  let nvcache_with design mode =
+    let module Nvcache = Hinfs_nvcache.Nvcache in
+    let st =
+      Nvcache.mkfs_and_mount device ~design ~mode ~sync_mount:true
+        ~cache_pages ~daemons:true ()
+    in
+    let cache = Nvcache.cache st in
+    let gauges =
+      [
+        ("nvcache.log_bytes", fun () -> Nvcache.used_bytes cache);
+        ("nvcache.backlog", fun () -> Nvcache.backlog cache);
+      ]
+    in
+    (Nvcache.handle st, gauges, fun () -> Nvcache.unmount st)
   in
   let handle, fs_gauges, teardown =
     match kind with
@@ -124,6 +154,13 @@ let setup engine ~config ~buffer_bytes ~cache_pages kind =
     | Ext4_dax -> ext_with Hinfs_extfs.Extfs.Ext4_dax
     | Ext2_nvmmbd -> ext_with Hinfs_extfs.Extfs.Ext2
     | Ext4_nvmmbd -> ext_with Hinfs_extfs.Extfs.Ext4
+    | Ext4_sync -> ext_with ~sync_mount:true Hinfs_extfs.Extfs.Ext4
+    | Ext2_nvlog ->
+      nvcache_with Hinfs_nvcache.Nvcache.Logging Hinfs_extfs.Extfs.Ext2
+    | Ext4_nvlog ->
+      nvcache_with Hinfs_nvcache.Nvcache.Logging Hinfs_extfs.Extfs.Ext4
+    | Ext4_nvpage ->
+      nvcache_with Hinfs_nvcache.Nvcache.Paging Hinfs_extfs.Extfs.Ext4
   in
   let gauges = fs_gauges @ device_gauges device in
   { engine; stats; device; handle; kind; gauges; teardown }

@@ -10,6 +10,10 @@ type fs_kind =
   | Ext4_dax
   | Ext2_nvmmbd
   | Ext4_nvmmbd
+  | Ext4_sync  (** ext4+nvmmbd mounted sync: every write durable on return *)
+  | Ext2_nvlog  (** ext2 sync mount behind the logging nvcache tier *)
+  | Ext4_nvlog  (** ext4 sync mount behind the logging nvcache tier *)
+  | Ext4_nvpage  (** ext4 sync mount behind the paging nvcache tier *)
 
 val name : fs_kind -> string
 val description : fs_kind -> string

@@ -81,6 +81,21 @@ let persistence ppf stats =
     table ppf ~header:[ "category"; "clflush"; "dirty"; "mfence" ] rows
   end
 
+(* Block-layer request counters from NVMMBD: bios issued (reads/writes)
+   and writes absorbed by an attached durability tier instead of becoming
+   requests. Prints nothing when no block device was involved. *)
+let block_layer ppf stats =
+  let module Stats = Hinfs_stats.Stats in
+  let reads = Stats.block_read_requests stats in
+  let writes = Stats.block_write_requests stats in
+  let absorbed = Stats.block_absorbed_writes stats in
+  if reads > 0 || writes > 0 || absorbed > 0 then begin
+    subheading ppf "block layer";
+    table ppf
+      ~header:[ "read-reqs"; "write-reqs"; "absorbed" ]
+      [ [ string_of_int reads; string_of_int writes; string_of_int absorbed ] ]
+  end
+
 (* Media-fault counters (injected faults, retries, repairs, checksum
    mismatches). Prints nothing on a fault-free run, which is the common
    case — the fault model is off by default. *)

@@ -14,6 +14,10 @@ val persistence : Format.formatter -> Hinfs_stats.Stats.t -> unit
 (** Per-category clflush (issued / dirty-line) and mfence counters; silent
     when the run recorded none. *)
 
+val block_layer : Format.formatter -> Hinfs_stats.Stats.t -> unit
+(** NVMMBD request counters (bios issued, tier-absorbed writes); silent
+    when the run touched no block device. *)
+
 val media : Format.formatter -> Hinfs_stats.Stats.t -> unit
 (** Media-fault counters (injected faults, retries, scrub repairs, CRC
     mismatches); silent when the run recorded none. *)

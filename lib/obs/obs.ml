@@ -40,6 +40,9 @@ type kind =
   | Flush
   | Fence
   | Slot_wait
+  | Nvcache_append
+  | Nvcache_destage
+  | Nvcache_replay
 
 type ev =
   | Ev_bbm_eager
@@ -76,6 +79,9 @@ let kind_index = function
   | Flush -> 23
   | Fence -> 24
   | Slot_wait -> 25
+  | Nvcache_append -> 26
+  | Nvcache_destage -> 27
+  | Nvcache_replay -> 28
 
 let all_kinds =
   [
@@ -83,7 +89,7 @@ let all_kinds =
     Op_rmdir; Op_unlink; Op_rename; Op_readdir; Op_stat; Op_exists;
     Op_truncate; Op_mmap; Op_munmap; Op_msync; Op_sync_all; Op_unmount;
     Journal_commit; Journal_recover; Writeback; Buffer_fetch; Flush; Fence;
-    Slot_wait;
+    Slot_wait; Nvcache_append; Nvcache_destage; Nvcache_replay;
   ]
 
 let n_kinds = List.length all_kinds
@@ -115,6 +121,9 @@ let kind_name = function
   | Flush -> "dev.flush"
   | Fence -> "dev.fence"
   | Slot_wait -> "dev.slot_wait"
+  | Nvcache_append -> "nvcache.append"
+  | Nvcache_destage -> "nvcache.destage"
+  | Nvcache_replay -> "nvcache.replay"
 
 let ev_name = function
   | Ev_bbm_eager -> "bbm.eager"

@@ -43,6 +43,9 @@ type kind =
   | Flush
   | Fence
   | Slot_wait
+  | Nvcache_append  (** nvcache tier absorbing one write *)
+  | Nvcache_destage  (** nvcache destage batch to the backend *)
+  | Nvcache_replay  (** nvcache mount-time log/slot replay *)
 
 (** Instant (zero-duration) event kinds. *)
 type ev =

@@ -29,6 +29,11 @@ type page = {
   mutable dirty : bool;
   mutable pinned : int; (* >0: not evictable (in use / journaled) *)
   mutable dirtied_at : int64;
+  (* Dirty byte run since the page was last clean ([d_min >= d_max] when
+     clean). Writeback passes it down so a logging tier can absorb a
+     sub-block record instead of the whole page. *)
+  mutable d_min : int;
+  mutable d_max : int;
 }
 
 type t = {
@@ -90,8 +95,19 @@ let charge_copy t cat len =
 let mark_clean t page =
   if page.dirty then begin
     page.dirty <- false;
+    page.d_min <- Bytes.length page.data;
+    page.d_max <- 0;
     t.dirty_count <- t.dirty_count - 1
   end
+
+let extend_dirty page ~off ~len =
+  if off < page.d_min then page.d_min <- off;
+  if off + len > page.d_max then page.d_max <- off + len
+
+let dirty_hint t page =
+  if page.d_min <= 0 && page.d_max >= block_size t then None
+  else if page.d_min < page.d_max then Some (page.d_min, page.d_max - page.d_min)
+  else None
 
 let mark_dirty t page =
   if not page.dirty then begin
@@ -116,8 +132,8 @@ let writeback_page ?(background = false) t ~cat page =
         page.writing <- false;
         page.pinned <- page.pinned - 1)
       (fun () ->
-        Blockdev.write_block ~background t.bdev ~cat page.block ~src:page.data
-          ~off:0);
+        Blockdev.write_block ~background ?dirty:(dirty_hint t page) t.bdev
+          ~cat page.block ~src:page.data ~off:0);
     mark_clean t page
   end
 
@@ -176,6 +192,8 @@ let get_page ?(fetch = true) t ~cat block =
         dirty = false;
         pinned = 1;
         dirtied_at = 0L;
+        d_min = block_size t;
+        d_max = 0;
       }
     in
     (* Insert before fetching (the fetch yields) so concurrent getters
@@ -183,7 +201,14 @@ let get_page ?(fetch = true) t ~cat block =
        poll [valid] above. The page is pinned, so it cannot be evicted
        while the fetch is in flight. *)
     Lru.add t.pages block page;
-    if fetch then Blockdev.read_block t.bdev ~cat block ~into:data ~off:0;
+    (* A faulting fetch (media error) must not leave the never-valid page
+       in the cache: concurrent getters would poll [valid] forever. Drop
+       it and re-raise; a later retry fetches afresh. *)
+    (try if fetch then Blockdev.read_block t.bdev ~cat block ~into:data ~off:0
+     with e ->
+       page.pinned <- 0;
+       ignore (Lru.remove t.pages block);
+       raise e);
     page.valid <- true;
     page
 
@@ -218,6 +243,7 @@ let write t ~cat ~block ~off ~src ~src_off ~len =
     (fun () ->
       charge_copy t cat len;
       Bytes.blit src src_off page.data off len;
+      extend_dirty page ~off ~len;
       mark_dirty t page)
 
 (* In-place read-modify-write of a cached block (metadata update). [f] must
@@ -228,6 +254,8 @@ let modify t ~cat ~block f =
     ~finally:(fun () -> unpin page)
     (fun () ->
       let result = f page.data in
+      (* [f] may have touched anything: the whole block is the dirty run. *)
+      extend_dirty page ~off:0 ~len:(block_size t);
       mark_dirty t page;
       result)
 
@@ -243,6 +271,7 @@ let zero_block t ~cat ~block =
     ~finally:(fun () -> unpin page)
     (fun () ->
       Bytes.fill page.data 0 (block_size t) '\000';
+      extend_dirty page ~off:0 ~len:(block_size t);
       mark_dirty t page)
 
 (* Look up a cached page without fetching. *)

@@ -75,6 +75,10 @@ type t = {
   mutable recoveries : int; (* unclean mounts that ran log recovery *)
   mutable recovered_txns : int; (* uncommitted transactions rolled back *)
   mutable recovery_dropped : int; (* journal entries dropped as unusable *)
+  (* block-tier request accounting (NVMMBD) *)
+  mutable block_read_requests : int;
+  mutable block_write_requests : int;
+  mutable block_absorbed_writes : int; (* absorbed by a cache tier, no bio *)
 }
 
 let category_index = function
@@ -126,6 +130,9 @@ let create () =
     recoveries = 0;
     recovered_txns = 0;
     recovery_dropped = 0;
+    block_read_requests = 0;
+    block_write_requests = 0;
+    block_absorbed_writes = 0;
   }
 
 let reset t =
@@ -162,7 +169,10 @@ let reset t =
   t.crc_mismatches <- 0;
   t.recoveries <- 0;
   t.recovered_txns <- 0;
-  t.recovery_dropped <- 0
+  t.recovery_dropped <- 0;
+  t.block_read_requests <- 0;
+  t.block_write_requests <- 0;
+  t.block_absorbed_writes <- 0
 
 (* --- time --- *)
 
@@ -306,6 +316,18 @@ let add_recovery t ~rolled_back ~dropped =
 let recoveries t = t.recoveries
 let recovered_txns t = t.recovered_txns
 let recovery_dropped t = t.recovery_dropped
+
+(* --- block-tier requests --- *)
+
+let add_block_read t = t.block_read_requests <- t.block_read_requests + 1
+let add_block_write t = t.block_write_requests <- t.block_write_requests + 1
+
+let add_block_absorbed t =
+  t.block_absorbed_writes <- t.block_absorbed_writes + 1
+
+let block_read_requests t = t.block_read_requests
+let block_write_requests t = t.block_write_requests
+let block_absorbed_writes t = t.block_absorbed_writes
 
 let clflush_issued t cat = t.clflush_issued.(category_index cat)
 let clflush_dirty t cat = t.clflush_dirty.(category_index cat)

@@ -139,4 +139,18 @@ val recoveries : t -> int
 val recovered_txns : t -> int
 val recovery_dropped : t -> int
 
+(** {1 Block-tier requests}
+
+    Per-request counters for the NVMMBD block layer, so destage and
+    journal traffic below a cache tier is observable like the NVMM
+    persistence instructions are. An absorbed write is one a durability
+    tier (lib/nvcache) swallowed before it became a block request. *)
+
+val add_block_read : t -> unit
+val add_block_write : t -> unit
+val add_block_absorbed : t -> unit
+val block_read_requests : t -> int
+val block_write_requests : t -> int
+val block_absorbed_writes : t -> int
+
 val pp_breakdown : Format.formatter -> t -> unit

@@ -61,6 +61,20 @@ if awk '/"latency_ns"/,/"phases_ns"/' "$out1" | grep -q '"p99": 0,'; then
     fail=1
 fi
 
+# Threshold gate: hold the fresh baseline to the committed artifact. Any
+# core op class (op.read / op.write / op.open) whose p50 or p99 grew by
+# more than 10% over the committed BENCH_HINFS.json in any shared
+# experiment is a perf regression. Experiments present on only one side
+# (new cells, retired cells) are reported but do not gate.
+if [ -f BENCH_HINFS.json ]; then
+    if ! python3 scripts/bench_compare.py BENCH_HINFS.json "$out1"; then
+        echo "bench_check FAIL: latency regression vs committed baseline" >&2
+        fail=1
+    fi
+else
+    echo "bench_check: no committed BENCH_HINFS.json, skipping threshold gate"
+fi
+
 if [ "$fail" -eq 0 ]; then
     echo "bench_check OK: deterministic baseline with complete histograms"
 fi

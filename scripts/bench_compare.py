@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Latency threshold gate between two BENCH_HINFS.json artifacts.
+
+Usage: bench_compare.py COMMITTED FRESH
+
+For every experiment (name, fs) present in both artifacts, compare the
+p50 and p99 of the core op classes. A fresh value more than THRESHOLD
+above the committed one is a regression and fails the gate (exit 1).
+Improvements and sub-threshold noise pass silently; experiments present
+on only one side are listed but do not gate, so adding a new bench cell
+never trips the check.
+"""
+import json
+import sys
+
+THRESHOLD = 0.10
+OPS = ("op.read", "op.write", "op.open")
+QUANTILES = ("p50", "p99")
+
+
+def cells(artifact):
+    out = {}
+    for e in artifact.get("experiments", []):
+        out[(e["name"], e["fs"])] = e.get("latency_ns", {})
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        committed = cells(json.load(f))
+    with open(sys.argv[2]) as f:
+        fresh = cells(json.load(f))
+
+    regressions = []
+    shared = sorted(set(committed) & set(fresh))
+    for key in shared:
+        for op in OPS:
+            old = committed[key].get(op)
+            new = fresh[key].get(op)
+            if not old or not new:
+                continue
+            for q in QUANTILES:
+                if q not in old or q not in new:
+                    continue
+                if new[q] > old[q] * (1.0 + THRESHOLD):
+                    regressions.append(
+                        "%s/%s %s %s: %d -> %d ns (+%.1f%%, limit +%.0f%%)"
+                        % (key[0], key[1], op, q, old[q], new[q],
+                           100.0 * (new[q] - old[q]) / old[q],
+                           100.0 * THRESHOLD))
+
+    for key in sorted(set(fresh) - set(committed)):
+        print("bench_compare: new cell %s/%s (not gated)" % key)
+    for key in sorted(set(committed) - set(fresh)):
+        print("bench_compare: cell %s/%s gone from fresh baseline "
+              "(not gated)" % key)
+
+    if regressions:
+        for r in regressions:
+            print("bench_compare REGRESSION: " + r, file=sys.stderr)
+        return 1
+    print("bench_compare OK: %d shared cells within +%.0f%% on %s x %s"
+          % (len(shared), 100.0 * THRESHOLD, "/".join(OPS),
+             "/".join(QUANTILES)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,5 +13,6 @@ dune runtest
 dune build @crashmc-recovery --force
 dune build @torture-soak --force
 dune build @obs-smoke --force
+dune build @nvcache-soak --force
 
 sh scripts/bench_check.sh

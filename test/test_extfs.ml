@@ -8,6 +8,9 @@ module Device = Hinfs_nvmm.Device
 module Blockdev = Hinfs_blockdev.Blockdev
 module Pagecache = Hinfs_pagecache.Pagecache
 module Extfs = Hinfs_extfs.Extfs
+module Fault = Hinfs_nvmm.Fault
+module Obs = Hinfs_obs.Obs
+module Ojson = Hinfs_obs.Ojson
 module Errno = Hinfs_vfs.Errno
 module Types = Hinfs_vfs.Types
 module Vfs = Hinfs_vfs.Vfs
@@ -294,6 +297,137 @@ let test_remount_preserves () =
       Testkit.check_bytes "data preserved" payload buf;
       h2.Vfs.close fd2)
 
+(* --- crash / fault coverage --- *)
+
+(* Find [needle] in [hay]; -1 when absent. Payloads are pseudo-random, so
+   a 64-byte prefix locates a file's data block on the medium. *)
+let find_bytes hay needle =
+  let nl = Bytes.length needle and hl = Bytes.length hay in
+  let rec go i =
+    if i + nl > hl then -1
+    else if Bytes.equal (Bytes.sub hay i nl) needle then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Crash after fsync, remount from the crash image: EXT4's journal replay
+   must restore the fsync'd file byte for byte. Then, with a fault model
+   attached (lib/nvmm/fault), a poisoned cacheline under that file must
+   surface as a media error — never as silently wrong data — and clearing
+   the poison restores the original content. *)
+let test_ext4_journal_replay_after_crash () =
+  let payload = Testkit.pattern_bytes ~seed:21 12_000 in
+  let snap =
+    Testkit.run_sim (fun engine ->
+        let device = Testkit.make_device engine in
+        let fs =
+          Extfs.mkfs_and_mount device ~mode:Extfs.Ext4 ~journal_blocks:16
+            ~cache_pages:64 ()
+        in
+        let h = Extfs.handle fs in
+        let fd = h.Vfs.open_ "/a" Types.creat in
+        ignore (h.Vfs.write fd payload 12_000);
+        h.Vfs.fsync fd;
+        h.Vfs.close fd;
+        check_bool "journal committed before crash" true
+          (Extfs.journal_commits fs > 0);
+        (* A second file left un-fsync'd: the crash is free to lose it. *)
+        let fd2 = h.Vfs.open_ "/b" Types.creat in
+        ignore (h.Vfs.write fd2 (Bytes.make 5000 'b') 5000);
+        h.Vfs.close fd2;
+        Device.snapshot device)
+  in
+  (* Remount the crash image: replay restores the fsync'd file. *)
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let device = Device.of_snapshot engine stats Testkit.small_config snap in
+      let fs = Extfs.mount device ~mode:Extfs.Ext4 ~cache_pages:64 () in
+      let h = Extfs.handle fs in
+      let fd = h.Vfs.open_ "/a" Types.rdonly in
+      let buf = Bytes.create 12_000 in
+      check_int "size survives replay" 12_000 (h.Vfs.read fd buf 12_000);
+      Testkit.check_bytes "content survives replay" payload buf;
+      h.Vfs.close fd;
+      h.Vfs.unmount ());
+  (* Same crash image again, this time with a poisoned line under the
+     file's data: the read must fault, and must heal cleanly. *)
+  let addr = find_bytes snap (Bytes.sub payload 0 64) in
+  check_bool "payload located on the medium" true (addr >= 0);
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let device = Device.of_snapshot engine stats Testkit.small_config snap in
+      let fault = Fault.create ~seed:3L () in
+      Device.set_fault_model device (Some fault);
+      let fs = Extfs.mount device ~mode:Extfs.Ext4 ~cache_pages:64 () in
+      let h = Extfs.handle fs in
+      Fault.poison_line fault (addr / 64);
+      let fd = h.Vfs.open_ "/a" Types.rdonly in
+      let buf = Bytes.create 12_000 in
+      let faulted =
+        match h.Vfs.pread fd ~off:0 buf 12_000 with
+        | _ -> false
+        | exception Fault.Media_error _ -> true
+      in
+      check_bool "poisoned read surfaces a media error" true faulted;
+      check_bool "fault counted" true (Stats.media_faults_poison stats > 0);
+      Fault.clear_line fault (addr / 64);
+      check_int "re-read after heal" 12_000 (h.Vfs.pread fd ~off:0 buf 12_000);
+      Testkit.check_bytes "content intact after heal" payload buf;
+      h.Vfs.close fd;
+      h.Vfs.unmount ())
+
+(* --- mmap / msync ordering --- *)
+
+(* Extfs.Backend.mmap must order in-flight updates with full fsync
+   semantics (data writeback + journal commit) before the mapping is
+   exposed, and emit pin/unpin instants — the same contract the Pmfs.mmap
+   fix established. msync pays the same ordering for a dirtied mapping. *)
+let test_mmap_msync_ordering () =
+  let engine = Engine.create () in
+  let obs = Obs.create ~trace:true engine in
+  Obs.install obs;
+  Fun.protect ~finally:Obs.uninstall @@ fun () ->
+  let mmap_fences = ref (-1) in
+  let mmap_commits = ref (-1) in
+  let msync_commits = ref (-1) in
+  Engine.spawn engine ~name:"mmap-test" (fun () ->
+      let stats = Stats.create () in
+      let device = Testkit.make_device ~stats engine in
+      let fs =
+        Extfs.mkfs_and_mount device ~mode:Extfs.Ext4 ~journal_blocks:16
+          ~cache_pages:64 ()
+      in
+      let h = Extfs.handle fs in
+      let fd = h.Vfs.open_ "/m" Types.creat in
+      ignore (h.Vfs.write fd (Bytes.make 8192 'm') 8192);
+      let f0 = Stats.total_mfences stats in
+      let c0 = Extfs.journal_commits fs in
+      h.Vfs.mmap fd;
+      mmap_fences := Stats.total_mfences stats - f0;
+      mmap_commits := Extfs.journal_commits fs - c0;
+      (* Extend the file through the mapping; msync must order it. *)
+      ignore (h.Vfs.pwrite fd ~off:8192 (Bytes.make 4096 'n') 4096);
+      let c1 = Extfs.journal_commits fs in
+      h.Vfs.msync fd;
+      msync_commits := Extfs.journal_commits fs - c1;
+      h.Vfs.munmap fd;
+      h.Vfs.close fd;
+      h.Vfs.unmount ());
+  Engine.run engine;
+  check_bool "mmap issues fences" true (!mmap_fences > 0);
+  check_bool "mmap commits the journal" true (!mmap_commits > 0);
+  check_bool "msync commits the journal" true (!msync_commits > 0);
+  let trace = Ojson.to_string (Obs.chrome_trace obs) in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "mmap.pin instant in the trace" true (contains "mmap.pin" trace);
+  check_bool "mmap.unpin instant in the trace" true
+    (contains "mmap.unpin" trace);
+  check_int "balanced spans" 0 (Obs.open_spans obs)
+
 (* --- model prop per mode --- *)
 
 let extfs_model_prop mode name =
@@ -398,6 +532,16 @@ let () =
             test_ext4_dax_bypasses_page_cache_for_data;
           Alcotest.test_case "double copy slower than direct" `Quick
             test_double_copy_overhead_vs_direct;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "ext4 journal replay + fault" `Quick
+            test_ext4_journal_replay_after_crash;
+        ] );
+      ( "mmap",
+        [
+          Alcotest.test_case "mmap/msync order and pin" `Quick
+            test_mmap_msync_ordering;
         ] );
       ( "model",
         Testkit.qcheck_cases
