@@ -733,7 +733,28 @@ let baseline () =
         Fixtures.Ext4_nvpage;
       ]
   in
-  let experiments = experiments @ nv_experiments in
+  (* Snapshot-cost cell: the same fileserver run over the CoW substrate,
+     where every op commits through a refcount fixpoint plus a fenced
+     root-descriptor swap, next to the journal-mode pmfs fileserver cell
+     above — the committed artifact records what CoW commit costs on a
+     create/append-heavy workload. *)
+  let cow_experiments =
+    List.map
+      (fun kind ->
+        let fs = Fixtures.name kind in
+        let result, _stats, obs =
+          Experiment.run_workload_obs ~spec ~threads:2 ~duration kind
+            (Filebench.fileserver ())
+        in
+        Report.subheading ppf (Fmt.str "fileserver / %s" fs);
+        Report.latency ppf obs;
+        Report.gauges ppf obs;
+        Fmt.pf ppf "@.";
+        Profile.experiment_json ~name:"fileserver" ~fs
+          ~ops:result.Workload.ops ~elapsed_ns:result.Workload.elapsed_ns obs)
+      [ Fixtures.Cow_fs ]
+  in
+  let experiments = experiments @ nv_experiments @ cow_experiments in
   let config =
     [
       ("seed", Ojson.Int (Int64.to_int spec.Experiment.seed));

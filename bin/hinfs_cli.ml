@@ -38,6 +38,7 @@ let fs_kind_conv =
       ("hinfs-fifo", Fixtures.Hinfs_fifo);
       ("hinfs-lfu", Fixtures.Hinfs_lfu);
       ("pmfs", Fixtures.Pmfs_fs);
+      ("cowfs", Fixtures.Cow_fs);
       ("ext4-dax", Fixtures.Ext4_dax);
       ("ext2", Fixtures.Ext2_nvmmbd);
       ("ext4", Fixtures.Ext4_nvmmbd);
@@ -548,10 +549,114 @@ let nvcache_cmd =
       const nvcache_run $ design_arg $ nv_files_arg $ nv_size_arg
       $ nv_cache_kb_arg)
 
+(* --- snapshot: CoW snapshot / transaction / rollback walkthrough --- *)
+
+module Cowfs = Hinfs_pmfs.Cowfs
+
+let snap_size_arg =
+  let doc = "Device size in MB." in
+  Arg.(value & opt int 8 & info [ "size-mb" ] ~doc)
+
+let snap_files_arg =
+  let doc = "Files written per phase (4 KB each, synchronous)." in
+  Arg.(value & opt int 4 & info [ "files" ] ~doc)
+
+(* Build a cowfs, pin a snapshot, diverge inside a whole-FS transaction,
+   roll back, and fsck at every step — the snapshot/txn surface end to
+   end on one reproducible image. *)
+let snapshot_run size_mb files =
+  let exit_code = ref 0 in
+  let engine = Engine.create () in
+  Engine.spawn engine ~name:"snapshot" (fun () ->
+      let stats = Stats.create () in
+      let config =
+        { Config.default with Config.nvmm_size = size_mb * 1024 * 1024 }
+      in
+      let device = Device.create engine stats config in
+      let fs = Cowfs.mkfs_and_mount device () in
+      let file_len = 4096 in
+      let payload tag i =
+        Bytes.init file_len (fun j ->
+            Char.chr (Hashtbl.hash (tag, i, j) land 0xFF))
+      in
+      let write_files tag =
+        for i = 0 to files - 1 do
+          let name = Fmt.str "%s%03d" tag i in
+          let ino =
+            match Cowfs.lookup fs ~dir:Cowfs.root_ino name with
+            | Some ino -> ino
+            | None -> Cowfs.create_file fs ~dir:Cowfs.root_ino name
+          in
+          ignore
+            (Cowfs.write fs ~ino ~off:0 ~src:(payload tag i) ~src_off:0
+               ~len:file_len ~sync:true)
+        done
+      in
+      let check label =
+        let report = Fsck.check_cow fs in
+        if not (Fsck.ok report) then begin
+          Fmt.pr "fsck after %s:@.%a@." label Fsck.pp_report report;
+          exit_code := 1
+        end
+      in
+      write_files "base";
+      check "base writes";
+      let snap = Cowfs.snapshot fs in
+      Fmt.pr "snapshot %d pinned at seq %Ld (%d used blocks)@." snap
+        (Cowfs.committed_seq fs) (Cowfs.used_blocks fs);
+      (* Diverge atomically: overwrites + new files land in one root swap. *)
+      Cowfs.txn_begin fs;
+      write_files "base" (* overwrite every base file (CoW against the pin) *);
+      write_files "txn";
+      Cowfs.txn_commit fs;
+      check "transaction";
+      Fmt.pr "diverged in one txn: seq %Ld, %d used blocks, %d commits@."
+        (Cowfs.committed_seq fs) (Cowfs.used_blocks fs) (Cowfs.commits fs);
+      Cowfs.rollback fs ~snap_id:snap;
+      check "rollback";
+      (* Everything the txn made must be gone, base contents restored. *)
+      let intact = ref 0 in
+      for i = 0 to files - 1 do
+        match Cowfs.lookup fs ~dir:Cowfs.root_ino (Fmt.str "base%03d" i) with
+        | None -> ()
+        | Some ino ->
+          let buf = Bytes.create file_len in
+          let n =
+            Cowfs.read fs ~ino ~off:0 ~len:file_len ~into:buf ~into_off:0
+          in
+          if n = file_len && Bytes.equal buf (payload "base" i) then
+            incr intact
+      done;
+      let leftovers =
+        List.filter
+          (fun (name, _) -> String.length name >= 3 && String.sub name 0 3 = "txn")
+          (Cowfs.readdir fs ~dir:Cowfs.root_ino)
+      in
+      Fmt.pr "after rollback: %d/%d base files intact, %d txn leftovers@."
+        !intact files (List.length leftovers);
+      if !intact <> files || leftovers <> [] then exit_code := 1;
+      Cowfs.snapshot_delete fs ~snap_id:snap;
+      check "snapshot GC";
+      Fmt.pr "snapshot %d deleted: %d used blocks, %d free@." snap
+        (Cowfs.used_blocks fs)
+        (Cowfs.free_data_blocks fs);
+      Cowfs.unmount fs);
+  Engine.run engine;
+  !exit_code
+
+let snapshot_cmd =
+  let doc =
+    "Walk the CoW substrate through snapshot, whole-FS transaction, \
+     rollback and snapshot GC, fsck-checked at every step"
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc)
+    Term.(const snapshot_run $ snap_size_arg $ snap_files_arg)
+
 let cmd =
   let doc = "HiNFS-reproduction workbench" in
   Cmd.group ~default:run_term
     (Cmd.info "hinfs-cli" ~doc)
-    [ run_cmd; profile_cmd; crashmc_cmd; scrub_cmd; nvcache_cmd ]
+    [ run_cmd; profile_cmd; crashmc_cmd; scrub_cmd; nvcache_cmd; snapshot_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -517,6 +517,218 @@ let fixture_nonidempotent_recovery =
         else []);
   }
 
+(* --- cowfs scenarios: whole-image digest oracle ---
+
+   The CoW substrate promises more than per-path durability: every legal
+   crash image must mount and bit-match some state the workload actually
+   committed — the fenced root-descriptor swap is the only publication
+   point, so there is no in-between. The scenario [run] records
+   [Cowfs.state_digest] after mkfs and after every completed operation
+   (each op ends in a root swap); [verify] mounts the image (a mount
+   failure is itself a violation), recomputes the digest, and requires
+   membership in the recorded set plus a clean CoW fsck (refcounts,
+   reachability, namespace). *)
+
+module Cowfs = Hinfs_pmfs.Cowfs
+module Faultops = Hinfs_nvmm.Faultops
+module Errno = Hinfs_vfs.Errno
+
+(* The digest set is per-scenario: [run] resets it, and run_scenario
+   verifies a scenario's images before the next scenario runs. *)
+let cow_digests : (string, unit) Hashtbl.t = Hashtbl.create 64
+let cow_record fs = Hashtbl.replace cow_digests (Cowfs.state_digest fs) ()
+
+let verify_cow device _expectations =
+  match Cowfs.mount device () with
+  | exception e -> [ Fmt.str "cow mount failed: %s" (Printexc.to_string e) ]
+  | fs ->
+    let d = Cowfs.state_digest fs in
+    (if Hashtbl.mem cow_digests d then []
+     else
+       [
+         Fmt.str
+           "cow image digest %s.. matches none of the %d committed states"
+           (String.sub d 0 (min 12 (String.length d)))
+           (Hashtbl.length cow_digests);
+       ])
+    @ Fsck.cow_violations fs
+
+let cow_write fs ~ino name len =
+  let data = content name len in
+  ignore
+    (Cowfs.write fs ~ino ~off:0 ~src:(bytes_of data) ~src_off:0 ~len
+       ~sync:true)
+
+(* Plain ops, snapshot, divergence, rollback, clone, snapshot GC: the
+   full snapshot lifecycle under crash enumeration. *)
+let cow_commit_snapshots =
+  {
+    name = "cow-commit-snapshots";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        Hashtbl.reset cow_digests;
+        let fs = Cowfs.mkfs_and_mount device () in
+        cow_record fs;
+        ctl.start ();
+        let a = Cowfs.create_file fs ~dir:Cowfs.root_ino "a" in
+        cow_record fs;
+        cow_write fs ~ino:a "a-v1" 900;
+        cow_record fs;
+        ctl.checkpoint "a-written";
+        let snap = Cowfs.snapshot fs in
+        cow_record fs;
+        ctl.checkpoint "snapshotted";
+        cow_write fs ~ino:a "a-v2" 1400;
+        cow_record fs;
+        Cowfs.unlink fs ~dir:Cowfs.root_ino "a";
+        cow_record fs;
+        ctl.checkpoint "diverged";
+        Cowfs.rollback fs ~snap_id:snap;
+        cow_record fs;
+        ctl.checkpoint "rolled-back";
+        let dup = Cowfs.clone fs ~snap_id:snap in
+        cow_record fs;
+        Cowfs.snapshot_delete fs ~snap_id:snap;
+        cow_record fs;
+        Cowfs.snapshot_delete fs ~snap_id:dup;
+        cow_record fs;
+        ctl.checkpoint "snapshots-gone");
+    verify = verify_cow;
+  }
+
+(* Whole-FS transactions: a committed txn's files and directory appear
+   atomically at txn_commit's single root swap (no crash image shows a
+   strict subset), and an aborted txn is invisible in every image. *)
+let cow_txn_multifile =
+  {
+    name = "cow-txn-multifile";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        Hashtbl.reset cow_digests;
+        let fs = Cowfs.mkfs_and_mount device () in
+        cow_record fs;
+        ctl.start ();
+        let base = Cowfs.create_file fs ~dir:Cowfs.root_ino "base" in
+        cow_record fs;
+        cow_write fs ~ino:base "base" 600;
+        cow_record fs;
+        ctl.checkpoint "pre-txn";
+        Cowfs.txn_begin fs;
+        let d = Cowfs.mkdir fs ~dir:Cowfs.root_ino "txn" in
+        List.iter
+          (fun (name, len) ->
+            let ino = Cowfs.create_file fs ~dir:d name in
+            cow_write fs ~ino name len)
+          [ ("t0", 300); ("t1", 2500); ("t2", 1200) ];
+        Cowfs.txn_commit fs;
+        cow_record fs;
+        ctl.checkpoint "txn-committed";
+        Cowfs.txn_begin fs;
+        let doomed = Cowfs.create_file fs ~dir:d "doomed" in
+        cow_write fs ~ino:doomed "doomed" 2000;
+        Cowfs.unlink fs ~dir:Cowfs.root_ino "base";
+        Cowfs.txn_abort fs;
+        cow_record fs;
+        ctl.checkpoint "txn-aborted");
+    verify = verify_cow;
+  }
+
+(* Mid-op failures through the commit path: a forced block-allocation
+   failure inside an overwrite and an injected fault at the head of
+   commit itself must both abort net-zero — same free-block count, same
+   committed digest — and every crash image of the aborted windows must
+   still mount to a recorded state. *)
+let cow_enospc_abort =
+  {
+    name = "cow-enospc-abort";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        Hashtbl.reset cow_digests;
+        let fs = Cowfs.mkfs_and_mount device () in
+        cow_record fs;
+        ctl.start ();
+        let ino = Cowfs.create_file fs ~dir:Cowfs.root_ino "victim" in
+        cow_record fs;
+        cow_write fs ~ino "victim-v1" 5000;
+        cow_record fs;
+        ctl.checkpoint "steady";
+        let free0 = Cowfs.free_data_blocks fs in
+        let digest0 = Cowfs.state_digest fs in
+        let fo = Faultops.create ~seed:7L () in
+        Cowfs.attach_faultops fs (Some fo);
+        Faultops.force fo Faultops.Block_alloc ~after:2;
+        (match
+           Cowfs.write fs ~ino ~off:0
+             ~src:(bytes_of (content "victim-v2" 9000))
+             ~src_off:0 ~len:9000 ~sync:true
+         with
+        | _ -> failwith "cow-enospc-abort: forced allocation did not fail"
+        | exception Errno.Fs_error (Errno.ENOSPC, _) -> ());
+        Cowfs.attach_faultops fs None;
+        if Cowfs.free_data_blocks fs <> free0 then
+          failwith "cow-enospc-abort: aborted op leaked blocks";
+        if Cowfs.state_digest fs <> digest0 then
+          failwith "cow-enospc-abort: aborted op changed committed state";
+        ctl.checkpoint "enospc-aborted";
+        let armed = ref true in
+        Cowfs.set_commit_fault fs
+          (Some
+             (fun () ->
+               if !armed then begin
+                 armed := false;
+                 true
+               end
+               else false));
+        (match
+           Cowfs.write fs ~ino ~off:0
+             ~src:(bytes_of (content "victim-v3" 4000))
+             ~src_off:0 ~len:4000 ~sync:true
+         with
+        | _ -> failwith "cow-enospc-abort: forced commit fault did not fail"
+        | exception Errno.Fs_error (Errno.EIO, _) -> ());
+        Cowfs.set_commit_fault fs None;
+        if Cowfs.state_digest fs <> digest0 then
+          failwith "cow-enospc-abort: failed commit changed committed state";
+        ctl.checkpoint "commit-fault-aborted";
+        cow_write fs ~ino "victim-v2" 9000;
+        cow_record fs;
+        ctl.checkpoint "retried");
+    verify = verify_cow;
+  }
+
+(* Deliberately broken commit: the payload fence before the root swap is
+   skipped, so the new descriptor races its own shadow payload inside one
+   fence window. A legal crash image can then publish a root whose trees
+   are stale or half-written — failing the digest/fsck oracle (or failing
+   to mount coherently). Crashmc must flag it: the vacuity check for the
+   whole-image oracle. *)
+let fixture_torn_root_swap =
+  {
+    name = "fixture-torn-root-swap";
+    config = small_config;
+    expect_violation = true;
+    run =
+      (fun device ctl ->
+        Hashtbl.reset cow_digests;
+        let fs = Cowfs.mkfs_and_mount device () in
+        cow_record fs;
+        let ino = Cowfs.create_file fs ~dir:Cowfs.root_ino "t" in
+        cow_write fs ~ino "torn-v1" 3000;
+        cow_record fs;
+        ctl.start ();
+        Cowfs.set_sabotage_torn_root fs true;
+        cow_write fs ~ino "torn-v2" 3000;
+        cow_record fs;
+        ctl.checkpoint "torn-commit");
+    verify = verify_cow;
+  }
+
 let all =
   [
     pmfs_create_write;
@@ -527,9 +739,13 @@ let all =
     hinfs_unlink_buffered;
     nvlog_fsync_destage;
     nvpage_fsync_destage;
+    cow_commit_snapshots;
+    cow_txn_multifile;
+    cow_enospc_abort;
     fixture_missing_fence;
     fixture_correct_fence;
     fixture_nonidempotent_recovery;
+    fixture_torn_root_swap;
   ]
 
 let by_name name = List.find_opt (fun s -> s.name = name) all

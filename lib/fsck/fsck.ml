@@ -286,3 +286,210 @@ let check_pmfs fs =
 
 (* Violations only (convenience for callers composing with other oracles). *)
 let check fs = (check_pmfs fs).violations
+
+(* --- CoW mode ---
+
+   The cowfs invariants are refcount-shaped rather than ownership-shaped:
+   a block may legitimately be reachable from several roots (the working
+   tree plus any number of snapshots pinning it), but the persistent
+   refcount must equal the number of roots that reach it — exactly. A
+   block reachable from two live roots whose refcount says 1 would be
+   freed while still referenced; a refcount above the reach count is a
+   committed-block leak. Within any single root every block must be
+   reached exactly once (trees, not DAGs).
+
+   The refcount comparison is only meaningful on a quiesced instance
+   (no open CoW window): the fixpoint that reconciles the persistent
+   table runs at commit. *)
+
+module Cowfs = Hinfs_pmfs.Cowfs
+
+let check_cow fs =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let device = Cowfs.device fs in
+  let total = Cowfs.total_blocks fs in
+  let bs = Cowfs.block_size fs in
+  let reach = Array.make total 0 in
+  let kind_of = Hashtbl.create 256 in
+  let claim_root root_name imap extra =
+    let visited = Hashtbl.create 256 in
+    let claim block kind =
+      if block <= 0 || block >= total then
+        add
+          (Fmt.str "%s: %s block %d outside pool [1, %d)" root_name kind block
+             total)
+      else begin
+        if Hashtbl.mem visited block then
+          add
+            (Fmt.str "%s: block %d reached twice within one root" root_name
+               block);
+        Hashtbl.replace visited block ();
+        reach.(block) <- reach.(block) + 1;
+        if not (Hashtbl.mem kind_of block) then
+          Hashtbl.replace kind_of block kind
+      end
+    in
+    Cowfs.iter_tree_at fs ~imap (fun ~block ~kind ->
+        claim block
+          (match kind with
+          | `Imap -> "imap"
+          | `Ipage -> "ipage"
+          | `Index -> "index"
+          | `Data -> "data"));
+    List.iter (fun b -> claim b "meta") extra
+  in
+  claim_root "working root" (Cowfs.imap_root fs) (Cowfs.meta_blocks fs);
+  List.iter
+    (fun (id, imap) -> claim_root (Fmt.str "snapshot %d" id) imap [])
+    (Cowfs.snapshot_roots fs);
+  let reachable = Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 reach in
+  (* Persistent refcounts vs. root reachability. *)
+  let quiesced = Cowfs.shadow_count fs = 0 in
+  let leaked_blocks = ref 0 in
+  if quiesced then
+    for b = 1 to total - 1 do
+      let stored = Cowfs.refcount fs b in
+      if stored <> reach.(b) then
+        if stored > 0 && reach.(b) = 0 then begin
+          incr leaked_blocks;
+          add
+            (Fmt.str "block %d: committed leak (refcount %d, unreachable)" b
+               stored)
+        end
+        else
+          add
+            (Fmt.str
+               "block %d: refcount %d but reachable from %d live root(s)" b
+               stored reach.(b))
+    done
+  else add "cow fsck on un-quiesced instance (open CoW window)";
+  (* Allocator cross-check (live-mount leak detector). *)
+  let used = Cowfs.used_blocks fs in
+  let expected = reachable + Cowfs.shadow_count fs in
+  if quiesced && used <> expected then
+    add
+      (Fmt.str "block allocator: %d blocks marked used, %d reachable" used
+         expected);
+  (* Working-tree namespace: root inode, dirent targets, link counts
+     (dir links = 2 + subdirs; file links = dirent references). *)
+  let imap = Cowfs.imap_root fs in
+  let inode_count = Cowfs.inode_count fs in
+  let inodes_checked = ref 0 in
+  let dirent_refs = Hashtbl.create 64 in
+  let subdirs = Hashtbl.create 64 in
+  if not (Cowfs.in_use_at fs ~imap Cowfs.root_ino) then
+    add "root inode not in use"
+  else if Cowfs.ikind_at fs ~imap Cowfs.root_ino <> Layout.Inode.kind_directory
+  then add "root inode is not a directory";
+  for ino = 1 to inode_count do
+    if Cowfs.in_use_at fs ~imap ino then begin
+      incr inodes_checked;
+      let kind = Cowfs.ikind_at fs ~imap ino in
+      if
+        kind <> Layout.Inode.kind_regular
+        && kind <> Layout.Inode.kind_directory
+      then add (Fmt.str "inode %d: invalid kind %d" ino kind);
+      if kind = Layout.Inode.kind_directory then begin
+        if Cowfs.isize_at fs ~imap ino mod bs <> 0 then
+          add (Fmt.str "dir %d: size not a multiple of the block size" ino);
+        List.iter
+          (fun (name, target) ->
+            if String.length name = 0 || String.length name > max_name_len
+            then add (Fmt.str "dir %d: entry with bad name length" ino);
+            if target < 1 || target > inode_count then
+              add
+                (Fmt.str "dir %d: entry %S targets invalid inode %d" ino name
+                   target)
+            else begin
+              if not (Cowfs.in_use_at fs ~imap target) then
+                add
+                  (Fmt.str "dir %d: entry %S dangles to free inode %d" ino
+                     name target);
+              let n =
+                Option.value ~default:0 (Hashtbl.find_opt dirent_refs target)
+              in
+              Hashtbl.replace dirent_refs target (n + 1);
+              if Cowfs.ikind_at fs ~imap target = Layout.Inode.kind_directory
+              then
+                Hashtbl.replace subdirs ino
+                  (Option.value ~default:0 (Hashtbl.find_opt subdirs ino) + 1)
+            end)
+          (Cowfs.dir_list_at fs ~imap ~dir:ino)
+      end
+    end
+  done;
+  for ino = 1 to inode_count do
+    if Cowfs.in_use_at fs ~imap ino then begin
+      let kind = Cowfs.ikind_at fs ~imap ino in
+      let links =
+        match Cowfs.inode_addr_at fs ~imap ino with
+        | Some ia ->
+          Device.get_u16 device (ia + Layout.Inode.links_off)
+        | None -> 0
+      in
+      let refs = Option.value ~default:0 (Hashtbl.find_opt dirent_refs ino) in
+      if kind = Layout.Inode.kind_directory then begin
+        let expect =
+          2 + Option.value ~default:0 (Hashtbl.find_opt subdirs ino)
+        in
+        if links <> expect then
+          add (Fmt.str "dir %d: link count %d (expected %d)" ino links expect);
+        if ino = Cowfs.root_ino then begin
+          if refs <> 0 then
+            add (Fmt.str "root referenced by %d dirent(s)" refs)
+        end
+        else if refs <> 1 then
+          add
+            (Fmt.str "dir %d: referenced by %d dirent(s) (expected 1)" ino
+               refs)
+      end
+      else begin
+        if links <> refs then
+          add
+            (Fmt.str "inode %d: link count %d but %d dirent reference(s)" ino
+               links refs);
+        if refs = 0 then add (Fmt.str "inode %d: orphan (no dirent)" ino)
+      end
+    end
+  done;
+  let leaked_inodes =
+    if quiesced then
+      max 0 (Allocator.used_blocks (Cowfs.ialloc fs) - !inodes_checked)
+    else 0
+  in
+  if leaked_inodes > 0 then
+    add
+      (Fmt.str "inode allocator: %d inodes marked used, %d in use"
+         (Allocator.used_blocks (Cowfs.ialloc fs))
+         !inodes_checked);
+  (* Media poison: the root-descriptor region and any reachable metadata
+     block are trust-critical; reachable data poison is only counted. *)
+  let poisoned_data = ref 0 in
+  (match Device.fault_model device with
+  | None -> ()
+  | Some _ ->
+    List.iter
+      (fun addr ->
+        let block = addr / bs in
+        if block = 0 then
+          add (Fmt.str "media: root descriptor region poisoned at %#x" addr)
+        else
+          match Hashtbl.find_opt kind_of block with
+          | Some "data" -> incr poisoned_data
+          | Some kind ->
+            add
+              (Fmt.str "media: reachable %s block %d poisoned at %#x" kind
+                 block addr)
+          | None -> ())
+      (Device.verify_range device ~addr:0 ~len:(total * bs)));
+  {
+    inodes_checked = !inodes_checked;
+    blocks_claimed = reachable;
+    leaked_blocks = !leaked_blocks;
+    leaked_inodes;
+    poisoned_data_lines = !poisoned_data;
+    violations = List.rev !violations;
+  }
+
+let cow_violations fs = (check_cow fs).violations

@@ -16,6 +16,7 @@ type fs_kind =
   | Hinfs_fifo (* extra ablation: FIFO instead of LRW replacement *)
   | Hinfs_lfu (* extra ablation: sampled LFU instead of LRW *)
   | Pmfs_fs
+  | Cow_fs (* the PMFS substrate in CoW mode: shadow paging + root swap *)
   | Ext4_dax
   | Ext2_nvmmbd
   | Ext4_nvmmbd
@@ -31,6 +32,7 @@ let name = function
   | Hinfs_fifo -> "hinfs-fifo"
   | Hinfs_lfu -> "hinfs-lfu"
   | Pmfs_fs -> "pmfs"
+  | Cow_fs -> "cowfs"
   | Ext4_dax -> "ext4-dax"
   | Ext2_nvmmbd -> "ext2+nvmmbd"
   | Ext4_nvmmbd -> "ext4+nvmmbd"
@@ -49,6 +51,7 @@ let description = function
   | Hinfs_fifo -> "HiNFS with FIFO buffer replacement"
   | Hinfs_lfu -> "HiNFS with sampled-LFU buffer replacement"
   | Pmfs_fs -> "direct access to NVMM (EuroSys'14)"
+  | Cow_fs -> "CoW shadow paging + fenced root swap (snapshots/txns)"
   | Ext4_dax -> "ext4 with the DAX direct-access patch"
   | Ext2_nvmmbd -> "ext2 on the NVMM block device (no journal)"
   | Ext4_nvmmbd -> "ext4 on the NVMM block device (ordered journal)"
@@ -151,6 +154,15 @@ let setup engine ~config ~buffer_bytes ~cache_pages kind =
       ( Hinfs_pmfs.Pmfs.handle fs,
         journal_gauges (Hinfs_pmfs.Pmfs.log fs),
         fun () -> Hinfs_pmfs.Pmfs.unmount fs )
+    | Cow_fs ->
+      let module Cowfs = Hinfs_pmfs.Cowfs in
+      let fs = Cowfs.mkfs_and_mount device () in
+      ( Cowfs.handle fs,
+        [
+          ("cow.shadow_blocks", fun () -> Cowfs.shadow_count fs);
+          ("cow.commits", fun () -> Cowfs.commits fs);
+        ],
+        fun () -> Cowfs.unmount fs )
     | Ext4_dax -> ext_with Hinfs_extfs.Extfs.Ext4_dax
     | Ext2_nvmmbd -> ext_with Hinfs_extfs.Extfs.Ext2
     | Ext4_nvmmbd -> ext_with Hinfs_extfs.Extfs.Ext4

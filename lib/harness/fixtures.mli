@@ -7,6 +7,9 @@ type fs_kind =
   | Hinfs_fifo  (** FIFO replacement instead of LRW (extra ablation) *)
   | Hinfs_lfu  (** sampled-LFU replacement (extra ablation) *)
   | Pmfs_fs
+  | Cow_fs
+      (** the PMFS substrate in CoW mode: shadow paging, snapshots, whole-FS
+          transactions, fenced root-descriptor swap per commit *)
   | Ext4_dax
   | Ext2_nvmmbd
   | Ext4_nvmmbd

@@ -43,6 +43,8 @@ type kind =
   | Nvcache_append
   | Nvcache_destage
   | Nvcache_replay
+  | Snapshot_commit
+  | Snapshot_gc
 
 type ev =
   | Ev_bbm_eager
@@ -82,6 +84,8 @@ let kind_index = function
   | Nvcache_append -> 26
   | Nvcache_destage -> 27
   | Nvcache_replay -> 28
+  | Snapshot_commit -> 29
+  | Snapshot_gc -> 30
 
 let all_kinds =
   [
@@ -90,6 +94,7 @@ let all_kinds =
     Op_truncate; Op_mmap; Op_munmap; Op_msync; Op_sync_all; Op_unmount;
     Journal_commit; Journal_recover; Writeback; Buffer_fetch; Flush; Fence;
     Slot_wait; Nvcache_append; Nvcache_destage; Nvcache_replay;
+    Snapshot_commit; Snapshot_gc;
   ]
 
 let n_kinds = List.length all_kinds
@@ -124,6 +129,8 @@ let kind_name = function
   | Nvcache_append -> "nvcache.append"
   | Nvcache_destage -> "nvcache.destage"
   | Nvcache_replay -> "nvcache.replay"
+  | Snapshot_commit -> "snapshot.commit"
+  | Snapshot_gc -> "snapshot.gc"
 
 let ev_name = function
   | Ev_bbm_eager -> "bbm.eager"

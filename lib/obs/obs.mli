@@ -46,6 +46,8 @@ type kind =
   | Nvcache_append  (** nvcache tier absorbing one write *)
   | Nvcache_destage  (** nvcache destage batch to the backend *)
   | Nvcache_replay  (** nvcache mount-time log/slot replay *)
+  | Snapshot_commit  (** CoW root-swap commit (refcount fixpoint + swap) *)
+  | Snapshot_gc  (** CoW snapshot deletion / rollback refcount walk *)
 
 (** Instant (zero-duration) event kinds. *)
 type ev =

@@ -37,7 +37,7 @@ done
 # Required op-class histograms with a present, nonzero p99. Each op class
 # appears once per (workload, fs) experiment; require every occurrence to
 # carry a positive p99.
-for op in 'op.read' 'op.write' 'op.open'; do
+for op in 'op.read' 'op.write' 'op.open' 'op.fsync'; do
     if ! grep -q "\"$op\"" "$out1"; then
         echo "bench_check FAIL: no \"$op\" histogram in baseline" >&2
         fail=1

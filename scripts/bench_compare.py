@@ -14,7 +14,7 @@ import json
 import sys
 
 THRESHOLD = 0.10
-OPS = ("op.read", "op.write", "op.open")
+OPS = ("op.read", "op.write", "op.open", "op.fsync")
 QUANTILES = ("p50", "p99")
 
 

@@ -14,5 +14,6 @@ dune build @crashmc-recovery --force
 dune build @torture-soak --force
 dune build @obs-smoke --force
 dune build @nvcache-soak --force
+dune build @snapshot-soak --force
 
 sh scripts/bench_check.sh

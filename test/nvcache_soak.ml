@@ -26,14 +26,22 @@ module Nvcache = Hinfs_nvcache.Nvcache
 module Types = Hinfs_vfs.Types
 module Vfs = Hinfs_vfs.Vfs
 
-let seed = 7L
+(* Override the soak seed with SOAK_SEED=<int64> to reproduce or widen a
+   failure; every failure message carries the seed that produced it. *)
+let seed =
+  match Sys.getenv_opt "SOAK_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> 7L
+
 let rounds = 3
 let ops_per_round = 60
 let max_files = 10
 let max_len = 16 * 1024
 
 let failures = ref []
-let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt
+
+let fail fmt =
+  Fmt.kstr (fun s -> failures := Fmt.str "[seed %Ld] %s" seed s :: !failures) fmt
 
 let config = { Config.default with Config.nvmm_size = 8 * 1024 * 1024 }
 
@@ -156,12 +164,14 @@ let fault_leg ~design ~round snap oracle =
   run_sim (fun engine ->
       let stats = Stats.create () in
       let device = Device.of_snapshot engine stats config snap in
-      let fault = Fault.create ~seed:(Int64.of_int (round + 13)) () in
+      let fault =
+        Fault.create ~seed:(Int64.add seed (Int64.of_int (round + 13))) ()
+      in
       Device.set_fault_model device (Some fault);
       let cache_bytes = Nvcache.default_cache_bytes config in
       let area_start = Config.(config.nvmm_size) - cache_bytes in
       let rng =
-        Rng.create ~seed:(Int64.of_int ((round * 131) + 17))
+        Rng.create ~seed:(Int64.add seed (Int64.of_int ((round * 131) + 17)))
       in
       for _ = 1 to 3 do
         let line = (area_start / 64) + Rng.int rng (cache_bytes / 64) in

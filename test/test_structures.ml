@@ -285,6 +285,60 @@ let test_lru_replace () =
   Alcotest.(check (option (pair string int)))
     "k moved to MRU" (Some ("x", 2)) (Lru.peek_lru lru)
 
+(* --- crc32c --- *)
+
+module Crc32c = Hinfs_structures.Crc32c
+
+(* RFC 3720 appendix B.4 reference vectors. *)
+let crc32c_vectors =
+  [
+    ("empty", "", 0x0);
+    ("check value", "123456789", 0xE3069283);
+    ("32 zeros", String.make 32 '\000', 0x8A9136AA);
+    ("32 ones", String.make 32 '\xff', 0x62A8AB43);
+    ("ascending", String.init 32 Char.chr, 0x46DD794E);
+    ("descending", String.init 32 (fun i -> Char.chr (31 - i)), 0x113FDB5C);
+  ]
+
+let test_crc32c_vectors () =
+  List.iter
+    (fun (name, input, expected) ->
+      check_int name expected (Crc32c.digest_string input))
+    crc32c_vectors
+
+(* The same vectors embedded at unaligned offsets into a larger dirty
+   buffer: digest ~off ~len must see exactly the slice. *)
+let test_crc32c_unaligned () =
+  List.iter
+    (fun (name, input, expected) ->
+      List.iter
+        (fun off ->
+          let len = String.length input in
+          let buf = Bytes.make (off + len + 7) '\xa5' in
+          Bytes.blit_string input 0 buf off len;
+          check_int
+            (Fmt.str "%s at offset %d" name off)
+            expected
+            (Crc32c.digest buf ~off ~len))
+        [ 1; 3; 5 ])
+    crc32c_vectors
+
+let test_crc32c_streaming () =
+  List.iter
+    (fun (name, input, expected) ->
+      let b = Bytes.of_string input in
+      let n = Bytes.length b in
+      let split = n / 3 in
+      let crc = Crc32c.update 0 b ~off:0 ~len:split in
+      let crc = Crc32c.update crc b ~off:split ~len:(n - split) in
+      check_int (Fmt.str "%s split at %d" name split) expected crc;
+      (* Zero-length updates must be identity at any offset. *)
+      check_int
+        (Fmt.str "%s + empty update" name)
+        expected
+        (Crc32c.update crc b ~off:0 ~len:0))
+    crc32c_vectors
+
 let () =
   Alcotest.run "structures"
     [
@@ -320,5 +374,11 @@ let () =
           Alcotest.test_case "basic" `Quick test_lru_basic;
           Alcotest.test_case "find matching" `Quick test_lru_find_matching;
           Alcotest.test_case "replace" `Quick test_lru_replace;
+        ] );
+      ( "crc32c",
+        [
+          Alcotest.test_case "reference vectors" `Quick test_crc32c_vectors;
+          Alcotest.test_case "unaligned offsets" `Quick test_crc32c_unaligned;
+          Alcotest.test_case "streaming" `Quick test_crc32c_streaming;
         ] );
     ]

@@ -36,7 +36,12 @@ module Errno = Hinfs_vfs.Errno
 module Fsck = Hinfs_fsck.Fsck
 module Obs = Hinfs_obs.Obs
 
-let seed = 1337L
+(* Override the soak seed with SOAK_SEED=<int64> to reproduce or widen a
+   failure; every failure message carries the seed that produced it. *)
+let seed =
+  match Sys.getenv_opt "SOAK_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> 1337L
 let rounds = 6
 let ops_per_round = 80
 let max_files = 16
@@ -46,7 +51,9 @@ let chunk_max = 8 * 1024
 let config = { Config.default with Config.nvmm_size = 8 * 1024 * 1024 }
 
 let failures = ref []
-let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt
+
+let fail fmt =
+  Fmt.kstr (fun s -> failures := Fmt.str "[seed %Ld] %s" seed s :: !failures) fmt
 
 (* Oracle entry: contents as of the last *successful* operation, plus a
    taint flag once a failed or EIO-hit write may have torn the data range
@@ -368,7 +375,8 @@ let run_soak () =
   Obs.uninstall ();
   match !result with
   | Some o -> o
-  | None -> Fmt.failwith "torture-soak simulation did not complete"
+  | None ->
+    Fmt.failwith "torture-soak simulation did not complete (seed %Ld)" seed
 
 let () =
   let o1 = run_soak () in
