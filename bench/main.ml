@@ -27,7 +27,21 @@ module Hist = Hinfs_obs.Hist
 
 let ppf = Fmt.stdout
 
-let spec = Experiment.default_spec
+(* `--shards=N` shards the HiNFS hot state in every cell this runner
+   mounts (per-shard buffer pools, journal regions, allocator ranges).
+   Default 1 keeps the committed BENCH_HINFS.json byte-stable; the shard
+   scalability sweep in [baseline] sets its own per-cell shard counts
+   regardless of this flag. *)
+let cli_shards =
+  Array.fold_left
+    (fun acc arg ->
+      match String.index_opt arg '=' with
+      | Some i when String.sub arg 0 i = "--shards" ->
+        int_of_string (String.sub arg (i + 1) (String.length arg - i - 1))
+      | _ -> acc)
+    1 Sys.argv
+
+let spec = { Experiment.default_spec with Experiment.shards = cli_shards }
 
 (* Shorter windows for the large grids. *)
 let grid_duration = 100_000_000L
@@ -754,7 +768,99 @@ let baseline () =
           ~ops:result.Workload.ops ~elapsed_ns:result.Workload.elapsed_ns obs)
       [ Fixtures.Cow_fs ]
   in
-  let experiments = experiments @ nv_experiments @ cow_experiments in
+  (* Shard scalability sweep (1 -> 512 simulated processes): each process
+     owns one file in one of [shards] directories; directories are placed
+     round-robin across shards at mkfs, so the processes spread over every
+     shard's buffer pool, journal region, and allocator ranges. The op mix
+     is small buffered writes with periodic fsync (journal commits) and an
+     occasional create+unlink (allocator churn) — the metadata-heavy shape
+     whose single-shard bottleneck is the journal tail lock and the shared
+     pool, not data bandwidth. Ops/sec should rise with the shard count
+     until the NVMM bandwidth Resource is the bottleneck and the curve
+     flattens. Each cell's RNG streams derive from the run seed, the shard
+     count, and the worker's thread id, so the artifact stays byte-stable
+     run to run. New cell names: bench_compare treats them as unshared
+     (not gated) against pre-shard baselines. *)
+  let sweep_workload ~procs ~dirs =
+    let file_span = 64 * 1024 in
+    let io = 4096 in
+    let fds = Array.make procs (-1) in
+    {
+      Workload.name = Fmt.str "shardmix-p%d" procs;
+      setup =
+        (fun h _rng ->
+          for d = 0 to dirs - 1 do
+            h.Hinfs_vfs.Vfs.mkdir (Fmt.str "/s%d" d)
+          done;
+          let chunk = Bytes.make file_span 's' in
+          for i = 0 to procs - 1 do
+            let path = Fmt.str "/s%d/f%d" (i mod dirs) i in
+            let fd = h.Hinfs_vfs.Vfs.open_ path Hinfs_vfs.Types.creat in
+            ignore (h.Hinfs_vfs.Vfs.write fd chunk file_span);
+            h.Hinfs_vfs.Vfs.fsync fd;
+            fds.(i) <- fd
+          done);
+      worker =
+        (fun ctx ->
+          let h = ctx.Workload.handle in
+          let rng = ctx.Workload.rng in
+          let i = ctx.Workload.thread_id in
+          let fd = fds.(i) in
+          let roll = Hinfs_sim.Rng.int rng 32 in
+          if roll = 0 then begin
+            (* Allocator churn in the process's own directory/shard. *)
+            let scratch = Fmt.str "/s%d/tmp%d" (i mod dirs) i in
+            let sfd = h.Hinfs_vfs.Vfs.open_ scratch Hinfs_vfs.Types.creat in
+            ignore (h.Hinfs_vfs.Vfs.write sfd (Bytes.make io 't') io);
+            h.Hinfs_vfs.Vfs.close sfd;
+            h.Hinfs_vfs.Vfs.unlink scratch;
+            1
+          end
+          else begin
+            let off = Hinfs_sim.Rng.int rng (file_span / io) * io in
+            ignore (h.Hinfs_vfs.Vfs.pwrite fd ~off (Bytes.make io 'w') io);
+            if roll land 7 = 1 then h.Hinfs_vfs.Vfs.fsync fd;
+            1
+          end);
+    }
+  in
+  let sweep_cells =
+    List.map
+      (fun p ->
+        let shards = min p 64 in
+        let sweep_spec =
+          {
+            spec with
+            Experiment.threads = p;
+            Experiment.shards;
+            Experiment.seed =
+              Int64.add spec.Experiment.seed
+                (Int64.of_int (shards * 0x9E3779));
+          }
+        in
+        let result, stats, obs =
+          Experiment.run_workload_obs ~spec:sweep_spec ~threads:p
+            ~duration:10_000_000L Fixtures.Hinfs_fs
+            (sweep_workload ~procs:p ~dirs:shards)
+        in
+        let secs = Int64.to_float result.Workload.elapsed_ns /. 1e9 in
+        let opsec = float_of_int result.Workload.ops /. secs in
+        let mbps =
+          Int64.to_float (Stats.nvmm_bytes_written stats) /. secs /. 1e6
+        in
+        Fmt.pf ppf
+          "shard sweep: %4d procs / %2d shards: %9.0f ops/s, %7.1f MB/s \
+           NVMM write@."
+          p shards opsec mbps;
+        Profile.experiment_json
+          ~name:(Fmt.str "shard-sweep-p%03d" p)
+          ~fs:"hinfs" ~ops:result.Workload.ops
+          ~elapsed_ns:result.Workload.elapsed_ns obs)
+      [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ]
+  in
+  let experiments =
+    experiments @ nv_experiments @ cow_experiments @ sweep_cells
+  in
   let config =
     [
       ("seed", Ojson.Int (Int64.to_int spec.Experiment.seed));
@@ -762,6 +868,7 @@ let baseline () =
       ("duration_ns", Ojson.Int (Int64.to_int duration));
       ("nvmm_write_ns", Ojson.Int spec.Experiment.nvmm_write_ns);
       ("buffer_bytes", Ojson.Int spec.Experiment.buffer_bytes);
+      ("shards", Ojson.Int spec.Experiment.shards);
     ]
   in
   let json = Profile.bench_json ~config experiments in
@@ -881,9 +988,12 @@ let experiments =
 
 let () =
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    let names =
+      List.filter
+        (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+        (List.tl (Array.to_list Sys.argv))
+    in
+    match names with [] -> List.map fst experiments | names -> names
   in
   let t0 = Sys.time () in
   List.iter

@@ -70,11 +70,19 @@ let buffer_arg =
   let doc = "HiNFS DRAM buffer size in MB." in
   Arg.(value & opt int 24 & info [ "buffer-mb" ] ~doc)
 
-let spec_of latency buffer_mb =
+let shards_arg =
+  let doc =
+    "HiNFS hot-state shards: per-shard buffer pools, journal regions and \
+     allocator ranges (1 = unsharded)."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~doc)
+
+let spec_of latency buffer_mb shards =
   {
     Experiment.default_spec with
     Experiment.nvmm_write_ns = latency;
     Experiment.buffer_bytes = buffer_mb * 1024 * 1024;
+    Experiment.shards;
   }
 
 let print_stats stats =
@@ -126,8 +134,8 @@ let workload_arg =
   in
   Arg.(value & pos 0 string "fileserver" & info [] ~docv:"WORKLOAD" ~doc)
 
-let run fs threads duration_ms latency buffer_mb workload_name =
-  let spec = spec_of latency buffer_mb in
+let run fs threads duration_ms latency buffer_mb shards workload_name =
+  let spec = spec_of latency buffer_mb shards in
   Fmt.pr "# %s on %s (%s)@." workload_name (Fixtures.name fs)
     (Fixtures.description fs);
   (match workload_of workload_name with
@@ -152,7 +160,7 @@ let run fs threads duration_ms latency buffer_mb workload_name =
 let run_term =
   Term.(
     const run $ fs_arg $ threads_arg $ duration_arg $ latency_arg
-    $ buffer_arg $ workload_arg)
+    $ buffer_arg $ shards_arg $ workload_arg)
 
 let run_cmd =
   let doc = "Run one workload cell (default command)" in
@@ -172,9 +180,9 @@ let hist_arg =
   let doc = "Print per-span latency histograms and sampled-gauge tables." in
   Arg.(value & flag & info [ "hist" ] ~doc)
 
-let profile fs threads duration_ms latency buffer_mb trace_out hist
+let profile fs threads duration_ms latency buffer_mb shards trace_out hist
     workload_name =
-  let spec = spec_of latency buffer_mb in
+  let spec = spec_of latency buffer_mb shards in
   let trace = trace_out <> None in
   Fmt.pr "# profile %s on %s (%s)@." workload_name (Fixtures.name fs)
     (Fixtures.description fs);
@@ -223,7 +231,7 @@ let profile_cmd =
     (Cmd.info "profile" ~doc)
     Term.(
       const profile $ fs_arg $ threads_arg $ duration_arg $ latency_arg
-      $ buffer_arg $ trace_out_arg $ hist_arg $ workload_arg)
+      $ buffer_arg $ shards_arg $ trace_out_arg $ hist_arg $ workload_arg)
 
 (* --- crashmc: crash-state enumeration + fsck --- *)
 
@@ -351,7 +359,8 @@ let scrub_size_arg =
    (superblock repair + recovery run here), read everything back, then
    scrub and fsck. Demonstrates the retry -> repair -> read-only ladder on
    a reproducible image. *)
-let scrub_run seed poison_rate transient_rate poison_lines files size_mb =
+let scrub_run seed poison_rate transient_rate poison_lines files size_mb
+    shards =
   let exit_code = ref 0 in
   let engine = Engine.create () in
   Engine.spawn engine ~name:"scrub" (fun () ->
@@ -360,7 +369,7 @@ let scrub_run seed poison_rate transient_rate poison_lines files size_mb =
         { Config.default with Config.nvmm_size = size_mb * 1024 * 1024 }
       in
       let device = Device.create engine stats config in
-      let fs = Pmfs.mkfs_and_mount device ~journal_blocks:32 () in
+      let fs = Pmfs.mkfs_and_mount device ~journal_blocks:32 ~shards () in
       let file_len = 8192 in
       let payload i =
         let rng = Rng.create ~seed:(Int64.add seed (Int64.of_int (i + 1))) in
@@ -409,6 +418,11 @@ let scrub_run seed poison_rate transient_rate poison_lines files size_mb =
         inos;
       Fmt.pr "readback: %d intact, %d EIO, %d silently corrupt@." !intact
         !eio !corrupt;
+      (if Pmfs.shard_count fs > 1 then
+         let by_shard = Pmfs.recovered_by_shard fs in
+         Fmt.pr "recovery rollbacks by shard: %a@."
+           Fmt.(array ~sep:(any " ") int)
+           by_shard);
       let sreport = Scrub.run fs in
       Fmt.pr "%a@." Scrub.pp_report sreport;
       let freport = Fsck.check_pmfs fs in
@@ -435,7 +449,7 @@ let scrub_cmd =
     (Cmd.info "scrub" ~doc)
     Term.(
       const scrub_run $ scrub_seed_arg $ poison_rate_arg $ transient_rate_arg
-      $ poison_lines_arg $ scrub_files_arg $ scrub_size_arg)
+      $ poison_lines_arg $ scrub_files_arg $ scrub_size_arg $ shards_arg)
 
 (* --- nvcache: durability-tier walkthrough (absorb / crash / replay) --- *)
 

@@ -49,13 +49,22 @@ type file_state = {
   mutable writers : int; (* writes in flight (commit barrier) *)
 }
 
+(* One shard's DRAM-side hot state: its slice of the write buffer plus the
+   condvars its writeback daemons and stalled writers meet on. A file's
+   buffered blocks live entirely in its home shard's pool (the shard is a
+   pure function of the inode number), so shards never contend on pool
+   metadata or the LRW list. *)
+type shard_state = {
+  pool : Buffer_pool.t;
+  wb_wakeup : Condvar.t; (* this shard's writeback daemons sleep here *)
+  free_cv : Condvar.t; (* foreground stalls for free buffer blocks *)
+}
+
 type t = {
   pmfs : Pmfs.t;
   hcfg : Hconfig.t;
-  pool : Buffer_pool.t;
+  shards : shard_state array;
   files : (int, file_state) Hashtbl.t;
-  wb_wakeup : Condvar.t; (* writeback daemons sleep here *)
-  free_cv : Condvar.t; (* foreground stalls for free buffer blocks *)
   sync_mount : bool;
   mutable daemons : int;
   mutable stopping : bool;
@@ -66,7 +75,11 @@ let device t = Pmfs.device t.pmfs
 let stats t = Device.stats (device t)
 let config t = Device.config (device t)
 let hconfig t = t.hcfg
-let pool t = t.pool
+let shard_count t = Array.length t.shards
+let shard_of t ino = Pmfs.shard_of_ino t.pmfs ino
+let shard_for t ino = t.shards.(shard_of t ino)
+let spool t ino = (shard_for t ino).pool
+let shard_pool t s = t.shards.(s).pool
 let recovered_txns t = Pmfs.recovered_txns t.pmfs
 let now t = Engine.now (Device.engine (device t))
 
@@ -80,16 +93,27 @@ let create ?(hcfg = Hconfig.default) ?(sync_mount = false) pmfs =
   let hcfg = Hconfig.validate hcfg in
   let device = Pmfs.device pmfs in
   let config = Device.config device in
-  let capacity = max 8 (hcfg.Hconfig.buffer_bytes / config.Config.block_size) in
+  (* One pool slice per persistent shard; the DRAM budget is divided
+     evenly. The shard count is a mount property (superblock geometry) so
+     the DRAM and NVMM partitions always agree. *)
+  let nshards = Pmfs.shard_count pmfs in
+  let capacity =
+    max 8 (hcfg.Hconfig.buffer_bytes / config.Config.block_size / nshards)
+  in
   {
     pmfs;
     hcfg;
-    pool =
-      Buffer_pool.create ~capacity ~block_size:config.Config.block_size
-        ~lines_per_block:(config.Config.block_size / config.Config.cacheline_size);
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            pool =
+              Buffer_pool.create ~capacity ~block_size:config.Config.block_size
+                ~lines_per_block:
+                  (config.Config.block_size / config.Config.cacheline_size);
+            wb_wakeup = Condvar.create (Device.engine device);
+            free_cv = Condvar.create (Device.engine device);
+          });
     files = Hashtbl.create 256;
-    wb_wakeup = Condvar.create (Device.engine device);
-    free_cv = Condvar.create (Device.engine device);
     sync_mount;
     daemons = 0;
     stopping = false;
@@ -117,7 +141,7 @@ let buffered_block t fst fblock =
   match Btree.find fst.index fblock with
   | None -> None
   | Some id ->
-    let b = Buffer_pool.block t.pool id in
+    let b = Buffer_pool.block (spool t fst.f_ino) id in
     if b.Buffer_pool.in_use && b.Buffer_pool.ino = fst.f_ino
        && b.Buffer_pool.fblock = fblock
     then Some b
@@ -141,11 +165,14 @@ let charge_dram_read t cat bytes =
 
 (* --- pending transaction management --- *)
 
+(* The journal a file's pending transaction lives on: its home shard's. *)
+let log_of t fst = Pmfs.log_for t.pmfs ~ino:fst.f_ino
+
 let get_pending_txn t fst =
   match fst.pending_txn with
   | Some txn -> txn
   | None ->
-    let txn = Log.begin_txn (Pmfs.log t.pmfs) in
+    let txn = Log.begin_txn (log_of t fst) in
     fst.pending_txn <- Some txn;
     txn
 
@@ -163,7 +190,7 @@ let commit_pending t fst =
   match fst.pending_txn with
   | None -> ()
   | Some txn ->
-    (try Log.commit (Pmfs.log t.pmfs) txn
+    (try Log.commit (log_of t fst) txn
      with e ->
        if Log.txn_committed txn then begin
          (* Durable, only the checkpoint tripped: safe to detach. *)
@@ -192,9 +219,11 @@ let abort_pending t fst =
   | None -> ()
   | Some txn ->
     fst.pending_txn <- None;
-    Log.abort (Pmfs.log t.pmfs) txn;
-    let balloc = (Pmfs.ctx t.pmfs).Hinfs_pmfs.Fs_ctx.balloc in
-    List.iter (fun block -> Allocator.free balloc block) fst.pending_allocs;
+    Log.abort (log_of t fst) txn;
+    let ctx = Pmfs.ctx t.pmfs in
+    List.iter
+      (fun block -> Hinfs_pmfs.Fs_ctx.free_block ctx block)
+      fst.pending_allocs;
     fst.pending_allocs <- []
 
 (* --- writeback --- *)
@@ -205,8 +234,8 @@ let mark_block_dirty t fst b lines =
   b.Buffer_pool.present <- Clbitmap.union b.Buffer_pool.present lines;
   if was_clean && not (Clbitmap.is_empty b.Buffer_pool.dirty) then
     fst.dirty_blocks <- fst.dirty_blocks + 1;
-  Buffer_pool.touch_written t.pool ~policy:t.hcfg.Hconfig.replacement b
-    ~now:(now t)
+  Buffer_pool.touch_written (spool t fst.f_ino)
+    ~policy:t.hcfg.Hconfig.replacement b ~now:(now t)
 
 (* Write the dirty cachelines of a buffer block back to its NVMM home.
    Under CLFW only dirty lines stream out, as maximal runs; without CLFW
@@ -276,18 +305,20 @@ and flush_block_body ~background ~cat t b ~evict =
       end);
   if evict && Clbitmap.is_empty b.Buffer_pool.dirty && b.Buffer_pool.pinned = 0
   then begin
+    let sh = shard_for t b.Buffer_pool.ino in
     ignore (Btree.remove fst.index b.Buffer_pool.fblock);
-    Buffer_pool.free t.pool b;
+    Buffer_pool.free sh.pool b;
     Stats.eviction (stats t);
-    ignore (Condvar.broadcast t.free_cv)
+    ignore (Condvar.broadcast sh.free_cv)
   end
 
 (* Flush (and optionally evict) every buffered block of a file. *)
 let flush_file ?background ?cat t fst ~evict =
+  let pool = spool t fst.f_ino in
   let ids = Btree.fold fst.index [] (fun acc _fblock id -> id :: acc) in
   List.iter
     (fun id ->
-      let b = Buffer_pool.block t.pool id in
+      let b = Buffer_pool.block pool id in
       if b.Buffer_pool.in_use && b.Buffer_pool.ino = fst.f_ino then
         flush_block ?background ?cat t b ~evict)
     ids
@@ -300,27 +331,33 @@ let sync_file_data t fst =
 
 (* --- background writeback daemons (§3.2) --- *)
 
-let reclaim_target t =
+let reclaim_target t sh =
   int_of_float
-    (t.hcfg.Hconfig.high_watermark *. float_of_int (Buffer_pool.capacity t.pool))
+    (t.hcfg.Hconfig.high_watermark *. float_of_int (Buffer_pool.capacity sh.pool))
 
-let low_free t =
-  Buffer_pool.free_fraction t.pool < t.hcfg.Hconfig.low_watermark
+let low_free sh hcfg =
+  Buffer_pool.free_fraction sh.pool < hcfg.Hconfig.low_watermark
 
-let daemon_body t =
+(* Each shard runs its own daemon(s) over its own pool slice: reclaim and
+   age-based cleaning never cross shards, so daemons contend neither on
+   pool metadata nor (through try_commit) on another shard's journal. *)
+let daemon_body t sh =
   let rec loop () =
     if not t.stopping then begin
       ignore
-        (Condvar.wait_timeout t.wb_wakeup
+        (Condvar.wait_timeout sh.wb_wakeup
            ~timeout:t.hcfg.Hconfig.flush_interval_ns);
       if not t.stopping then begin
         (* Reclaim from the LRW end until the high watermark. *)
         let rec reclaim () =
           if
             (not t.stopping)
-            && Buffer_pool.free_count t.pool < reclaim_target t
+            && Buffer_pool.free_count sh.pool < reclaim_target t sh
           then begin
-            match Buffer_pool.pick_victim ~policy:t.hcfg.Hconfig.replacement t.pool with
+            match
+              Buffer_pool.pick_victim ~policy:t.hcfg.Hconfig.replacement
+                sh.pool
+            with
             | None -> ()
             | Some b ->
               flush_block ~background:true t b ~evict:true;
@@ -328,7 +365,9 @@ let daemon_body t =
               reclaim ()
           end
         in
-        if low_free t || Buffer_pool.free_count t.pool < reclaim_target t
+        if
+          low_free sh t.hcfg
+          || Buffer_pool.free_count sh.pool < reclaim_target t sh
         then reclaim ();
         (* Age-based cleaning: write back (without evicting) blocks whose
            last write is older than the age threshold. *)
@@ -336,15 +375,15 @@ let daemon_body t =
         let stale =
           List.filter
             (fun id ->
-              let b = Buffer_pool.block t.pool id in
+              let b = Buffer_pool.block sh.pool id in
               b.Buffer_pool.in_use
               && (not (Clbitmap.is_empty b.Buffer_pool.dirty))
               && Int64.compare b.Buffer_pool.last_written cutoff <= 0)
-            (Buffer_pool.lrw_ids t.pool)
+            (Buffer_pool.lrw_ids sh.pool)
         in
         List.iter
           (fun id ->
-            let b = Buffer_pool.block t.pool id in
+            let b = Buffer_pool.block sh.pool id in
             if b.Buffer_pool.in_use then begin
               flush_block ~background:true t b ~evict:false;
               try_commit t (file_state t b.Buffer_pool.ino)
@@ -358,26 +397,37 @@ let daemon_body t =
 
 let start_daemons t =
   if t.daemons > 0 then invalid_arg "Hinfs: daemons already running";
-  t.daemons <- t.hcfg.Hconfig.writeback_threads;
-  for i = 1 to t.hcfg.Hconfig.writeback_threads do
-    Proc.spawn ~name:(Printf.sprintf "hinfs-writeback-%d" i) (fun () ->
-        daemon_body t)
-  done
+  let nshards = shard_count t in
+  (* Spread the configured writeback threads across shards, at least one
+     per shard (a shard without a daemon would stall its writers forever
+     once its pool slice fills). *)
+  let per_shard = max 1 (t.hcfg.Hconfig.writeback_threads / nshards) in
+  t.daemons <- per_shard * nshards;
+  Array.iteri
+    (fun s sh ->
+      for i = 1 to per_shard do
+        Proc.spawn ~name:(Printf.sprintf "hinfs-writeback-%d.%d" s i)
+          (fun () -> daemon_body t sh)
+      done)
+    t.shards
 
 (* Allocate a DRAM buffer block, stalling on the writeback daemons when the
    pool is exhausted (the foreground stall of §3.2.1). *)
 let alloc_buffer_block t ~ino ~fblock ~home =
+  let sh = shard_for t ino in
   let rec attempt () =
-    match Buffer_pool.alloc t.pool ~ino ~fblock ~home ~now:(now t) with
+    match Buffer_pool.alloc sh.pool ~ino ~fblock ~home ~now:(now t) with
     | Some b ->
-      if low_free t then ignore (Condvar.signal t.wb_wakeup);
+      if low_free sh t.hcfg then ignore (Condvar.signal sh.wb_wakeup);
       b
     | None ->
       Stats.writeback_stall (stats t);
-      ignore (Condvar.signal t.wb_wakeup);
+      ignore (Condvar.signal sh.wb_wakeup);
       if t.daemons = 0 then begin
         (* No daemons (unit-test configuration): reclaim inline. *)
-        (match Buffer_pool.pick_victim ~policy:t.hcfg.Hconfig.replacement t.pool with
+        (match
+           Buffer_pool.pick_victim ~policy:t.hcfg.Hconfig.replacement sh.pool
+         with
         | Some victim ->
           flush_block t victim ~evict:true;
           try_commit t (file_state t victim.Buffer_pool.ino)
@@ -385,7 +435,7 @@ let alloc_buffer_block t ~ino ~fblock ~home =
         attempt ()
       end
       else begin
-        ignore (Condvar.wait_timeout t.free_cv ~timeout:1_000_000L);
+        ignore (Condvar.wait_timeout sh.free_cv ~timeout:1_000_000L);
         attempt ()
       end
   in
@@ -506,11 +556,11 @@ let eager_write_segment t fst ~fblock ~in_block ~src ~src_off ~len =
    runs low, kick the writeback daemons; when critically low, drain this
    file synchronously so its transaction's slots free up. *)
 let journal_backpressure t fst =
-  let log = Pmfs.log t.pmfs in
+  let log = log_of t fst in
   let free = Log.free_slots log in
   let capacity = Log.capacity log in
   if free * 10 < capacity then begin
-    ignore (Condvar.signal t.wb_wakeup);
+    ignore (Condvar.signal (shard_for t fst.f_ino).wb_wakeup);
     if free * 5 < capacity && fst.pending_txn <> None then
       sync_file_data t fst
   end
@@ -575,7 +625,7 @@ let write t ~ino ~off ~src ~src_off ~len ~sync =
            write_direct may already have grown it). *)
         let cur = Pmfs.inode_size t.pmfs ino in
         if off + len > cur then
-          Log.with_txn (Pmfs.log t.pmfs) (fun txn ->
+          Log.with_txn (log_of t fst) (fun txn ->
               Pmfs.Data.update_size t.pmfs txn ~ino ~size:(off + len);
               Pmfs.Data.touch_mtime_txn t.pmfs txn ~ino)
       end
@@ -706,24 +756,25 @@ let drop_buffers t ino =
   | None -> ()
   | Some fst ->
     let st = stats t in
+    let sh = shard_for t ino in
     let ids = Btree.fold fst.index [] (fun acc _ id -> id :: acc) in
     let dropped = ref 0 in
     List.iter
       (fun id ->
-        let b = Buffer_pool.block t.pool id in
+        let b = Buffer_pool.block sh.pool id in
         if b.Buffer_pool.in_use && b.Buffer_pool.ino = ino then begin
           wait_unpinned b;
           if b.Buffer_pool.in_use && b.Buffer_pool.ino = ino then begin
             if not (Clbitmap.is_empty b.Buffer_pool.dirty) then incr dropped;
             b.Buffer_pool.dirty <- Clbitmap.empty;
-            Buffer_pool.free t.pool b
+            Buffer_pool.free sh.pool b
           end
         end)
       ids;
     Stats.dead_block_drop st !dropped;
     if !dropped > 0 then begin
       Obs.instant Obs.Ev_dead_drop ~a:ino ~b:!dropped;
-      ignore (Condvar.broadcast t.free_cv)
+      ignore (Condvar.broadcast sh.free_cv)
     end;
     abort_pending t fst;
     Hashtbl.remove t.files ino
@@ -750,10 +801,11 @@ let truncate t ~ino ~size =
   let keep_blocks = (size + bs - 1) / bs in
   (* Buffered blocks beyond the new size die; the rest are flushed so the
      (journaled) truncate applies to a stable persistent state. *)
+  let pool = spool t ino in
   let ids = Btree.fold fst.index [] (fun acc fblock id -> (fblock, id) :: acc) in
   List.iter
     (fun (fblock, id) ->
-      let b = Buffer_pool.block t.pool id in
+      let b = Buffer_pool.block pool id in
       if b.Buffer_pool.in_use && b.Buffer_pool.ino = ino
          && fblock >= keep_blocks
       then begin
@@ -764,7 +816,7 @@ let truncate t ~ino ~size =
             b.Buffer_pool.dirty <- Clbitmap.empty
           end;
           ignore (Btree.remove fst.index fblock);
-          Buffer_pool.free t.pool b
+          Buffer_pool.free pool b
         end
       end)
     ids;
@@ -794,20 +846,59 @@ let msync t ~ino =
 
 (* --- lifecycle --- *)
 
+(* Whole-FS sync. With one shard this is the classic loop: flush every
+   file, commit every pending transaction. With several shards the pending
+   commits span journals, and committing them one by one would let a crash
+   mid-sync land between two shards' commits — callers of sync_all expect
+   an all-or-nothing durability point. So when more than one shard holds
+   pending transactions, they all commit through one epoch: prepare each
+   on its own journal, persist the epoch record (single cacheline, atomic),
+   then checkpoint. *)
 let sync_all t =
-  Hashtbl.iter (fun _ino fst -> sync_file_data t fst) t.files;
+  Hashtbl.iter (fun _ino fst -> flush_file t fst ~evict:false) t.files;
+  let pending =
+    Hashtbl.fold
+      (fun _ fst acc -> if fst.pending_txn <> None then fst :: acc else acc)
+      t.files []
+  in
+  let shards_touched =
+    List.sort_uniq compare (List.map (fun fst -> shard_of t fst.f_ino) pending)
+  in
+  (match shards_touched with
+  | [] | [ _ ] -> List.iter (fun fst -> commit_pending t fst) pending
+  | _ ->
+    Hinfs_journal.Epoch.with_barrier (Pmfs.epoch t.pmfs) (fun ep ->
+        List.iter
+          (fun fst ->
+            match fst.pending_txn with
+            | Some txn -> Log.prepare_epoch (log_of t fst) txn ~epoch:ep
+            | None -> ())
+          pending;
+        Hinfs_journal.Epoch.commit (Pmfs.epoch t.pmfs) ep;
+        List.iter
+          (fun fst ->
+            match fst.pending_txn with
+            | Some txn ->
+              Log.finish_epoch (log_of t fst) txn;
+              fst.pending_txn <- None;
+              fst.pending_allocs <- []
+            | None -> ())
+          pending));
   Device.mfence (device t) ~cat:Stats.Other
 
 let unmount t =
   t.stopping <- true;
-  ignore (Condvar.broadcast t.wb_wakeup);
+  Array.iter (fun sh -> ignore (Condvar.broadcast sh.wb_wakeup)) t.shards;
   sync_all t;
   Pmfs.unmount t.pmfs
 
 (* --- introspection for tests and benchmarks --- *)
 
-let buffered_blocks t = Buffer_pool.used_count t.pool
-let free_buffer_blocks t = Buffer_pool.free_count t.pool
+let sum_pools t f =
+  Array.fold_left (fun acc sh -> acc + f sh.pool) 0 t.shards
+
+let buffered_blocks t = sum_pools t Buffer_pool.used_count
+let free_buffer_blocks t = sum_pools t Buffer_pool.free_count
 
 let dirty_buffered_blocks t =
   Hashtbl.fold (fun _ fst acc -> acc + fst.dirty_blocks) t.files 0
@@ -848,8 +939,11 @@ let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?hcfg ?sync_mount
       let slots_per_block = cfg.Config.block_size / 64 in
       Some (max 64 (buffer_blocks * 16 / slots_per_block))
   in
+  let shards =
+    (match hcfg with Some h -> h.Hconfig.shards | None -> Hconfig.default.Hconfig.shards)
+  in
   let pmfs =
-    Pmfs.mkfs_and_mount device ?journal_blocks ?inodes_per_mb
+    Pmfs.mkfs_and_mount device ?journal_blocks ?inodes_per_mb ~shards
       ~journal_cleaner:daemons ()
   in
   let t = create ?hcfg ?sync_mount pmfs in

@@ -58,7 +58,15 @@ val pmfs : t -> Hinfs_pmfs.Pmfs.t
 val device : t -> Hinfs_nvmm.Device.t
 val stats : t -> Hinfs_stats.Stats.t
 val hconfig : t -> Hconfig.t
-val pool : t -> Buffer_pool.t
+val shard_count : t -> int
+(** Number of hot-state shards (per-shard buffer pool, journal, allocator
+    ranges); mirrors {!Hconfig.shards} at mkfs time. *)
+
+val shard_pool : t -> int -> Buffer_pool.t
+(** The given shard's DRAM buffer pool. *)
+
+val shard_of : t -> int -> int
+(** Home shard of an inode number. *)
 
 val recovered_txns : t -> int
 (** Uncommitted transactions the underlying PMFS rolled back during this

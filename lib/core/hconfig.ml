@@ -17,6 +17,7 @@ type t = {
   clfw : bool; (* Cacheline Level Fetch/Writeback *)
   checker : bool; (* Eager-Persistent Write Checker + Buffer Benefit Model *)
   replacement : replacement; (* victim selection policy (ablation) *)
+  shards : int; (* hot-state shards: buffer pools, journals, allocators *)
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     clfw = true;
     checker = true;
     replacement = Lrw;
+    shards = 1;
   }
 
 let validate t =
@@ -40,4 +42,5 @@ let validate t =
   then invalid_arg "Hconfig: need 0 < low_watermark < high_watermark < 1";
   if t.writeback_threads < 1 then
     invalid_arg "Hconfig: writeback_threads must be >= 1";
+  if t.shards < 1 then invalid_arg "Hconfig: shards must be >= 1";
   t

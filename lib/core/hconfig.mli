@@ -22,6 +22,9 @@ type t = {
       (** Eager-Persistent Write Checker + Buffer Benefit Model;
           [false] = HiNFS-WB (buffer everything) *)
   replacement : replacement;
+  shards : int;
+      (** Number of hot-state shards: per-shard buffer pools, journal
+          regions, and allocator ranges; files map to shards by inode. *)
 }
 
 val default : t

@@ -702,6 +702,98 @@ let cow_enospc_abort =
     verify = verify_cow;
   }
 
+(* --- cross-shard rename: the epoch commit under crash enumeration ---
+
+   Two directories in different shards; renaming between them spans two
+   journals and commits through the epoch record. The oracle is a
+   correlation the per-path expectations cannot express: at EVERY crash
+   image (and every recovery re-crash) the file must be reachable at
+   exactly one of its two names — src XOR dst — with its content intact.
+   Both-present means the destination's add committed without the
+   source's remove; neither means the reverse. The epoch record makes
+   the pair atomic, so the invariant holds across the whole scenario. *)
+
+let xshard_content = content "xshard" 700
+let xshard_names = [ "da/f"; "db/g" ]
+
+let verify_xshard device expectations =
+  let fs = Pmfs.mount device () in
+  let observed =
+    List.filter_map (fun path -> read_pmfs fs path) xshard_names
+  in
+  let rename_errors =
+    match observed with
+    | [ c ] when c = xshard_content -> []
+    | [ c ] ->
+      [
+        Fmt.str
+          "cross-shard rename: file content torn (%d bytes, expected %d)"
+          (String.length c)
+          (String.length xshard_content);
+      ]
+    | [] ->
+      [ "cross-shard rename: file reachable at neither src nor dst" ]
+    | _ -> [ "cross-shard rename: file reachable at both src and dst" ]
+  in
+  Fsck.check fs @ rename_errors
+  @ check_expectations ~read_file:(read_pmfs fs) expectations
+
+(* Shared setup: a 2-shard image, one directory in each shard (round-robin
+   placement gives mkdir #1 shard 0 and mkdir #2 shard 1), and the file
+   durably written before enumeration starts. *)
+let xshard_setup device =
+  let fs = Pmfs.mkfs_and_mount device ~journal_blocks:32 ~shards:2 () in
+  let da = Pmfs.mkdir fs ~dir:root "da" in
+  let db = Pmfs.mkdir fs ~dir:root "db" in
+  if Pmfs.shard_of_ino fs da = Pmfs.shard_of_ino fs db then
+    failwith "xshard setup: directories landed in the same shard";
+  let ino = Pmfs.create_file fs ~dir:da "f" in
+  ignore
+    (Pmfs.write fs ~ino ~off:0 ~src:(bytes_of xshard_content) ~src_off:0
+       ~len:(String.length xshard_content) ~sync:true);
+  (fs, da, db)
+
+let pmfs_rename_cross_shard =
+  {
+    name = "pmfs-rename-cross-shard";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let fs, da, db = xshard_setup device in
+        ctl.start ();
+        ctl.checkpoint "pre-rename";
+        Pmfs.rename fs ~src_dir:da ~src:"f" ~dst_dir:db ~dst:"g";
+        ctl.checkpoint "renamed";
+        Pmfs.rename fs ~src_dir:db ~src:"g" ~dst_dir:da ~dst:"f";
+        ctl.checkpoint "renamed-back");
+    verify = verify_xshard;
+  }
+
+(* Deliberately broken cross-shard rename: the epoch protocol is skipped
+   and the two participating transactions commit independently, one
+   journal fence apart. A crash between the two commits recovers with the
+   destination's add durable and the source's remove rolled back (file at
+   both names) — or the reverse, depending on order. Crashmc must flag
+   it: the vacuity check for the epoch-commit oracle. *)
+let fixture_skip_epoch_commit =
+  {
+    name = "fixture-skip-epoch-commit";
+    config = small_config;
+    expect_violation = true;
+    run =
+      (fun device ctl ->
+        let fs, da, db = xshard_setup device in
+        ctl.start ();
+        Pmfs.set_sabotage_skip_epoch true;
+        Fun.protect
+          ~finally:(fun () -> Pmfs.set_sabotage_skip_epoch false)
+          (fun () ->
+            Pmfs.rename fs ~src_dir:da ~src:"f" ~dst_dir:db ~dst:"g");
+        ctl.checkpoint "sabotaged-rename");
+    verify = verify_xshard;
+  }
+
 (* Deliberately broken commit: the payload fence before the root swap is
    skipped, so the new descriptor races its own shadow payload inside one
    fence window. A legal crash image can then publish a root whose trees
@@ -735,6 +827,7 @@ let all =
     pmfs_overwrite;
     pmfs_namespace;
     pmfs_torn_txn;
+    pmfs_rename_cross_shard;
     hinfs_fsync;
     hinfs_unlink_buffered;
     nvlog_fsync_destage;
@@ -746,6 +839,7 @@ let all =
     fixture_correct_fence;
     fixture_nonidempotent_recovery;
     fixture_torn_root_swap;
+    fixture_skip_epoch_commit;
   ]
 
 let by_name name = List.find_opt (fun s -> s.name = name) all

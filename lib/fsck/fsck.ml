@@ -28,6 +28,16 @@ module Block_tree = Hinfs_pmfs.Block_tree
 let dirent_size = 64
 let max_name_len = 55
 
+(* Per-shard breakdown (Layout v3 partitions the journal region and the
+   allocator ranges; one entry per shard, in shard order). *)
+type shard_report = {
+  journal_entries : int;
+      (* valid journal entries left in this shard's journal sub-region —
+         zero after recovery / clean unmount *)
+  shard_leaked_blocks : int; (* leaked blocks in this shard's data range *)
+  shard_leaked_inodes : int; (* leaked inodes in this shard's inode range *)
+}
+
 type report = {
   inodes_checked : int;
   blocks_claimed : int;
@@ -37,24 +47,34 @@ type report = {
   leaked_inodes : int;
       (* inode slots the live allocator holds beyond the in-use set *)
   poisoned_data_lines : int;
+  shard_reports : shard_report array;
   violations : string list;
 }
 
 let ok report = report.violations = []
 
+let pp_shards ppf r =
+  if Array.length r.shard_reports > 1 then
+    Array.iteri
+      (fun s sr ->
+        Fmt.pf ppf "@,  shard %d: %d journal entr(ies), %d leaked block(s), \
+                    %d leaked inode(s)"
+          s sr.journal_entries sr.shard_leaked_blocks sr.shard_leaked_inodes)
+      r.shard_reports
+
 let pp_report ppf r =
   if ok r then
-    Fmt.pf ppf "fsck clean: %d inodes, %d blocks%a" r.inodes_checked
+    Fmt.pf ppf "@[<v>fsck clean: %d inodes, %d blocks%a%a@]" r.inodes_checked
       r.blocks_claimed
       (fun ppf n ->
         if n > 0 then Fmt.pf ppf " (%d poisoned data line(s) pending EIO)" n)
-      r.poisoned_data_lines
+      r.poisoned_data_lines pp_shards r
   else
-    Fmt.pf ppf "@[<v>fsck: %d violation(s) (%d inodes, %d blocks):@,%a@]"
+    Fmt.pf ppf "@[<v>fsck: %d violation(s) (%d inodes, %d blocks):@,%a%a@]"
       (List.length r.violations)
       r.inodes_checked r.blocks_claimed
       Fmt.(list ~sep:cut (fun ppf v -> Fmt.pf ppf "  - %s" v))
-      r.violations
+      r.violations pp_shards r
 
 (* Raw dirent scan over one directory block: validates the on-media bytes
    before trusting them (Dir's own parser assumes well-formed entries). *)
@@ -83,16 +103,29 @@ let check_pmfs fs =
   let ctx = Pmfs.ctx fs in
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
+  let nshards = Fs_ctx.shard_count ctx in
   (* 1. Journal sanity: recovery (or clean unmount) must leave no valid
      entries behind — anything else means a committed-but-uncheckpointed or
      half-rolled-back transaction escaped. Live transactions of the mounted
-     instance would also show up here, so run this on a fresh mount. *)
-  let stale =
-    Log.count_valid_entries device ~first_block:geo.Layout.journal_start
-      ~blocks:geo.Layout.journal_blocks
+     instance would also show up here, so run this on a fresh mount. Each
+     shard's journal sub-region is checked separately. *)
+  let shard_journal_entries =
+    Array.init nshards (fun s ->
+        let first_block, blocks = Layout.journal_region geo s in
+        Log.count_valid_entries device ~first_block ~blocks)
   in
-  if stale > 0 then
+  let stale = Array.fold_left ( + ) 0 shard_journal_entries in
+  if stale > 0 then begin
     add (Fmt.str "journal: %d valid entr(ies) present after recovery" stale);
+    if nshards > 1 then
+      Array.iteri
+        (fun s n ->
+          if n > 0 then
+            add
+              (Fmt.str "journal shard %d: %d valid entr(ies) in its region" s
+                 n))
+        shard_journal_entries
+  end;
   (* 2. Root inode. *)
   let root = Layout.root_ino in
   if not (Layout.Inode.in_use device geo root) then
@@ -211,26 +244,70 @@ let check_pmfs fs =
      reachable set. On a fresh mount the allocators are rebuilt from the
      live trees, so this is vacuous; on a *live* mount after failed
      operations it is the leak detector — every block or inode an aborted
-     operation failed to return shows up as used-but-unreachable. *)
-  let balloc = ctx.Fs_ctx.balloc and ialloc = ctx.Fs_ctx.ialloc in
+     operation failed to return shows up as used-but-unreachable. The
+     allocators are range-partitioned by shard, so the accounting runs per
+     range: a leak is attributed to the shard whose range owns the number,
+     regardless of which shard's operation leaked it. *)
   let claimed = Hashtbl.length owner in
-  let leaked_blocks = max 0 (Allocator.used_blocks balloc - claimed) in
-  let leaked_inodes = max 0 (Allocator.used_blocks ialloc - !inodes_checked) in
-  if Allocator.used_blocks balloc <> claimed then
-    add
-      (Fmt.str "block allocator: %d blocks marked used, %d reachable"
-         (Allocator.used_blocks balloc)
-         claimed);
+  let claimed_in = Array.make nshards 0 in
   Hashtbl.iter
     (fun block _ ->
-      if Allocator.contains balloc block && not (Allocator.is_allocated balloc block)
-      then add (Fmt.str "block allocator: reachable block %d marked free" block))
+      let s = Fs_ctx.shard_of_block ctx block in
+      claimed_in.(s) <- claimed_in.(s) + 1)
     owner;
-  if Allocator.used_blocks ialloc <> !inodes_checked then
-    add
-      (Fmt.str "inode allocator: %d inodes marked used, %d in use"
-         (Allocator.used_blocks ialloc)
-         !inodes_checked);
+  let inuse_in = Array.make nshards 0 in
+  for ino = 1 to geo.Layout.inode_count do
+    if Layout.Inode.in_use device geo ino then begin
+      let s = Fs_ctx.shard_of_ino ctx ino in
+      inuse_in.(s) <- inuse_in.(s) + 1
+    end
+  done;
+  let leaked_blocks = ref 0 and leaked_inodes = ref 0 in
+  let shard_leaks =
+    Array.init nshards (fun s ->
+        let sh = Fs_ctx.shard ctx s in
+        let used_b = Allocator.used_blocks sh.Fs_ctx.balloc in
+        let used_i = Allocator.used_blocks sh.Fs_ctx.ialloc in
+        let lb = max 0 (used_b - claimed_in.(s)) in
+        let li = max 0 (used_i - inuse_in.(s)) in
+        leaked_blocks := !leaked_blocks + lb;
+        leaked_inodes := !leaked_inodes + li;
+        if used_b <> claimed_in.(s) then begin
+          let first, count = Layout.data_range geo s in
+          add
+            (Fmt.str
+               "block allocator shard %d [%d, %d): %d blocks marked used, %d \
+                reachable"
+               s first (first + count) used_b claimed_in.(s))
+        end;
+        if used_i <> inuse_in.(s) then begin
+          let first, count = Layout.inode_range geo s in
+          add
+            (Fmt.str
+               "inode allocator shard %d [%d, %d): %d inodes marked used, %d \
+                in use"
+               s first (first + count) used_i inuse_in.(s))
+        end;
+        (lb, li))
+  in
+  Hashtbl.iter
+    (fun block _ ->
+      let sh = Fs_ctx.shard ctx (Fs_ctx.shard_of_block ctx block) in
+      if
+        Allocator.contains sh.Fs_ctx.balloc block
+        && not (Allocator.is_allocated sh.Fs_ctx.balloc block)
+      then
+        add (Fmt.str "block allocator: reachable block %d marked free" block))
+    owner;
+  let shard_reports =
+    Array.init nshards (fun s ->
+        let lb, li = shard_leaks.(s) in
+        {
+          journal_entries = shard_journal_entries.(s);
+          shard_leaked_blocks = lb;
+          shard_leaked_inodes = li;
+        })
+  in
   (* 6. Media: poison on metadata (superblock copies, journal, in-use
      inode slots, index blocks) is a violation — the tree cannot be
      trusted. Poison on reachable data is only counted: those lines raise
@@ -252,7 +329,15 @@ let check_pmfs fs =
         else if
           block >= geo.Layout.journal_start
           && block < geo.Layout.journal_start + geo.Layout.journal_blocks
-        then add (Fmt.str "media: journal line poisoned at %#x" addr)
+        then begin
+          let s =
+            (block - geo.Layout.journal_start)
+            / (geo.Layout.journal_blocks / geo.Layout.shards)
+          in
+          add (Fmt.str "media: journal line (shard %d) poisoned at %#x" s addr)
+        end
+        else if block = Layout.epoch_block geo then
+          add (Fmt.str "media: epoch record block poisoned at %#x" addr)
         else if
           block >= geo.Layout.itable_start
           && block < geo.Layout.itable_start + geo.Layout.itable_blocks
@@ -278,9 +363,10 @@ let check_pmfs fs =
   {
     inodes_checked = !inodes_checked;
     blocks_claimed = claimed;
-    leaked_blocks;
-    leaked_inodes;
+    leaked_blocks = !leaked_blocks;
+    leaked_inodes = !leaked_inodes;
     poisoned_data_lines = !poisoned_data;
+    shard_reports;
     violations = List.rev !violations;
   }
 
@@ -489,6 +575,7 @@ let check_cow fs =
     leaked_blocks = !leaked_blocks;
     leaked_inodes;
     poisoned_data_lines = !poisoned_data;
+    shard_reports = [||]; (* cowfs hot state is not sharded *)
     violations = List.rev !violations;
   }
 

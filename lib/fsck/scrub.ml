@@ -109,6 +109,14 @@ let run fs =
         block >= geo.Layout.journal_start
         && block < geo.Layout.journal_start + geo.Layout.journal_blocks
       then heal journal_repairs addr
+      else if block = Layout.epoch_block geo then begin
+        (* Re-persist the epoch record from the runtime watermark rather
+           than zeroing: a zeroed record would orphan a cross-shard commit
+           whose journals are not yet checkpointed. *)
+        Hinfs_journal.Epoch.heal (Pmfs.epoch fs);
+        Stats.add_scrub_repair stats;
+        incr journal_repairs
+      end
       else if
         block >= geo.Layout.itable_start
         && block < geo.Layout.itable_start + geo.Layout.itable_blocks
@@ -130,7 +138,7 @@ let run fs =
             (Hashtbl.find index_blocks block)
             addr
           :: !unrecoverable
-      else if Allocator.is_allocated ctx.Fs_ctx.balloc block then
+      else if Fs_ctx.block_is_allocated ctx block then
         (* Allocated data: no redundant copy. Leave the poison in place so
            reads surface EIO instead of silently returning zeros. *)
         incr data_lost

@@ -19,6 +19,7 @@ type spec = {
   threads : int;
   duration_ns : int64;
   seed : int64;
+  shards : int; (* HiNFS hot-state shards (1 = unsharded, the default) *)
 }
 
 (* Laptop-scale calibration of the paper's Table 2 setup: the ratios are
@@ -36,6 +37,7 @@ let default_spec =
     threads = 4;
     duration_ns = 200_000_000L (* 0.2 virtual seconds *);
     seed = 42L;
+    shards = 1;
   }
 
 let config_of spec =
@@ -53,7 +55,8 @@ let with_env spec kind f =
   Engine.spawn engine ~name:"experiment" (fun () ->
       let env =
         Fixtures.setup engine ~config:(config_of spec)
-          ~buffer_bytes:spec.buffer_bytes ~cache_pages:spec.cache_pages kind
+          ~buffer_bytes:spec.buffer_bytes ~cache_pages:spec.cache_pages
+          ~shards:spec.shards kind
       in
       let value = f env in
       env.Fixtures.teardown ();
@@ -108,7 +111,7 @@ let with_env_obs ?(trace = false) ?sampler_period_ns spec kind f =
           let env =
             Fixtures.setup engine ~config:(config_of spec)
               ~buffer_bytes:spec.buffer_bytes ~cache_pages:spec.cache_pages
-              kind
+              ~shards:spec.shards kind
           in
           let stop =
             Obs.start_sampler ?period_ns:sampler_period_ns obs

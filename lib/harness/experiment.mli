@@ -10,6 +10,7 @@ type spec = {
   threads : int;
   duration_ns : int64;
   seed : int64;
+  shards : int;  (** HiNFS hot-state shards (1 = unsharded, the default) *)
 }
 
 val default_spec : spec

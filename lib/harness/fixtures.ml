@@ -85,11 +85,36 @@ let journal_gauges log =
 
 (* Mount a fresh file system of the given kind on a fresh device. Must run
    inside a simulation process (daemons are spawned). *)
-let setup engine ~config ~buffer_bytes ~cache_pages kind =
+let setup engine ~config ~buffer_bytes ~cache_pages ?(shards = 1) kind =
   let stats = Stats.create () in
   let device = Device.create engine stats config in
   let hinfs_with hcfg =
+    let hcfg = { hcfg with Hconfig.shards } in
     let fs = Hinfs.Fs.mkfs_and_mount device ~hcfg ~daemons:true () in
+    let pmfs = Hinfs.Fs.pmfs fs in
+    let nshards = Hinfs.Fs.shard_count fs in
+    (* Per-shard gauges only when actually sharded: shard pool occupancy,
+       shard journal headroom, and the epoch-record commit counter. *)
+    let shard_gauges =
+      if nshards <= 1 then []
+      else
+        List.concat
+          (List.init nshards (fun s ->
+               let ctx = Hinfs_pmfs.Pmfs.ctx pmfs in
+               let log = (Hinfs_pmfs.Fs_ctx.shard ctx s).Hinfs_pmfs.Fs_ctx.log in
+               [
+                 ( Fmt.str "shard%d.pool_used" s,
+                   fun () ->
+                     Hinfs.Buffer_pool.used_count (Hinfs.Fs.shard_pool fs s) );
+                 (Fmt.str "shard%d.journal_free_slots" s, fun () ->
+                     Log.free_slots log);
+               ]))
+        @ [
+            ( "epoch.commits",
+              fun () ->
+                Hinfs_journal.Epoch.commits (Hinfs_pmfs.Pmfs.epoch pmfs) );
+          ]
+    in
     let gauges =
       [
         ("buffer.used_blocks", fun () -> Hinfs.Fs.buffered_blocks fs);
@@ -97,7 +122,8 @@ let setup engine ~config ~buffer_bytes ~cache_pages kind =
         ("buffer.dirty_blocks", fun () -> Hinfs.Fs.dirty_buffered_blocks fs);
         ("txns.pending", fun () -> Hinfs.Fs.pending_txns fs);
       ]
-      @ journal_gauges (Hinfs_pmfs.Pmfs.log (Hinfs.Fs.pmfs fs))
+      @ journal_gauges (Hinfs_pmfs.Pmfs.log pmfs)
+      @ shard_gauges
     in
     (Hinfs.Fs.handle fs, gauges, fun () -> Hinfs.Fs.unmount fs)
   in

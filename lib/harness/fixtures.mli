@@ -42,8 +42,12 @@ val setup :
   config:Hinfs_nvmm.Config.t ->
   buffer_bytes:int ->
   cache_pages:int ->
+  ?shards:int ->
   fs_kind ->
   env
 (** Mount a fresh file system of the given kind on a fresh device (daemons
     running). Call from inside a simulation process; call [teardown] when
-    done so the daemons stop and the engine can drain. *)
+    done so the daemons stop and the engine can drain. [shards] (default 1)
+    shards the HiNFS hot state — per-shard buffer pools, journal regions
+    and allocator ranges — and adds per-shard occupancy / journal gauges
+    plus the epoch-commit counter; non-HiNFS kinds ignore it. *)

@@ -39,6 +39,12 @@ let valid_magic = 0xA5
 let type_data = 1
 let type_commit = 2
 
+(* Cross-shard commit entry: carries an 8-byte epoch id. The transaction is
+   durable iff the filesystem's epoch record holds an id >= this one, so N
+   per-shard transactions all stamped with one epoch commit atomically when
+   the (single-cacheline) epoch record lands. *)
+let type_epoch_commit = 3
+
 exception Journal_full
 
 type txn = {
@@ -47,11 +53,18 @@ type txn = {
   mutable ranges : (int * int) list; (* target ranges to flush at commit *)
   logged : (int * int, unit) Hashtbl.t; (* ranges already journaled *)
   mutable committed : bool;
+  mutable epoch_slot : int option; (* slot of the epoch-commit entry *)
 }
 
 type t = {
   device : Device.t;
   base : int; (* byte address of the region *)
+  (* Log-tail serialization: reserving a slot + sequence number holds the
+     tail, like PMFS's journal lock around the tail-pointer bump. The
+     reservation is instantaneous unless the log is under pressure and has
+     to checkpoint retired transactions inline — per-shard logs shrink
+     that pressure. Uncontended acquisition costs nothing. *)
+  tail : Hinfs_sim.Resource.t;
   capacity : int; (* number of entry slots *)
   slot_free : bool array;
   mutable free_slots : int;
@@ -83,6 +96,10 @@ let create device ~first_block ~blocks =
   {
     device;
     base;
+    tail =
+      Hinfs_sim.Resource.create
+        ~name:(Printf.sprintf "journal-tail@%d" first_block)
+        ~capacity:1;
     capacity;
     slot_free = Array.make capacity true;
     free_slots = capacity;
@@ -160,7 +177,14 @@ let begin_txn t =
   let id = t.next_txn in
   t.next_txn <- id + 1;
   t.live_txns <- t.live_txns + 1;
-  { id; slots = []; ranges = []; logged = Hashtbl.create 8; committed = false }
+  {
+    id;
+    slots = [];
+    ranges = [];
+    logged = Hashtbl.create 8;
+    committed = false;
+    epoch_slot = None;
+  }
 
 let txn_committed txn = txn.committed
 
@@ -188,11 +212,20 @@ let entry_crc_ok raw =
   in
   stored = Crc32c.digest raw ~off:0 ~len:crc_off
 
-(* Append one entry and persist it (write line, clflush, fence). *)
+(* Append one entry and persist it (write line, clflush, fence). Only the
+   tail reservation (slot grab + sequence number) holds the log tail —
+   PMFS's journal lock likewise covers just the tail-pointer bump, not the
+   entry stores. The persist goes to the reserved slot's private cacheline,
+   so appenders only serialize when the log is under pressure and a
+   reservation has to checkpoint retired transactions inline. *)
 let write_entry t ~txn_id ~entry_type ~addr ~payload =
-  let slot = alloc_slot t in
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
+  let slot, seq =
+    Hinfs_sim.Resource.with_resource t.tail 1 (fun () ->
+        let slot = alloc_slot t in
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        (slot, seq))
+  in
   let entry = encode_entry ~txn_id ~seq ~entry_type ~addr ~payload in
   let entry_addr = slot_addr t slot in
   Device.write_cached t.device ~cat ~addr:entry_addr ~src:entry ~off:0
@@ -258,19 +291,74 @@ let commit t txn =
       txn.committed <- true;
       t.txns_committed <- t.txns_committed + 1;
       t.live_txns <- t.live_txns - 1;
+      (* A transaction that was [prepare_epoch]ed but then committed the
+         ordinary way (e.g. the cross-shard path degraded to per-shard
+         commits) still has a valid epoch entry on the medium; clean it
+         with the rest. *)
+      let slots =
+        match txn.epoch_slot with
+        | Some s -> s :: txn.slots
+        | None -> txn.slots
+      in
       (* 3. Checkpoint: hand the entries to the background cleaner when one
          is running; otherwise clean inline. *)
       match t.cleaner with
       | Some cv ->
-        Queue.add (txn.slots, commit_slot) t.pending_clean;
+        Queue.add (slots, commit_slot) t.pending_clean;
         ignore (Condvar.signal cv)
-      | None -> clean_txn t (txn.slots, commit_slot)
+      | None -> clean_txn t (slots, commit_slot)
     end
   with
   | () -> Obs.span_end Obs.Journal_commit
   | exception e ->
     Obs.span_end Obs.Journal_commit;
     raise e
+
+(* --- epoch-based cross-shard commit ---
+
+   A cross-shard operation holds one transaction per touched shard. Each
+   is [prepare_epoch]ed: its in-place updates are persisted and an
+   epoch-commit entry carrying the shared epoch id is appended — but the
+   transaction is NOT yet durable. The caller then persists the epoch
+   record (a single-cacheline store, the atomic commit point) and calls
+   [finish_epoch] on each transaction to checkpoint it. A crash before the
+   record lands rolls every participant back at recovery; a crash after
+   keeps them all. *)
+
+let prepare_epoch t txn ~epoch =
+  if txn.committed then
+    invalid_arg "Cacheline_log.prepare_epoch: txn already committed";
+  if txn.epoch_slot <> None then
+    invalid_arg "Cacheline_log.prepare_epoch: txn already prepared";
+  (* 1. Persist the in-place updates covered by this transaction. *)
+  List.iter
+    (fun (addr, len) -> Device.clflush t.device ~cat ~addr ~len)
+    txn.ranges;
+  Device.mfence t.device ~cat;
+  (* 2. Persist the epoch-commit entry. Not a durability point yet: the
+     entry only takes effect once the epoch record covers [epoch]. *)
+  let payload = Bytes.create 8 in
+  Bytes.set_int64_le payload 0 (Int64.of_int epoch);
+  let slot =
+    write_entry t ~txn_id:txn.id ~entry_type:type_epoch_commit ~addr:0
+      ~payload
+  in
+  txn.epoch_slot <- Some slot
+
+(* The epoch record covering this transaction's epoch is durable: retire
+   the transaction exactly as [commit] would after its commit entry. *)
+let finish_epoch t txn =
+  match txn.epoch_slot with
+  | None -> invalid_arg "Cacheline_log.finish_epoch: txn not prepared"
+  | Some slot ->
+    txn.committed <- true;
+    t.txns_committed <- t.txns_committed + 1;
+    t.live_txns <- t.live_txns - 1;
+    (match t.cleaner with
+    | Some cv ->
+      Queue.add (txn.slots, slot) t.pending_clean;
+      ignore (Condvar.signal cv)
+    | None -> clean_txn t (txn.slots, slot))
 
 (* Abort: restore old contents (volatile first, then persisted) and clear
    the entries. Used on ENOSPC-style failure paths. *)
@@ -296,6 +384,13 @@ let abort t txn =
     entries;
   Device.mfence t.device ~cat;
   List.iter (fun slot -> clear_slot t slot) txn.slots;
+  (* A prepared-but-never-committed epoch entry (the epoch record did not
+     land) is dead weight: clear it with the data entries. *)
+  (match txn.epoch_slot with
+  | Some slot ->
+    clear_slot t slot;
+    txn.epoch_slot <- None
+  | None -> ());
   (* Order the cleared slots before anything that follows the abort: without
      this fence a crash can persist a later transaction's update yet still
      hold this transaction's (aborted) undo entries, and recovery would roll
@@ -355,7 +450,7 @@ type recovered_entry = {
   r_payload : Bytes.t;
 }
 
-let recover_body device ~first_block ~blocks =
+let recover_body device ~first_block ~blocks ~committed_epoch =
   let config = Device.config device in
   let block_size = config.Config.block_size in
   let base = first_block * block_size in
@@ -393,9 +488,19 @@ let recover_body device ~first_block ~blocks =
       end
     end
   done;
+  (* A transaction is committed if it carries a plain commit entry, or an
+     epoch-commit entry whose epoch the persistent epoch record covers. *)
+  let epoch_of e =
+    if e.r_len >= 8 then Int64.to_int (Bytes.get_int64_le e.r_payload 0)
+    else max_int
+  in
+  let commits_txn e =
+    e.r_type = type_commit
+    || (e.r_type = type_epoch_commit && epoch_of e <= committed_epoch)
+  in
   let committed = Hashtbl.create 8 in
   List.iter
-    (fun e -> if e.r_type = type_commit then Hashtbl.replace committed e.r_txn ())
+    (fun e -> if commits_txn e then Hashtbl.replace committed e.r_txn ())
     !entries;
   let to_undo =
     List.filter
@@ -445,10 +550,13 @@ let recover_body device ~first_block ~blocks =
         ~src:zero_entry ~off:0 ~len:entry_size;
       Device.fence_untimed device)
     data_entries;
+  (* Slots that must outlive the data entries: plain commit entries and
+     the epoch-commit entries of committed transactions. (An uncommitted
+     epoch entry carries no undo and confers no commit, so losing it to
+     the region wipe at any point is harmless either way.) *)
   let commit_slots = Hashtbl.create 8 in
   List.iter
-    (fun e ->
-      if e.r_type = type_commit then Hashtbl.replace commit_slots e.r_slot ())
+    (fun e -> if commits_txn e then Hashtbl.replace commit_slots e.r_slot ())
     !entries;
   let zero_block = Bytes.make block_size '\000' in
   let slots_per_block = block_size / entry_size in
@@ -486,9 +594,9 @@ let recover_body device ~first_block ~blocks =
   List.iter (fun e -> Hashtbl.replace rolled_back e.r_txn ()) to_undo;
   { rolled_back = Hashtbl.length rolled_back; dropped = !dropped }
 
-let recover device ~first_block ~blocks =
+let recover device ?(committed_epoch = 0) ~first_block ~blocks () =
   Obs.span_begin Obs.Journal_recover;
-  match recover_body device ~first_block ~blocks with
+  match recover_body device ~first_block ~blocks ~committed_epoch with
   | r ->
     Obs.span_end Obs.Journal_recover;
     r

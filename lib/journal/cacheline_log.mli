@@ -46,6 +46,20 @@ val log : t -> txn -> addr:int -> len:int -> unit
 val commit : t -> txn -> unit
 val abort : t -> txn -> unit
 
+(** {2 Epoch-based cross-shard commit}
+
+    A cross-shard operation (rename across shards, multi-file fsync) holds
+    one transaction per touched shard, all stamped with one epoch id:
+    {!prepare_epoch} each (persists the in-place updates and appends an
+    epoch-commit entry, {b not} yet durable), persist the filesystem's
+    epoch record ({!Epoch.commit} — the single-cacheline atomic commit
+    point), then {!finish_epoch} each to checkpoint. A crash before the
+    record covers the epoch rolls every participant back at {!recover}
+    time; a crash after keeps them all. *)
+
+val prepare_epoch : t -> txn -> epoch:int -> unit
+val finish_epoch : t -> txn -> unit
+
 val with_txn : t -> (txn -> 'a) -> 'a
 (** Run [f] in a transaction; commits on return, aborts on exception. *)
 
@@ -66,14 +80,22 @@ type recovery = {
 }
 
 val recover :
-  Hinfs_nvmm.Device.t -> first_block:int -> blocks:int -> recovery
+  Hinfs_nvmm.Device.t ->
+  ?committed_epoch:int ->
+  first_block:int ->
+  blocks:int ->
+  unit ->
+  recovery
 (** Mount-time recovery on the persistent image: rolls back uncommitted
     transactions and wipes (thereby healing) the journal region. Records
     on poisoned cachelines or failing their CRC-32C are never applied —
-    they are counted in [dropped]. Untimed, but visible to the persistence
-    recorder ({!Hinfs_nvmm.Device.poke_flushed}) and re-crash idempotent:
-    undo data is fenced before the wipe, and the wipe clears data entries
-    strictly before commit entries, so a crash at any recovery fence and a
+    they are counted in [dropped]. A transaction counts as committed if it
+    has a commit entry, or an epoch-commit entry whose epoch is at most
+    [committed_epoch] (default 0: no epoch is covered). Untimed, but
+    visible to the persistence recorder
+    ({!Hinfs_nvmm.Device.poke_flushed}) and re-crash idempotent: undo data
+    is fenced before the wipe, and the wipe clears data entries strictly
+    before (epoch-)commit entries, so a crash at any recovery fence and a
     second recovery land on the same final image. *)
 
 val set_fault_injector : t -> (unit -> bool) option -> unit
@@ -93,6 +115,10 @@ val entry_crc_ok : Bytes.t -> bool
 
 val type_data : int
 val type_commit : int
+
+val type_epoch_commit : int
+(** Cross-shard commit entry; its payload is the 8-byte (LE) epoch id. *)
+
 val entry_size : int
 val payload_capacity : int
 

@@ -38,10 +38,11 @@ let ptr_addr ctx node_block slot =
 let read_ptr ctx node_block slot =
   Int64.to_int (Device.get_u64 ctx.Fs_ctx.device (ptr_addr ctx node_block slot))
 
-(* Journal the old pointer, then update it in place. *)
-let write_ptr ctx txn node_block slot value =
+(* Journal the old pointer (into the file's home-shard log), then update
+   it in place. *)
+let write_ptr ctx log txn node_block slot value =
   let addr = ptr_addr ctx node_block slot in
-  Log.log ctx.Fs_ctx.log txn ~addr ~len:8;
+  Log.log log txn ~addr ~len:8;
   Device.set_u64 ctx.Fs_ctx.device ~cat:mcat addr (Int64.of_int value)
 
 (* Slot index at [level] (1 = leaf pointer level) for a file block. *)
@@ -50,15 +51,15 @@ let slot_at ctx ~level fblock =
   let rec shift acc l = if l <= 1 then acc else shift (acc / p) (l - 1) in
   shift fblock level mod p
 
-let alloc_block ctx =
-  match Allocator.alloc ctx.Fs_ctx.balloc with
+let alloc_block ctx ~shard =
+  match Fs_ctx.alloc_block ctx ~shard with
   | Some b -> b
   | None -> Errno.raise_error ENOSPC "NVMM device is full"
 
 (* Allocate and zero a fresh index node; the zeros are persistent before we
    return (non-temporal stores). *)
-let alloc_index_node ctx =
-  let block = alloc_block ctx in
+let alloc_index_node ctx ~shard =
+  let block = alloc_block ctx ~shard in
   let zero = Bytes.make ctx.Fs_ctx.geo.Layout.block_size '\000' in
   Device.write_nt ctx.Fs_ctx.device ~cat:mcat
     ~addr:(Fs_ctx.block_addr ctx block)
@@ -103,18 +104,19 @@ let needed_height ctx fblock =
    reported through [allocated] so the caller can reclaim it if the
    transaction is later aborted; every journaled mutation pushes an
    [undo] thunk restoring the old value (see [ensure]). *)
-let grow ctx txn ~ino ~fblock ~allocated ~undo =
+let grow ctx log txn ~ino ~fblock ~allocated ~undo =
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
+  let shard = Fs_ctx.shard_of_ino ctx ino in
   let inode_addr = Layout.Inode.addr geo ino in
   while fblock >= tree_capacity ctx (Layout.Inode.height device geo ino) do
     let height = Layout.Inode.height device geo ino in
     let root = Layout.Inode.tree_root device geo ino in
-    let node = alloc_index_node ctx in
+    let node = alloc_index_node ctx ~shard in
     allocated := node :: !allocated;
     Device.set_u64 device ~cat:mcat (ptr_addr ctx node 0) (Int64.of_int root);
     Device.clflush device ~cat:mcat ~addr:(ptr_addr ctx node 0) ~len:8;
-    Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:24;
+    Log.log log txn ~addr:inode_addr ~len:24;
     Layout.Inode.set_height device ~cat:mcat geo ino (height + 1);
     Layout.Inode.set_tree_root device ~cat:mcat geo ino node;
     undo :=
@@ -126,15 +128,15 @@ let grow ctx txn ~ino ~fblock ~allocated ~undo =
 
 (* Descend from an index node to the data block for [fblock], allocating
    missing index nodes and the data block as needed. *)
-let rec descend_ensure ctx txn ~fblock ~allocated ~undo node level =
+let rec descend_ensure ctx log ~shard txn ~fblock ~allocated ~undo node level =
   let slot = slot_at ctx ~level fblock in
   let ptr = read_ptr ctx node slot in
   if level = 1 then
     if ptr <> 0 then (ptr, false)
     else begin
-      let data = alloc_block ctx in
+      let data = alloc_block ctx ~shard in
       allocated := data :: !allocated;
-      write_ptr ctx txn node slot data;
+      write_ptr ctx log txn node slot data;
       undo :=
         (fun () ->
           Device.set_u64 ctx.Fs_ctx.device ~cat:mcat (ptr_addr ctx node slot)
@@ -143,16 +145,16 @@ let rec descend_ensure ctx txn ~fblock ~allocated ~undo node level =
       (data, true)
     end
   else if ptr <> 0 then
-    descend_ensure ctx txn ~fblock ~allocated ~undo ptr (level - 1)
+    descend_ensure ctx log ~shard txn ~fblock ~allocated ~undo ptr (level - 1)
   else begin
-    let child = alloc_index_node ctx in
+    let child = alloc_index_node ctx ~shard in
     allocated := child :: !allocated;
-    write_ptr ctx txn node slot child;
+    write_ptr ctx log txn node slot child;
     undo :=
       (fun () ->
         Device.set_u64 ctx.Fs_ctx.device ~cat:mcat (ptr_addr ctx node slot) 0L)
       :: !undo;
-    descend_ensure ctx txn ~fblock ~allocated ~undo child (level - 1)
+    descend_ensure ctx log ~shard txn ~fblock ~allocated ~undo child (level - 1)
   end
 
 (* Find the data block for [fblock], allocating the tree path and the data
@@ -164,6 +166,8 @@ let ensure ctx txn ~ino ~fblock =
   if fblock < 0 then invalid_arg "Block_tree.ensure: negative file block";
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
+  let log = Fs_ctx.log_for ctx ~ino in
+  let shard = Fs_ctx.shard_of_ino ctx ino in
   let inode_addr = Layout.Inode.addr geo ino in
   let root = Layout.Inode.tree_root device geo ino in
   let allocated = ref [] in
@@ -182,17 +186,17 @@ let ensure ctx txn ~ino ~fblock =
       (* Empty file: build a fresh path of the needed height. *)
       let h = needed_height ctx fblock in
       if h = 0 then begin
-        let data = alloc_block ctx in
+        let data = alloc_block ctx ~shard in
         allocated := data :: !allocated;
-        Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:24;
+        Log.log log txn ~addr:inode_addr ~len:24;
         Layout.Inode.set_tree_root device ~cat:mcat geo ino data;
         (data, true)
       end
       else begin
         let old_height = Layout.Inode.height device geo ino in
-        let node = alloc_index_node ctx in
+        let node = alloc_index_node ctx ~shard in
         allocated := node :: !allocated;
-        Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:24;
+        Log.log log txn ~addr:inode_addr ~len:24;
         Layout.Inode.set_height device ~cat:mcat geo ino h;
         Layout.Inode.set_tree_root device ~cat:mcat geo ino node;
         undo :=
@@ -200,22 +204,22 @@ let ensure ctx txn ~ino ~fblock =
             Layout.Inode.set_height device ~cat:mcat geo ino old_height;
             Layout.Inode.set_tree_root device ~cat:mcat geo ino 0)
           :: !undo;
-        descend_ensure ctx txn ~fblock ~allocated ~undo node h
+        descend_ensure ctx log ~shard txn ~fblock ~allocated ~undo node h
       end
     end
     else begin
-      grow ctx txn ~ino ~fblock ~allocated ~undo;
+      grow ctx log txn ~ino ~fblock ~allocated ~undo;
       let height = Layout.Inode.height device geo ino in
       let root = Layout.Inode.tree_root device geo ino in
       if height = 0 then begin
         assert (fblock = 0);
         (root, false)
       end
-      else descend_ensure ctx txn ~fblock ~allocated ~undo root height
+      else descend_ensure ctx log ~shard txn ~fblock ~allocated ~undo root height
     end
     with e ->
       List.iter (fun f -> f ()) !undo;
-      List.iter (Allocator.free ctx.Fs_ctx.balloc) !allocated;
+      List.iter (Fs_ctx.free_block ctx) !allocated;
       raise e
   in
   let block, fresh = result in
@@ -271,15 +275,19 @@ let iter_index_nodes ctx ~ino f =
    restore the pointers to blocks the allocator already re-issued
    (reachable-but-free corruption). The freed blocks need no on-NVMM
    scrubbing: nothing reachable points at them once the transaction commits
-   (the allocator is rebuilt from live trees at mount). *)
-let free_all ctx txn ~ino =
+   (the allocator is rebuilt from live trees at mount).
+
+   [log] is the journal [txn] was begun on — the parent directory's when
+   called from unlink / rmdir / rename, which need not be the dead inode's
+   home shard. *)
+let free_all ctx log txn ~ino =
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
   let inode_addr = Layout.Inode.addr geo ino in
   let detached = ref [] in
   iter_blocks ctx ~ino (fun _fblock block -> detached := block :: !detached);
   iter_index_nodes ctx ~ino (fun node -> detached := node :: !detached);
-  Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:40;
+  Log.log log txn ~addr:inode_addr ~len:40;
   Layout.Inode.set_height device ~cat:mcat geo ino 0;
   Layout.Inode.set_tree_root device ~cat:mcat geo ino 0;
   Layout.Inode.set_blocks device ~cat:mcat geo ino 0;
@@ -293,6 +301,7 @@ let free_all ctx txn ~ino =
 let free_from ctx txn ~ino ~keep_blocks =
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
+  let log = Fs_ctx.log_for ctx ~ino in
   let height = Layout.Inode.height device geo ino in
   let root = Layout.Inode.tree_root device geo ino in
   let detached = ref [] in
@@ -300,7 +309,7 @@ let free_from ctx txn ~ino ~keep_blocks =
     if height = 0 then begin
       if keep_blocks <= 0 then begin
         detached := root :: !detached;
-        Log.log ctx.Fs_ctx.log txn ~addr:(Layout.Inode.addr geo ino) ~len:24;
+        Log.log log txn ~addr:(Layout.Inode.addr geo ino) ~len:24;
         Layout.Inode.set_tree_root device ~cat:mcat geo ino 0
       end
     end
@@ -315,7 +324,7 @@ let free_from ctx txn ~ino ~keep_blocks =
             if ptr <> 0 then
               if level = 1 then begin
                 detached := ptr :: !detached;
-                write_ptr ctx txn node slot 0
+                write_ptr ctx log txn node slot 0
               end
               else walk ptr (level - 1) fblock_base
           end

@@ -120,9 +120,11 @@ let find_free_slot ctx ~dir =
    with Exit -> ());
   !result
 
-let write_dirent ctx txn ~block ~slot ~name ~ino =
+(* All dirent mutations journal into the directory's home-shard log; the
+   caller's [txn] must have been begun on that same log. *)
+let write_dirent ctx txn ~dir ~block ~slot ~name ~ino =
   let addr = dirent_addr ctx block slot in
-  Log.log ctx.Fs_ctx.log txn ~addr ~len:dirent_size;
+  Log.log (Fs_ctx.log_for ctx ~ino:dir) txn ~addr ~len:dirent_size;
   let raw = Bytes.make dirent_size '\000' in
   Bytes.set_int32_le raw 0 (Int32.of_int ino);
   Bytes.set_uint16_le raw 4 (String.length name);
@@ -158,17 +160,17 @@ let add ctx txn ~dir name ~ino =
             ~src:zero ~off:0 ~len:(Bytes.length zero)
         end;
         let inode_addr = Layout.Inode.addr geo dir in
-        Log.log ctx.Fs_ctx.log txn ~addr:inode_addr ~len:40;
+        Log.log (Fs_ctx.log_for ctx ~ino:dir) txn ~addr:inode_addr ~len:40;
         Layout.Inode.set_size device ~cat:mcat geo dir
           ((nblocks + 1) * geo.Layout.block_size);
         Layout.Inode.set_blocks device ~cat:mcat geo dir
           (Layout.Inode.blocks device geo dir + if fresh then 1 else 0);
         (block, 0)
     in
-    write_dirent ctx txn ~block ~slot ~name ~ino;
+    write_dirent ctx txn ~dir ~block ~slot ~name ~ino;
     !allocated
   with e ->
-    List.iter (Hinfs_nvmm.Allocator.free ctx.Fs_ctx.balloc) !allocated;
+    List.iter (Fs_ctx.free_block ctx) !allocated;
     raise e
 
 let remove ctx txn ~dir name =
@@ -176,6 +178,6 @@ let remove ctx txn ~dir name =
   | None -> Errno.raise_error ENOENT "no entry %S" name
   | Some (ino, block, slot) ->
     let addr = dirent_addr ctx block slot in
-    Log.log ctx.Fs_ctx.log txn ~addr ~len:4;
+    Log.log (Fs_ctx.log_for ctx ~ino:dir) txn ~addr ~len:4;
     Device.set_u32 ctx.Fs_ctx.device ~cat:mcat addr 0;
     ino

@@ -2,7 +2,9 @@
 
    Block map:
      block 0                     superblock
-     [1, 1+journal_blocks)       cacheline undo journal
+     [1, 1+journal_blocks)       cacheline undo journal (split into
+                                 [shards] equal per-shard regions)
+     block 1+journal_blocks      epoch record (cross-shard commit point)
      [itable_start, +itable)     inode table (128 B inodes, 1-based)
      [data_start, data_end)      data + index blocks
      block total-1               superblock replica
@@ -10,7 +12,14 @@
    All metadata fields are little-endian. Inode 1 is the root directory.
    The superblock carries a CRC-32C over its fixed fields and is
    replicated in the device's last block, so a poisoned or corrupt primary
-   is repaired from the replica instead of failing the mount. *)
+   is repaired from the replica instead of failing the mount.
+
+   Sharding (v3): hot state is partitioned into [shards] shards. The
+   journal region is cut into [shards] contiguous sub-regions, and the
+   inode table and data region are range-partitioned so each shard
+   allocates from its own ranges without contending. A file's home shard
+   is a pure function of its inode number ({!shard_of_ino}); frees route
+   back by range ({!shard_of_block}). *)
 
 module Device = Hinfs_nvmm.Device
 module Config = Hinfs_nvmm.Config
@@ -18,7 +27,7 @@ module Stats = Hinfs_stats.Stats
 module Crc32c = Hinfs_structures.Crc32c
 
 let magic = 0x504D4653 (* "PMFS" *)
-let version = 2
+let version = 3
 let inode_size = 128
 
 type geometry = {
@@ -32,6 +41,7 @@ type geometry = {
   data_end : int; (* first block past the data region *)
   sb_replica : int; (* block holding the superblock replica *)
   inode_count : int;
+  shards : int; (* hot-state shard count (journal / inode / data ranges) *)
 }
 
 let root_ino = 1
@@ -46,17 +56,22 @@ module Sb = struct
   let itable_start_off = 32
   let itable_blocks_off = 40
   let data_start_off = 48
-  let clean_unmount_off = 56
+  let shards_off = 56
+  let clean_unmount_off = 58
   let crc_off = 60
 
-  (* The CRC covers the fixed geometry fields only: the clean-unmount flag
-     flips at runtime with a single-byte store and must not invalidate the
-     checksum. *)
+  (* The CRC covers the fixed geometry fields only (shards included): the
+     clean-unmount flag flips at runtime with a single-byte store and must
+     not invalidate the checksum. *)
   let crc_len = clean_unmount_off
 end
 
-(* Derive a geometry from a device size and tuning knobs. *)
-let geometry_of_config ?(journal_blocks = 64) ?(inodes_per_mb = 512) config =
+(* Derive a geometry from a device size and tuning knobs. The journal is
+   rounded up to a multiple of [shards] so every shard's region has the
+   same capacity; one block past the journal holds the epoch record. *)
+let geometry_of_config ?(journal_blocks = 64) ?(inodes_per_mb = 512)
+    ?(shards = 1) config =
+  if shards < 1 then invalid_arg "Layout: shards must be >= 1";
   let block_size = config.Config.block_size in
   let total_blocks = Config.blocks config in
   let mb = config.Config.nvmm_size / (1024 * 1024) in
@@ -65,13 +80,20 @@ let geometry_of_config ?(journal_blocks = 64) ?(inodes_per_mb = 512) config =
     ((inode_count * inode_size) + block_size - 1) / block_size
   in
   let inode_count = itable_blocks * block_size / inode_size in
+  if inode_count < shards then
+    invalid_arg "Layout: fewer inodes than shards";
+  let journal_blocks =
+    (max journal_blocks shards + shards - 1) / shards * shards
+  in
   let journal_start = 1 in
-  let itable_start = journal_start + journal_blocks in
+  let itable_start = journal_start + journal_blocks + 1 in
   let data_start = itable_start + itable_blocks in
   let sb_replica = total_blocks - 1 in
   let data_end = sb_replica in
   if data_start >= data_end then
     invalid_arg "Layout: device too small for metadata regions";
+  if data_end - data_start < shards then
+    invalid_arg "Layout: fewer data blocks than shards";
   {
     block_size;
     total_blocks;
@@ -83,7 +105,45 @@ let geometry_of_config ?(journal_blocks = 64) ?(inodes_per_mb = 512) config =
     data_end;
     sb_replica;
     inode_count;
+    shards;
   }
+
+(* --- shard partitions --- *)
+
+(* Block holding the epoch record (between the journal and the itable). *)
+let epoch_block geometry = geometry.journal_start + geometry.journal_blocks
+
+(* Per-shard journal sub-region, as (first_block, blocks). *)
+let journal_region geometry s =
+  let per = geometry.journal_blocks / geometry.shards in
+  (geometry.journal_start + (s * per), per)
+
+(* Per-shard inode range, as (first_ino, count); the last shard absorbs
+   the remainder. *)
+let inode_range geometry s =
+  let per = geometry.inode_count / geometry.shards in
+  let first = 1 + (s * per) in
+  let count =
+    if s = geometry.shards - 1 then geometry.inode_count - (s * per) else per
+  in
+  (first, count)
+
+let shard_of_ino geometry ino =
+  let per = geometry.inode_count / geometry.shards in
+  min ((ino - 1) / per) (geometry.shards - 1)
+
+(* Per-shard data-block range, as (first_block, count). *)
+let data_range geometry s =
+  let per = (geometry.data_end - geometry.data_start) / geometry.shards in
+  let first = geometry.data_start + (s * per) in
+  let count =
+    if s = geometry.shards - 1 then geometry.data_end - first else per
+  in
+  (first, count)
+
+let shard_of_block geometry block =
+  let per = (geometry.data_end - geometry.data_start) / geometry.shards in
+  min ((block - geometry.data_start) / per) (geometry.shards - 1)
 
 (* Superblock image with CRC set (the clean flag is outside the CRC). *)
 let superblock_image geometry ~clean =
@@ -96,6 +156,7 @@ let superblock_image geometry ~clean =
   Bytes.set_int64_le b Sb.itable_start_off (Int64.of_int geometry.itable_start);
   Bytes.set_int64_le b Sb.itable_blocks_off (Int64.of_int geometry.itable_blocks);
   Bytes.set_int64_le b Sb.data_start_off (Int64.of_int geometry.data_start);
+  Bytes.set_uint16_le b Sb.shards_off geometry.shards;
   Bytes.set_uint8 b Sb.clean_unmount_off (if clean then 1 else 0);
   Bytes.set_int32_le b Sb.crc_off
     (Int32.of_int (Crc32c.digest b ~off:0 ~len:Sb.crc_len));
@@ -155,6 +216,7 @@ let geometry_of_superblock ~block_size b =
     data_end = total_blocks - 1;
     sb_replica = total_blocks - 1;
     inode_count = itable_blocks * block_size / inode_size;
+    shards = max 1 (Bytes.get_uint16_le b Sb.shards_off);
   }
 
 (* Read the superblock, falling back to the replica — and repairing the

@@ -32,16 +32,33 @@ type t = {
   sync_mount : bool;
   mutable mounted : bool;
   recovered_txns : int;
+  recovered_by_shard : int array; (* rolled-back txns per shard journal *)
   mutable read_only : string option; (* degradation reason; None = rw *)
 }
 
 let ctx t = t.ctx
 let geometry t = t.ctx.Fs_ctx.geo
 let device t = t.ctx.Fs_ctx.device
-let log t = t.ctx.Fs_ctx.log
+
+(* Shard 0's journal: the only journal when shards = 1, and the
+   conventional home for mount-scoped bookkeeping otherwise. Per-inode
+   operations must use [log_for]. *)
+let log t = (Fs_ctx.shard t.ctx 0).Fs_ctx.log
+let log_for t ~ino = Fs_ctx.log_for t.ctx ~ino
+let shard_count t = Fs_ctx.shard_count t.ctx
+let shard_of_ino t ino = Fs_ctx.shard_of_ino t.ctx ino
+let epoch t = Fs_ctx.epoch t.ctx
 let recovered_txns t = t.recovered_txns
-let free_data_blocks t = Allocator.free_blocks t.ctx.Fs_ctx.balloc
-let free_inodes t = Allocator.free_blocks t.ctx.Fs_ctx.ialloc
+let recovered_by_shard t = Array.copy t.recovered_by_shard
+let free_data_blocks t = Fs_ctx.free_data_blocks t.ctx
+let free_inodes t = Fs_ctx.free_inodes t.ctx
+
+(* Crash-fixture sabotage: when set, cross-shard renames commit each
+   shard's transaction independently instead of through the epoch record,
+   recreating the torn-rename window the epoch protocol exists to close.
+   Used by crashmc vacuity fixtures only. *)
+let sabotage_skip_epoch = ref false
+let set_sabotage_skip_epoch v = sabotage_skip_epoch := v
 
 (* --- graceful degradation ---
 
@@ -87,9 +104,11 @@ let now t = Engine.now (Device.engine (device t))
 
 (* --- mkfs / mount --- *)
 
-let mkfs device ?journal_blocks ?inodes_per_mb () =
+let mkfs device ?journal_blocks ?inodes_per_mb ?shards () =
   let config = Device.config device in
-  let geo = Layout.geometry_of_config ?journal_blocks ?inodes_per_mb config in
+  let geo =
+    Layout.geometry_of_config ?journal_blocks ?inodes_per_mb ?shards config
+  in
   (* Zero the metadata regions. *)
   let zero = Bytes.make geo.Layout.block_size '\000' in
   for b = 0 to geo.Layout.data_start - 1 do
@@ -114,11 +133,11 @@ let rebuild_allocators ctx =
   let geo = ctx.Fs_ctx.geo in
   for ino = 1 to geo.Layout.inode_count do
     if Layout.Inode.in_use device geo ino then begin
-      Allocator.mark_allocated ctx.Fs_ctx.ialloc ino;
+      Fs_ctx.mark_ino_allocated ctx ino;
       Block_tree.iter_blocks ctx ~ino (fun _fblock block ->
-          Allocator.mark_allocated ctx.Fs_ctx.balloc block);
+          Fs_ctx.mark_block_allocated ctx block);
       Block_tree.iter_index_nodes ctx ~ino (fun block ->
-          Allocator.mark_allocated ctx.Fs_ctx.balloc block)
+          Fs_ctx.mark_block_allocated ctx block)
     end
   done
 
@@ -161,49 +180,75 @@ let mount device ?(sync_mount = false) ?(journal_cleaner = false) () =
        would corrupt whatever is still recoverable offline. *)
     Errno.raise_error EIO "both superblock copies are corrupt"
   | `Ok (geo, clean) ->
-    let recovery =
-      if clean then { Log.rolled_back = 0; dropped = 0 }
+    let nshards = geo.Layout.shards in
+    (* The epoch watermark must be read before any journal is recovered:
+       it decides which epoch-commit entries count as committed in every
+       shard's region. *)
+    let committed_epoch =
+      if clean then 0
       else
-        Log.recover device ~first_block:geo.Layout.journal_start
-          ~blocks:geo.Layout.journal_blocks
+        Hinfs_journal.Epoch.read_committed device
+          ~block:(Layout.epoch_block geo)
+    in
+    let recoveries =
+      Array.init nshards (fun s ->
+          if clean then { Log.rolled_back = 0; dropped = 0 }
+          else begin
+            let first_block, blocks = Layout.journal_region geo s in
+            Log.recover device ~committed_epoch ~first_block ~blocks ()
+          end)
+    in
+    let rolled_back =
+      Array.fold_left (fun acc r -> acc + r.Log.rolled_back) 0 recoveries
+    in
+    let dropped =
+      Array.fold_left (fun acc r -> acc + r.Log.dropped) 0 recoveries
     in
     if not clean then
-      Stats.add_recovery (Device.stats device)
-        ~rolled_back:recovery.Log.rolled_back ~dropped:recovery.Log.dropped;
-    let log =
-      Log.create device ~first_block:geo.Layout.journal_start
-        ~blocks:geo.Layout.journal_blocks
+      Stats.add_recovery (Device.stats device) ~rolled_back ~dropped;
+    (* Reset the epoch record only after recovery consumed the watermark:
+       the new generation's epochs restart at 1. *)
+    let epoch =
+      Hinfs_journal.Epoch.create device ~block:(Layout.epoch_block geo)
     in
-    let balloc =
-      Allocator.create ~first_block:geo.Layout.data_start
-        ~count:(geo.Layout.data_end - geo.Layout.data_start)
+    let shards =
+      Array.init nshards (fun s ->
+          let jfirst, jblocks = Layout.journal_region geo s in
+          let ifirst, icount = Layout.inode_range geo s in
+          let dfirst, dcount = Layout.data_range geo s in
+          {
+            Fs_ctx.log = Log.create device ~first_block:jfirst ~blocks:jblocks;
+            balloc = Allocator.create ~first_block:dfirst ~count:dcount;
+            ialloc = Allocator.create ~first_block:ifirst ~count:icount;
+          })
     in
-    let ialloc = Allocator.create ~first_block:1 ~count:geo.Layout.inode_count in
-    let ctx = { Fs_ctx.device; geo; log; balloc; ialloc } in
+    let ctx = { Fs_ctx.device; geo; shards; epoch; rr_next = 0 } in
     rebuild_allocators ctx;
     Layout.write_superblock device geo ~clean:false;
-    if journal_cleaner then Log.start_cleaner log;
+    if journal_cleaner then
+      Fs_ctx.iter_shards ctx (fun _ sh -> Log.start_cleaner sh.Fs_ctx.log);
     let t =
       {
         ctx;
         sync_mount;
         mounted = true;
-        recovered_txns = recovery.Log.rolled_back;
+        recovered_txns = rolled_back;
+        recovered_by_shard = Array.map (fun r -> r.Log.rolled_back) recoveries;
         read_only = None;
       }
     in
-    if recovery.Log.dropped > 0 then
+    if dropped > 0 then
       degrade t
         (Fmt.str "%d untrusted journal record(s) dropped during recovery"
-           recovery.Log.dropped);
+           dropped);
     (match itable_poison_reason device geo with
     | Some reason -> degrade t reason
     | None -> ());
     t
 
-let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?sync_mount
+let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?shards ?sync_mount
     ?journal_cleaner () =
-  mkfs device ?journal_blocks ?inodes_per_mb ();
+  mkfs device ?journal_blocks ?inodes_per_mb ?shards ();
   mount device ?sync_mount ?journal_cleaner ()
 
 (* Wire an operation-level fault injector into every software resource
@@ -216,9 +261,10 @@ let attach_faultops t fo =
     | None -> None
     | Some fo -> Some (fun () -> Faultops.check fo kind)
   in
-  Allocator.set_fault_injector t.ctx.Fs_ctx.balloc (hook Faultops.Block_alloc);
-  Allocator.set_fault_injector t.ctx.Fs_ctx.ialloc (hook Faultops.Inode_alloc);
-  Log.set_fault_injector (log t) (hook Faultops.Journal_slot)
+  Fs_ctx.iter_shards t.ctx (fun _ sh ->
+      Allocator.set_fault_injector sh.Fs_ctx.balloc (hook Faultops.Block_alloc);
+      Allocator.set_fault_injector sh.Fs_ctx.ialloc (hook Faultops.Inode_alloc);
+      Log.set_fault_injector sh.Fs_ctx.log (hook Faultops.Journal_slot))
 
 (* --- inode helpers --- *)
 
@@ -276,7 +322,7 @@ module Data = struct
       let device = device t in
       let geo = geometry t in
       let addr = Layout.Inode.addr geo ino + Layout.Inode.blocks_off in
-      Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+      Log.log (log_for t ~ino) txn ~addr ~len:8;
       Layout.Inode.set_blocks device ~cat:Stats.Other geo ino
         (Layout.Inode.blocks device geo ino + 1)
     end;
@@ -287,7 +333,7 @@ module Data = struct
     let device = device t in
     let geo = geometry t in
     let addr = Layout.Inode.addr geo ino + Layout.Inode.size_off in
-    Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+    Log.log (log_for t ~ino) txn ~addr ~len:8;
     Layout.Inode.set_size device ~cat:Stats.Other geo ino size
 
   (* 8-byte atomic mtime update: no transaction needed (PMFS-style). *)
@@ -302,7 +348,7 @@ module Data = struct
     let device = device t in
     let geo = geometry t in
     let addr = Layout.Inode.addr geo ino + Layout.Inode.mtime_off in
-    Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+    Log.log (log_for t ~ino) txn ~addr ~len:8;
     Layout.Inode.set_mtime device ~cat:Stats.Other geo ino (now t)
 
   (* Zero the uncovered parts of a freshly allocated data block so that
@@ -366,13 +412,14 @@ let write_direct ?(background = false) ?(cat = Stats.Write_access) t ~ino ~off
   let geo = geometry t in
   let bs = geo.Layout.block_size in
   let size = inode_size t ino in
+  let log = log_for t ~ino in
   let txn_ref = ref None in
   let allocated = ref [] in
   let get_txn () =
     match !txn_ref with
     | Some txn -> txn
     | None ->
-      let txn = Log.begin_txn (log t) in
+      let txn = Log.begin_txn log in
       txn_ref := Some txn;
       txn
   in
@@ -415,16 +462,16 @@ let write_direct ?(background = false) ?(cat = Stats.Write_access) t ~ino ~off
         match !txn_ref with
         | Some txn -> Data.touch_mtime_txn t txn ~ino
         | None -> Data.touch_mtime_atomic t ~ino);
-     (match !txn_ref with Some txn -> Log.commit (log t) txn | None -> ())
+     (match !txn_ref with Some txn -> Log.commit log txn | None -> ())
    with e ->
      (* Mid-op failure (ENOSPC, journal exhaustion, injected fault): roll
         the metadata back and reclaim every block this write allocated, so
         a failed write leaks nothing. Data already streamed into those
         blocks becomes unreachable with them. *)
      (match !txn_ref with
-     | Some txn when not (Log.txn_committed txn) -> Log.abort (log t) txn
+     | Some txn when not (Log.txn_committed txn) -> Log.abort log txn
      | _ -> ());
-     List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !allocated;
+     List.iter (Fs_ctx.free_block t.ctx) !allocated;
      raise e);
   len
 
@@ -445,13 +492,13 @@ let truncate t ~ino ~size =
        after commit: an abort restores the pointers, so freeing early would
        corrupt (reachable blocks the allocator re-issues). *)
     let detached = ref [] in
-    Log.with_txn (log t) (fun txn ->
+    Log.with_txn (log_for t ~ino) (fun txn ->
         if size < old_size then begin
           let keep_blocks = (size + bs - 1) / bs in
           detached := Block_tree.free_from t.ctx txn ~ino ~keep_blocks;
           let device = device t in
           let addr = Layout.Inode.addr geo ino + Layout.Inode.blocks_off in
-          Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+          Log.log (log_for t ~ino) txn ~addr ~len:8;
           Layout.Inode.set_blocks device ~cat:Stats.Other geo ino
             (Layout.Inode.blocks device geo ino - List.length !detached);
           (* Zero the tail of the last kept block so a later size extension
@@ -469,7 +516,7 @@ let truncate t ~ino ~size =
         end;
         Data.update_size t txn ~ino ~size;
         Data.touch_mtime_txn t txn ~ino);
-    List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !detached
+    List.iter (Fs_ctx.free_block t.ctx) !detached
   end
 
 let fsync t ~ino =
@@ -484,12 +531,16 @@ let lookup t ~dir name =
   check_ino t dir;
   Dir.lookup t.ctx ~dir name
 
-(* Journal and initialise a fresh inode's on-media fields inside [txn]. *)
-let init_inode t txn ~ino ~kind =
+(* Journal and initialise a fresh inode's on-media fields inside [txn].
+   [log] is the journal [txn] was begun on — the parent directory's, which
+   may differ from the fresh inode's home shard when allocation borrowed
+   from another range; undo entries carry absolute addresses, so recovery
+   is indifferent to which shard's journal holds them. *)
+let init_inode t log txn ~ino ~kind =
   let device = device t in
   let geo = geometry t in
   let addr = Layout.Inode.addr geo ino in
-  Log.log t.ctx.Fs_ctx.log txn ~addr ~len:40;
+  Log.log log txn ~addr ~len:40;
   Layout.Inode.set_in_use device ~cat:Stats.Other geo ino true;
   Layout.Inode.set_kind device ~cat:Stats.Other geo ino kind;
   Layout.Inode.set_links device ~cat:Stats.Other geo ino
@@ -510,21 +561,31 @@ let create_entry t ~dir name ~kind =
   | None -> ());
   (* Inode initialisation and the dirent insertion must be one transaction:
      a crash between two separate commits would leave an in-use inode that
-     no directory references (orphan, flagged by fsck). *)
-  match Allocator.alloc t.ctx.Fs_ctx.ialloc with
+     no directory references (orphan, flagged by fsck).
+
+     Placement policy: files live in their parent directory's shard (so
+     create / unlink / rmdir stay single-shard); new directories spread
+     round-robin so a namespace populates every shard's ranges. Allocation
+     falls back round the ring when the preferred range is dry. *)
+  let shard =
+    if kind = Layout.Inode.kind_directory then Fs_ctx.next_dir_shard t.ctx
+    else Fs_ctx.shard_of_ino t.ctx dir
+  in
+  match Fs_ctx.alloc_ino t.ctx ~shard with
   | None -> Errno.raise_error ENOSPC "out of inodes"
   | Some ino ->
+    let log = log_for t ~ino:dir in
     let allocated = ref [] in
     (try
-       Log.with_txn (log t) (fun txn ->
-           init_inode t txn ~ino ~kind;
+       Log.with_txn log (fun txn ->
+           init_inode t log txn ~ino ~kind;
            allocated := Dir.add t.ctx txn ~dir name ~ino)
      with e ->
        (* The abort rolled the metadata back; reclaim the dirent blocks
           [Dir.add] allocated (empty if it was [Dir.add] that failed — it
           reclaims its own) and the inode number. *)
-       List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !allocated;
-       Allocator.free t.ctx.Fs_ctx.ialloc ino;
+       List.iter (Fs_ctx.free_block t.ctx) !allocated;
+       Fs_ctx.free_ino t.ctx ino;
        raise e);
     ino
 
@@ -537,12 +598,12 @@ let mkdir t ~dir name =
 (* Release an inode and detach all its blocks; returns the detached blocks
    for the caller to free after the transaction commits. Caller must have
    removed all directory entries pointing at it. *)
-let free_inode t txn ~ino =
+let free_inode t log txn ~ino =
   let device = device t in
   let geo = geometry t in
-  let detached = Block_tree.free_all t.ctx txn ~ino in
+  let detached = Block_tree.free_all t.ctx log txn ~ino in
   let addr = Layout.Inode.addr geo ino in
-  Log.log t.ctx.Fs_ctx.log txn ~addr ~len:8;
+  Log.log log txn ~addr ~len:8;
   Layout.Inode.set_in_use device ~cat:Stats.Other geo ino false;
   Layout.Inode.set_kind device ~cat:Stats.Other geo ino Layout.Inode.kind_free;
   Layout.Inode.set_links device ~cat:Stats.Other geo ino 0;
@@ -556,23 +617,24 @@ let unlink t ~dir name =
   | Some (ino, _, _) ->
     if inode_kind t ino = Layout.Inode.kind_directory then
       Errno.raise_error EISDIR "%S is a directory" name;
+    let log = log_for t ~ino:dir in
     let detached = ref [] in
-    Log.with_txn (log t) (fun txn ->
+    Log.with_txn log (fun txn ->
         ignore (Dir.remove t.ctx txn ~dir name);
         let links = Layout.Inode.links (device t) (geometry t) ino in
-        if links <= 1 then detached := free_inode t txn ~ino
+        if links <= 1 then detached := free_inode t log txn ~ino
         else begin
           let addr =
             Layout.Inode.addr (geometry t) ino + Layout.Inode.links_off
           in
-          Log.log t.ctx.Fs_ctx.log txn ~addr ~len:2;
+          Log.log log txn ~addr ~len:2;
           Layout.Inode.set_links (device t) ~cat:Stats.Other (geometry t) ino
             (links - 1)
         end);
     (* Committed: the blocks and the inode number are now reclaimable. *)
-    List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !detached;
+    List.iter (Fs_ctx.free_block t.ctx) !detached;
     if Layout.Inode.links (device t) (geometry t) ino = 0 then
-      Allocator.free t.ctx.Fs_ctx.ialloc ino
+      Fs_ctx.free_ino t.ctx ino
 
 let rmdir t ~dir name =
   check_writable t;
@@ -584,12 +646,102 @@ let rmdir t ~dir name =
       Errno.raise_error ENOTDIR "%S is not a directory" name;
     if not (Dir.is_empty t.ctx ~dir:ino) then
       Errno.raise_error ENOTEMPTY "%S is not empty" name;
+    let log = log_for t ~ino:dir in
     let detached = ref [] in
-    Log.with_txn (log t) (fun txn ->
+    Log.with_txn log (fun txn ->
         ignore (Dir.remove t.ctx txn ~dir name);
-        detached := free_inode t txn ~ino);
-    List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !detached;
-    Allocator.free t.ctx.Fs_ctx.ialloc ino
+        detached := free_inode t log txn ~ino);
+    List.iter (Fs_ctx.free_block t.ctx) !detached;
+    Fs_ctx.free_ino t.ctx ino
+
+(* Rename within one shard: both directories journal into the same log, so
+   one ordinary transaction covers target replacement, insertion, and
+   source removal. *)
+let rename_same_shard t ~src_dir ~src ~dst_dir ~dst ~ino =
+  let log = log_for t ~ino:src_dir in
+  (* Resources released by replacing the target — its blocks and inode
+     number — go back to the allocators only after commit; blocks the
+     [Dir.add] allocates must conversely be reclaimed if the transaction
+     aborts after it returned. *)
+  let detached = ref [] in
+  let replaced = ref None in
+  let added = ref [] in
+  (try
+     Log.with_txn log (fun txn ->
+         (match Dir.find t.ctx ~dir:dst_dir dst with
+         | Some (existing, _, _) ->
+           if inode_kind t existing = Layout.Inode.kind_directory then
+             Errno.raise_error EISDIR "rename target %S is a directory" dst;
+           ignore (Dir.remove t.ctx txn ~dir:dst_dir dst);
+           detached := free_inode t log txn ~ino:existing;
+           replaced := Some existing
+         | None -> ());
+         added := Dir.add t.ctx txn ~dir:dst_dir dst ~ino;
+         ignore (Dir.remove t.ctx txn ~dir:src_dir src))
+   with e ->
+     List.iter (Fs_ctx.free_block t.ctx) !added;
+     raise e);
+  List.iter (Fs_ctx.free_block t.ctx) !detached;
+  match !replaced with
+  | Some existing -> Fs_ctx.free_ino t.ctx existing
+  | None -> ()
+
+(* Rename across shards: one transaction per side, atomically committed
+   through the epoch record. Each side's mutations journal into its own
+   shard's log; both transactions are stamped with one epoch id and become
+   durable together when the epoch record persists (the single-cacheline
+   commit point). A crash before the record covers the epoch rolls both
+   sides back at recovery; a crash after keeps both — the entry is never
+   visible in both directories, nor in neither. *)
+let rename_cross_shard t ~src_dir ~src ~dst_dir ~dst ~ino =
+  let src_log = log_for t ~ino:src_dir in
+  let dst_log = log_for t ~ino:dst_dir in
+  let detached = ref [] in
+  let replaced = ref None in
+  let added = ref [] in
+  Hinfs_journal.Epoch.with_barrier (epoch t) (fun ep ->
+      let src_txn = Log.begin_txn src_log in
+      let dst_txn =
+        try Log.begin_txn dst_log
+        with e ->
+          Log.abort src_log src_txn;
+          raise e
+      in
+      try
+        (match Dir.find t.ctx ~dir:dst_dir dst with
+        | Some (existing, _, _) ->
+          if inode_kind t existing = Layout.Inode.kind_directory then
+            Errno.raise_error EISDIR "rename target %S is a directory" dst;
+          ignore (Dir.remove t.ctx dst_txn ~dir:dst_dir dst);
+          detached := free_inode t dst_log dst_txn ~ino:existing;
+          replaced := Some existing
+        | None -> ());
+        added := Dir.add t.ctx dst_txn ~dir:dst_dir dst ~ino;
+        ignore (Dir.remove t.ctx src_txn ~dir:src_dir src);
+        if !sabotage_skip_epoch then begin
+          (* Two independent durable commit points: a crash between them
+             leaves the entry live in both directories — exactly the tear
+             the epoch record closes. Vacuity fixtures only. *)
+          Log.commit dst_log dst_txn;
+          Device.mfence (device t) ~cat:Stats.Other;
+          Log.commit src_log src_txn
+        end
+        else begin
+          Log.prepare_epoch dst_log dst_txn ~epoch:ep;
+          Log.prepare_epoch src_log src_txn ~epoch:ep;
+          Hinfs_journal.Epoch.commit (epoch t) ep;
+          Log.finish_epoch dst_log dst_txn;
+          Log.finish_epoch src_log src_txn
+        end
+      with e ->
+        if not (Log.txn_committed dst_txn) then Log.abort dst_log dst_txn;
+        if not (Log.txn_committed src_txn) then Log.abort src_log src_txn;
+        List.iter (Fs_ctx.free_block t.ctx) !added;
+        raise e);
+  List.iter (Fs_ctx.free_block t.ctx) !detached;
+  match !replaced with
+  | Some existing -> Fs_ctx.free_ino t.ctx existing
+  | None -> ()
 
 let rename t ~src_dir ~src ~dst_dir ~dst =
   check_writable t;
@@ -598,32 +750,9 @@ let rename t ~src_dir ~src ~dst_dir ~dst =
   match Dir.find t.ctx ~dir:src_dir src with
   | None -> Errno.raise_error ENOENT "no entry %S" src
   | Some (ino, _, _) ->
-    (* Resources released by replacing the target — its blocks and inode
-       number — go back to the allocators only after commit; blocks the
-       [Dir.add] allocates must conversely be reclaimed if the transaction
-       aborts after it returned. *)
-    let detached = ref [] in
-    let replaced = ref None in
-    let added = ref [] in
-    (try
-       Log.with_txn (log t) (fun txn ->
-           (match Dir.find t.ctx ~dir:dst_dir dst with
-           | Some (existing, _, _) ->
-             if inode_kind t existing = Layout.Inode.kind_directory then
-               Errno.raise_error EISDIR "rename target %S is a directory" dst;
-             ignore (Dir.remove t.ctx txn ~dir:dst_dir dst);
-             detached := free_inode t txn ~ino:existing;
-             replaced := Some existing
-           | None -> ());
-           added := Dir.add t.ctx txn ~dir:dst_dir dst ~ino;
-           ignore (Dir.remove t.ctx txn ~dir:src_dir src))
-     with e ->
-       List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !added;
-       raise e);
-    List.iter (Allocator.free t.ctx.Fs_ctx.balloc) !detached;
-    (match !replaced with
-    | Some existing -> Allocator.free t.ctx.Fs_ctx.ialloc existing
-    | None -> ())
+    if shard_of_ino t src_dir = shard_of_ino t dst_dir then
+      rename_same_shard t ~src_dir ~src ~dst_dir ~dst ~ino
+    else rename_cross_shard t ~src_dir ~src ~dst_dir ~dst ~ino
 
 let readdir t ~dir =
   check_ino t dir;
@@ -636,7 +765,7 @@ let sync_all t = Device.mfence (device t) ~cat:Stats.Other
 let unmount t =
   if t.mounted then begin
     t.mounted <- false;
-    Log.stop_cleaner (log t);
+    Fs_ctx.iter_shards t.ctx (fun _ sh -> Log.stop_cleaner sh.Fs_ctx.log);
     (* A degraded mount never certifies the image clean: the next mount
        must re-run recovery and re-detect the damage. *)
     if not (read_only t) then

@@ -11,7 +11,15 @@ type t
 (** {1 mkfs / mount} *)
 
 val mkfs :
-  Hinfs_nvmm.Device.t -> ?journal_blocks:int -> ?inodes_per_mb:int -> unit -> unit
+  Hinfs_nvmm.Device.t ->
+  ?journal_blocks:int ->
+  ?inodes_per_mb:int ->
+  ?shards:int ->
+  unit ->
+  unit
+(** [shards] (default 1) partitions the hot state: the journal region is
+    split into per-shard sub-regions and the inode table and data region
+    into per-shard allocator ranges (Layout v3). *)
 
 val mount :
   Hinfs_nvmm.Device.t -> ?sync_mount:bool -> ?journal_cleaner:bool -> unit -> t
@@ -24,6 +32,7 @@ val mkfs_and_mount :
   Hinfs_nvmm.Device.t ->
   ?journal_blocks:int ->
   ?inodes_per_mb:int ->
+  ?shards:int ->
   ?sync_mount:bool ->
   ?journal_cleaner:bool ->
   unit ->
@@ -31,6 +40,10 @@ val mkfs_and_mount :
 
 val unmount : t -> unit
 val recovered_txns : t -> int
+
+val recovered_by_shard : t -> int array
+(** Transactions rolled back per shard journal during mount recovery
+    (all zeros after a clean mount). *)
 
 val attach_faultops : t -> Hinfs_nvmm.Faultops.t option -> unit
 (** Wire an operation-level fault injector into every software resource
@@ -61,9 +74,25 @@ val check_writable : t -> unit
 val ctx : t -> Fs_ctx.t
 val geometry : t -> Layout.geometry
 val device : t -> Hinfs_nvmm.Device.t
+
 val log : t -> Hinfs_journal.Cacheline_log.t
+(** Shard 0's journal — the only one when [shards = 1]. Per-inode
+    operations must use {!log_for}. *)
+
+val log_for : t -> ino:int -> Hinfs_journal.Cacheline_log.t
+(** The journal of [ino]'s home shard. *)
+
+val shard_count : t -> int
+val shard_of_ino : t -> int -> int
+val epoch : t -> Hinfs_journal.Epoch.t
 val free_data_blocks : t -> int
 val free_inodes : t -> int
+
+val set_sabotage_skip_epoch : bool -> unit
+(** Crash-fixture sabotage (global): cross-shard renames commit each
+    shard's transaction independently instead of through the epoch record,
+    recreating the torn-rename window the epoch protocol closes. crashmc
+    vacuity fixtures only. *)
 
 (** {1 Inode operations} *)
 

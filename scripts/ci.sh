@@ -15,5 +15,6 @@ dune build @torture-soak --force
 dune build @obs-smoke --force
 dune build @nvcache-soak --force
 dune build @snapshot-soak --force
+dune build @shard-soak --force
 
 sh scripts/bench_check.sh

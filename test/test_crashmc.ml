@@ -199,7 +199,7 @@ let journal_blocks = 8
 let recover_image config image =
   let engine = Engine.create () in
   let d = Device.of_snapshot engine (Stats.create ()) config image in
-  ignore (Log.recover d ~first_block:journal_first ~blocks:journal_blocks);
+  ignore (Log.recover d ~first_block:journal_first ~blocks:journal_blocks ());
   d
 
 let test_torn_cacheline_log_commit () =

@@ -274,7 +274,7 @@ let test_corrupt_commit_detected () =
         ~src:bad ~off:0 ~len:Log.entry_size;
       Device.crash d;
       let recovery =
-        Log.recover d ~first_block:journal_first ~blocks:journal_blocks
+        Log.recover d ~first_block:journal_first ~blocks:journal_blocks ()
       in
       check_int "untrusted commit dropped" 1 recovery.Log.dropped;
       check_int "txn rolled back despite torn commit" 1
@@ -296,7 +296,8 @@ let test_corrupt_journal_degrades_mount () =
       Pmfs.unmount fs;
       (* Fake an unclean shutdown that left a torn commit record behind:
          clear the clean flag and plant a checksum-invalid record. *)
-      Device.poke d ~addr:56 ~src:(Bytes.make 1 '\000') ~off:0 ~len:1;
+      Device.poke d ~addr:Layout.Sb.clean_unmount_off
+        ~src:(Bytes.make 1 '\000') ~off:0 ~len:1;
       let entry =
         Log.encode_entry ~txn_id:1 ~seq:0 ~entry_type:Log.type_commit ~addr:0
           ~payload:Bytes.empty

@@ -65,7 +65,7 @@ let test_crash_before_commit_rolls_back () =
       Device.clflush d ~cat ~addr:target_base ~len:64;
       Device.crash d;
       let recovery =
-        Log.recover d ~first_block:journal_first ~blocks:journal_blocks
+        Log.recover d ~first_block:journal_first ~blocks:journal_blocks ()
       in
       check_int "one txn rolled back" 1 recovery.Log.rolled_back;
       check_int "nothing dropped" 0 recovery.Log.dropped;
@@ -84,7 +84,7 @@ let test_crash_after_commit_preserves () =
             ~len:64);
       Device.crash d;
       let recovery =
-        Log.recover d ~first_block:journal_first ~blocks:journal_blocks
+        Log.recover d ~first_block:journal_first ~blocks:journal_blocks ()
       in
       check_int "nothing rolled back" 0 recovery.Log.rolled_back;
       let back = Device.peek_persistent d ~addr:target_base ~len:64 in
@@ -146,7 +146,7 @@ let test_aborted_entries_not_replayed () =
         Device.of_snapshot engine (Stats.create ()) Testkit.small_config image
       in
       let recovery =
-        Log.recover d2 ~first_block:journal_first ~blocks:journal_blocks
+        Log.recover d2 ~first_block:journal_first ~blocks:journal_blocks ()
       in
       check_int "no txn rolled back" 0 recovery.Log.rolled_back;
       check_int "nothing dropped" 0 recovery.Log.dropped;
@@ -196,7 +196,7 @@ let test_multi_entry_large_range () =
         ~off:0 ~len:300;
       Device.clflush d ~cat ~addr:target_base ~len:300;
       Device.crash d;
-      ignore (Log.recover d ~first_block:journal_first ~blocks:journal_blocks);
+      ignore (Log.recover d ~first_block:journal_first ~blocks:journal_blocks ());
       let back = Device.peek_persistent d ~addr:target_base ~len:300 in
       Testkit.check_bytes "multi-entry rollback" old back)
 
@@ -243,7 +243,7 @@ let crash_recovery_prop =
             txns;
           Device.crash d;
           ignore
-            (Log.recover d ~first_block:journal_first ~blocks:journal_blocks);
+            (Log.recover d ~first_block:journal_first ~blocks:journal_blocks ());
           let ok = ref true in
           Array.iteri
             (fun i want ->
