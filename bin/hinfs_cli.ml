@@ -425,6 +425,19 @@ let scrub_run seed poison_rate transient_rate poison_lines files size_mb
            by_shard);
       let sreport = Scrub.run fs in
       Fmt.pr "%a@." Scrub.pp_report sreport;
+      (if Pmfs.shard_count fs > 1 then
+         Array.iteri
+           (fun s heals ->
+             Fmt.pr
+               "shard %d: %d heal(s), %d data line(s) lost, health %s@." s
+               heals
+               sreport.Scrub.lost_by_shard.(s)
+               (Hinfs_pmfs.Health.state_name
+                  (Hinfs_pmfs.Health.shard_state (Pmfs.health fs) s)))
+           sreport.Scrub.repairs_by_shard);
+      if sreport.Scrub.remaining_poison > 0 then
+        Fmt.pr "unhealed poison: %d line(s) remain@."
+          sreport.Scrub.remaining_poison;
       let freport = Fsck.check_pmfs fs in
       Fmt.pr "%a@." Fsck.pp_report freport;
       (match Pmfs.read_only_reason fs with
@@ -436,7 +449,10 @@ let scrub_run seed poison_rate transient_rate poison_lines files size_mb
       if !corrupt > 0 then exit_code := 1;
       (* A still-writable file system must also be structurally clean. *)
       if (not (Pmfs.read_only fs)) && not (Fsck.ok freport) then
-        exit_code := 1);
+        exit_code := 1;
+      (* Unhealed poison left on the image is CI-gateable: a clean scrub
+         run must end with zero poisoned lines. *)
+      if sreport.Scrub.remaining_poison > 0 then exit_code := 1);
   Engine.run engine;
   !exit_code
 
@@ -667,10 +683,104 @@ let snapshot_cmd =
     (Cmd.info "snapshot" ~doc)
     Term.(const snapshot_run $ snap_size_arg $ snap_files_arg)
 
+(* --- health: per-shard fault-domain walkthrough --- *)
+
+let health_shards_arg =
+  let doc = "Shard count (fault domains) for the walkthrough mount." in
+  Arg.(value & opt int 4 & info [ "shards" ] ~doc)
+
+let health_victim_arg =
+  let doc = "Shard whose journal sub-region the walkthrough corrupts." in
+  Arg.(value & opt int 1 & info [ "victim" ] ~doc)
+
+(* Demonstrate the Healthy -> Degraded -> Quarantined -> Repairing ->
+   Healthy ladder: build a sharded PMFS, corrupt one shard's journal
+   sub-region, let the repair daemon quarantine + heal it while sibling
+   shards keep serving, and print every transition. *)
+let health_run size_mb shards victim =
+  let exit_code = ref 0 in
+  let engine = Engine.create () in
+  Engine.spawn engine ~name:"health" (fun () ->
+      let stats = Stats.create () in
+      let config =
+        { Config.default with Config.nvmm_size = size_mb * 1024 * 1024 }
+      in
+      let device = Device.create engine stats config in
+      let fs = Pmfs.mkfs_and_mount device ~journal_blocks:64 ~shards () in
+      Device.set_fault_model device (Some (Fault.create ~seed:42L ()));
+      let health = Pmfs.health fs in
+      Hinfs_pmfs.Health.set_listener health (fun domain prev next ->
+          Fmt.pr "t=%Ldns  %s: %s -> %s@."
+            (Engine.now engine)
+            (Hinfs_pmfs.Health.domain_name domain)
+            (Hinfs_pmfs.Health.state_name prev)
+            (Hinfs_pmfs.Health.state_name next));
+      (* One file per shard, so every fault domain serves live data. *)
+      let victim = min victim (shards - 1) in
+      let dirs =
+        List.init shards (fun i ->
+            Pmfs.mkdir fs ~dir:Layout.root_ino (Fmt.str "d%d" i))
+      in
+      let payload = Bytes.make 4096 'h' in
+      let files =
+        List.map
+          (fun dir ->
+            let ino = Pmfs.create_file fs ~dir "data" in
+            ignore
+              (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096
+                 ~sync:true);
+            (dir, ino))
+          dirs
+      in
+      Fmt.pr "mounted with %d shards; corrupting shard %d's journal@." shards
+        victim;
+      Hinfs_harness.Chaos.corrupt_journal fs ~shard:victim ~lines:8;
+      let daemon = Hinfs_fsck.Repair.create fs in
+      Hinfs_fsck.Repair.start daemon;
+      (* Give the patrol time to detect, quarantine, repair, re-admit. *)
+      Hinfs_sim.Proc.delay_int 50_000_000;
+      Hinfs_fsck.Repair.stop daemon;
+      Fmt.pr "repairs: %d ok, %d failed; quarantines %d, readmits %d@."
+        (Hinfs_fsck.Repair.repairs_done daemon)
+        (Hinfs_fsck.Repair.repairs_failed daemon)
+        (Hinfs_pmfs.Health.quarantines health)
+        (Hinfs_pmfs.Health.readmits health);
+      Fmt.pr "%a@." Hinfs_pmfs.Health.pp health;
+      (* Every shard, including the victim, must serve read-write again. *)
+      let ok = ref 0 in
+      List.iter
+        (fun (_, ino) ->
+          try
+            ignore
+              (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len:4096
+                 ~sync:true);
+            incr ok
+          with Errno.Fs_error _ -> ())
+        files;
+      Fmt.pr "post-repair writes: %d/%d shards read-write@." !ok shards;
+      if !ok <> shards then exit_code := 1;
+      if not (Pmfs.fully_healthy fs) then exit_code := 1;
+      Pmfs.unmount fs);
+  Engine.run engine;
+  !exit_code
+
+let health_cmd =
+  let doc =
+    "Corrupt one shard's journal on a sharded PMFS and watch the health \
+     state machine quarantine, repair, and re-admit it online"
+  in
+  Cmd.v
+    (Cmd.info "health" ~doc)
+    Term.(const health_run $ scrub_size_arg $ health_shards_arg
+          $ health_victim_arg)
+
 let cmd =
   let doc = "HiNFS-reproduction workbench" in
   Cmd.group ~default:run_term
     (Cmd.info "hinfs-cli" ~doc)
-    [ run_cmd; profile_cmd; crashmc_cmd; scrub_cmd; nvcache_cmd; snapshot_cmd ]
+    [
+      run_cmd; profile_cmd; crashmc_cmd; scrub_cmd; nvcache_cmd; snapshot_cmd;
+      health_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

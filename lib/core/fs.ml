@@ -35,6 +35,7 @@ module Btree = Hinfs_structures.Btree
 module Errno = Hinfs_vfs.Errno
 module Types = Hinfs_vfs.Types
 module Pmfs = Hinfs_pmfs.Pmfs
+module Health = Hinfs_pmfs.Health
 module Layout = Hinfs_pmfs.Layout
 module Obs = Hinfs_obs.Obs
 
@@ -484,11 +485,16 @@ let lazy_write_segment t fst ~fblock ~in_block ~src ~src_off ~len =
         | Some home -> (home, false)
         | None ->
           let txn = get_pending_txn t fst in
-          let home, fresh, allocated =
-            Pmfs.Data.ensure_block t.pmfs txn ~ino:fst.f_ino ~fblock
-          in
-          fst.pending_allocs <- allocated @ fst.pending_allocs;
-          (home, fresh)
+          (* Record the allocation even if ensure_block raises mid-op: the
+             pending transaction's abort path reclaims pending_allocs, and
+             blocks it never hears about would leak. *)
+          let allocated = ref [] in
+          Fun.protect
+            ~finally:(fun () ->
+              fst.pending_allocs <- !allocated @ fst.pending_allocs)
+            (fun () ->
+              Pmfs.Data.ensure_block t.pmfs txn ~ino:fst.f_ino ~fblock
+                ~allocated)
       in
       let b = alloc_buffer_block t ~ino:fst.f_ino ~fblock ~home in
       b.Buffer_pool.home_valid <-
@@ -566,7 +572,7 @@ let journal_backpressure t fst =
   end
 
 let write t ~ino ~off ~src ~src_off ~len ~sync =
-  Pmfs.check_writable t.pmfs;
+  Pmfs.check_writable_ino t.pmfs ~ino;
   if off < 0 || len < 0 then Errno.raise_error EINVAL "bad write range";
   let fst = file_state t ino in
   journal_backpressure t fst;
@@ -687,6 +693,10 @@ let read_buffered_segment t b ~in_block ~len ~into ~into_off =
       copy_run ~first ~count ~from_dram:set)
 
 let read t ~ino ~off ~len ~into ~into_off =
+  (* Fail fast on an isolated shard even for DRAM hits: the quarantine
+     listener dropped its buffers, and repair may be rewriting the NVMM
+     side underneath. *)
+  Pmfs.check_readable_ino t.pmfs ~ino;
   if off < 0 || len < 0 then Errno.raise_error EINVAL "bad read range";
   let fst = file_state t ino in
   let bs = block_size t in
@@ -723,6 +733,8 @@ let read t ~ino ~off ~len ~into ~into_off =
 (* --- fsync (§3.3.2) --- *)
 
 let fsync t ~ino =
+  (* No durability acknowledgements on an isolated shard. *)
+  Pmfs.check_readable_ino t.pmfs ~ino;
   let fst = file_state t ino in
   (* Persist buffered data, then the pending metadata (ordered mode). *)
   flush_file t fst ~evict:false;
@@ -779,6 +791,27 @@ let drop_buffers t ino =
     abort_pending t fst;
     Hashtbl.remove t.files ino
 
+(* When the repair daemon isolates a shard, its DRAM state must go: the
+   journal re-replay invalidates whatever the pending transactions and
+   buffered blocks assumed, and repair I/O must not race writeback.
+   Pending transactions are aborted (their ops were never acknowledged
+   durable — fsync on this shard now fails fast) and buffers dropped.
+   Installed as the health listener at mount. *)
+let on_health_transition t domain _prev next =
+  match (domain, next) with
+  | Health.Shard s, Health.Quarantined _ ->
+    let victims =
+      Hashtbl.fold
+        (fun ino _ acc -> if shard_of t ino = s then ino :: acc else acc)
+        t.files []
+    in
+    List.iter (fun ino -> drop_buffers t ino) victims
+  | _ -> ()
+
+let install_health_listener t =
+  Health.set_listener (Pmfs.health t.pmfs) (fun domain prev next ->
+      on_health_transition t domain prev next)
+
 let unlink t ~dir name =
   (match Pmfs.lookup t.pmfs ~dir name with
   | Some ino when Pmfs.inode_kind t.pmfs ino = Layout.Inode.kind_regular ->
@@ -795,7 +828,7 @@ let rename t ~src_dir ~src ~dst_dir ~dst =
   Pmfs.rename t.pmfs ~src_dir ~src ~dst_dir ~dst
 
 let truncate t ~ino ~size =
-  Pmfs.check_writable t.pmfs;
+  Pmfs.check_writable_ino t.pmfs ~ino;
   let fst = file_state t ino in
   let bs = block_size t in
   let keep_blocks = (size + bs - 1) / bs in
@@ -947,6 +980,7 @@ let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?hcfg ?sync_mount
       ~journal_cleaner:daemons ()
   in
   let t = create ?hcfg ?sync_mount pmfs in
+  install_health_listener t;
   if daemons then start_daemons t;
   t
 
@@ -956,6 +990,7 @@ let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?hcfg ?sync_mount
 let mount device ?hcfg ?sync_mount ?(daemons = true) () =
   let pmfs = Pmfs.mount device ~journal_cleaner:daemons () in
   let t = create ?hcfg ?sync_mount pmfs in
+  install_health_listener t;
   if daemons then start_daemons t;
   t
 

@@ -14,6 +14,8 @@ module Pmfs = Hinfs_pmfs.Pmfs
 module Layout = Hinfs_pmfs.Layout
 module Fs = Hinfs.Fs
 module Fsck = Hinfs_fsck.Fsck
+module Repair = Hinfs_fsck.Repair
+module Fault = Hinfs_nvmm.Fault
 open Crashmc
 
 let small_config = { Config.default with nvmm_size = 1024 * 1024 }
@@ -821,6 +823,71 @@ let fixture_torn_root_swap =
     verify = verify_cow;
   }
 
+(* --- per-shard fault domain: crash during online repair ---
+
+   A 4-shard image with one durable file per shard; the victim shard's
+   journal sub-region is poisoned, the shard is degraded, and a full
+   repair pass runs to re-admission with crash enumeration armed. Repair
+   writes go through the untimed reliable-store path, so the enumerated
+   states include mid-Repairing images (journal partially re-replayed and
+   wiped, epoch record re-persisted, scrub zeroes landed): every one must
+   mount, pass fsck, and preserve all four durable files. *)
+let pmfs_shard_repair =
+  {
+    name = "pmfs-shard-repair";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let fs = Pmfs.mkfs_and_mount device ~journal_blocks:32 ~shards:4 () in
+        let dir_of = Array.make 4 None in
+        for i = 0 to 15 do
+          let name = Fmt.str "s%d" i in
+          let ino = Pmfs.mkdir fs ~dir:root name in
+          let s = Pmfs.shard_of_ino fs ino in
+          if dir_of.(s) = None then dir_of.(s) <- Some (name, ino)
+        done;
+        let files =
+          Array.map
+            (fun d ->
+              let dname, dino = Option.get d in
+              let data = content dname 900 in
+              let ino = Pmfs.create_file fs ~dir:dino "f" in
+              ignore
+                (Pmfs.write fs ~ino ~off:0 ~src:(bytes_of data) ~src_off:0
+                   ~len:(String.length data) ~sync:true);
+              (dname ^ "/f", data))
+            dir_of
+        in
+        let fault = Fault.create ~seed:77L () in
+        Device.set_fault_model device (Some fault);
+        ctl.start ();
+        Array.iter
+          (fun (path, data) -> ctl.expect path (Exactly (Content data)))
+          files;
+        ctl.checkpoint "pre-fault";
+        let victim = 1 in
+        let geo = Pmfs.geometry fs in
+        let bs = geo.Hinfs_pmfs.Layout.block_size in
+        let ls = (Device.config device).Config.cacheline_size in
+        let first_block, blocks =
+          Layout.journal_region geo victim
+        in
+        let total_lines = blocks * bs / ls in
+        for k = 0 to 3 do
+          Fault.poison_line fault
+            ((first_block * bs / ls) + (k * total_lines / 4))
+        done;
+        Pmfs.degrade_shard fs victim "scenario: poisoned shard journal";
+        let repaired, failed = Repair.run_once fs in
+        if repaired <> 1 || failed <> 0 then
+          failwith "shard repair pass did not re-admit the victim";
+        if not (Pmfs.fully_healthy fs) then
+          failwith "victim shard not healthy after repair";
+        ctl.checkpoint "repaired");
+    verify = verify_pmfs;
+  }
+
 let all =
   [
     pmfs_create_write;
@@ -828,6 +895,7 @@ let all =
     pmfs_namespace;
     pmfs_torn_txn;
     pmfs_rename_cross_shard;
+    pmfs_shard_repair;
     hinfs_fsync;
     hinfs_unlink_buffered;
     nvlog_fsync_destage;

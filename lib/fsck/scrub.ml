@@ -15,11 +15,18 @@
      left poisoned — reads there raise EIO, which is data loss but not a
      structural fault.
 
-   Any unrecoverable finding degrades the mount to read-only. All repairs
-   go through [Device.poke_flushed], the untimed reliable-store path that
-   heals poison at the fault model's store hook *and* is visible to the
-   persistence recorder, so crash enumeration covers a crash in the middle
-   of a scrub. *)
+   Every heal and every loss is attributed to the shard whose journal
+   sub-region / inode range / data range holds the address, so a sharded
+   mount degrades only the shard that owns an unrecoverable finding (the
+   superblock and epoch record belong to the mount domain). Passing
+   [?shard] scopes the walk to one shard's regions — the online repair
+   daemon scrubs the quarantined shard in isolation without touching
+   siblings' poison budgets.
+
+   All repairs go through [Device.poke_flushed], the untimed
+   reliable-store path that heals poison at the fault model's store hook
+   *and* is visible to the persistence recorder, so crash enumeration
+   covers a crash in the middle of a scrub. *)
 
 module Device = Hinfs_nvmm.Device
 module Config = Hinfs_nvmm.Config
@@ -37,6 +44,9 @@ type report = {
   free_repairs : int;
   data_lost_lines : int;
   unrecoverable : string list;
+  repairs_by_shard : int array;  (* heals landing in each shard's ranges *)
+  lost_by_shard : int array;  (* data lines lost per shard *)
+  remaining_poison : int;  (* poisoned lines left after the scrub pass *)
 }
 
 let repairs r =
@@ -54,13 +64,14 @@ let pp_report ppf r =
          Fmt.pf ppf "@,  unrecoverable: %s" v))
     r.unrecoverable
 
-let run fs =
+let run ?shard fs =
   let ctx = Pmfs.ctx fs in
   let device = ctx.Fs_ctx.device in
   let geo = ctx.Fs_ctx.geo in
   let stats = Device.stats device in
   let bs = geo.Layout.block_size in
   let ls = (Device.config device).Config.cacheline_size in
+  let nshards = geo.Layout.shards in
   let zero_line = Bytes.make ls '\000' in
   let sb_repairs = ref 0
   and journal_repairs = ref 0
@@ -68,11 +79,25 @@ let run fs =
   and free_repairs = ref 0
   and data_lost = ref 0
   and unrecoverable = ref [] in
+  let repairs_by_shard = Array.make nshards 0 in
+  let lost_by_shard = Array.make nshards 0 in
+  let note_shard arr addr =
+    match Pmfs.shard_of_addr fs addr with
+    | Some s -> arr.(s) <- arr.(s) + 1
+    | None -> ()
+  in
   let heal counter addr =
     Device.poke_flushed device ~addr ~src:zero_line ~off:0 ~len:ls;
     Device.fence_untimed device;
     Stats.add_scrub_repair stats;
+    note_shard repairs_by_shard addr;
     incr counter
+  in
+  (* Scoped runs only look at (and only degrade) one shard's regions. *)
+  let in_scope addr =
+    match shard with
+    | None -> true
+    | Some s -> Pmfs.shard_of_addr fs addr = Some s
   in
   (* Index blocks are metadata living in the data region; build the set up
      front so poisoned lines there can be told apart from plain data. *)
@@ -85,17 +110,20 @@ let run fs =
       with _ -> ()
   done;
   (* Superblock copies first: a bad copy is rewritten from the good one
-     (both, in fact — write_superblock refreshes primary and replica). *)
-  let sb_poisoned addr =
-    Device.verify_range device ~addr ~len:bs <> []
-  in
-  if sb_poisoned 0 || sb_poisoned (geo.Layout.sb_replica * bs) then begin
+     (both, in fact — write_superblock refreshes primary and replica).
+     Mount-scoped, so skipped on single-shard repair runs. *)
+  let sb_poisoned addr = Device.verify_range device ~addr ~len:bs <> [] in
+  if
+    shard = None
+    && (sb_poisoned 0 || sb_poisoned (geo.Layout.sb_replica * bs))
+  then begin
     Layout.write_superblock device geo ~clean:false;
     Stats.add_scrub_repair stats;
     incr sb_repairs
   end;
   let addrs =
-    Device.verify_range device ~addr:0 ~len:(geo.Layout.total_blocks * bs)
+    List.filter in_scope
+      (Device.verify_range device ~addr:0 ~len:(geo.Layout.total_blocks * bs))
   in
   List.iter
     (fun addr ->
@@ -104,7 +132,7 @@ let run fs =
         (* Still poisoned after the rewrite: should not happen (poke
            heals), but record rather than loop. *)
         unrecoverable :=
-          Fmt.str "superblock copy at %#x" addr :: !unrecoverable
+          (None, Fmt.str "superblock copy at %#x" addr) :: !unrecoverable
       else if
         block >= geo.Layout.journal_start
         && block < geo.Layout.journal_start + geo.Layout.journal_blocks
@@ -129,33 +157,50 @@ let run fs =
           && Layout.Inode.in_use device geo ino
         then
           unrecoverable :=
-            Fmt.str "in-use inode %d at %#x" ino addr :: !unrecoverable
+            ( Some (Layout.shard_of_ino geo ino),
+              Fmt.str "in-use inode %d at %#x" ino addr )
+            :: !unrecoverable
         else heal itable_repairs addr
       end
       else if Hashtbl.mem index_blocks block then
         unrecoverable :=
-          Fmt.str "index block %d of inode %d at %#x" block
-            (Hashtbl.find index_blocks block)
-            addr
+          ( Some (Layout.shard_of_block geo block),
+            Fmt.str "index block %d of inode %d at %#x" block
+              (Hashtbl.find index_blocks block)
+              addr )
           :: !unrecoverable
-      else if Fs_ctx.block_is_allocated ctx block then
+      else if Fs_ctx.block_is_allocated ctx block then begin
         (* Allocated data: no redundant copy. Leave the poison in place so
            reads surface EIO instead of silently returning zeros. *)
+        note_shard lost_by_shard addr;
         incr data_lost
+      end
       else heal free_repairs addr)
     addrs;
   let unrecoverable = List.rev !unrecoverable in
-  (match unrecoverable with
-  | [] -> ()
-  | first :: _ ->
-    Pmfs.degrade fs
-      (Fmt.str "scrub found %d unrecoverable metadata fault(s), e.g. %s"
-         (List.length unrecoverable) first));
+  (* Degrade the owning fault domain, not the fleet: a shard-attributable
+     unrecoverable finding takes down that shard only. *)
+  List.iter
+    (fun (owner, what) ->
+      let reason = Fmt.str "scrub: unrecoverable %s" what in
+      match owner with
+      | Some s -> Pmfs.degrade_shard fs s reason
+      | None -> Pmfs.degrade fs reason)
+    unrecoverable;
+  let remaining_poison =
+    List.length
+      (List.filter in_scope
+         (Device.verify_range device ~addr:0
+            ~len:(geo.Layout.total_blocks * bs)))
+  in
   {
     sb_repairs = !sb_repairs;
     journal_repairs = !journal_repairs;
     itable_repairs = !itable_repairs;
     free_repairs = !free_repairs;
     data_lost_lines = !data_lost;
-    unrecoverable;
+    unrecoverable = List.map snd unrecoverable;
+    repairs_by_shard;
+    lost_by_shard;
+    remaining_poison;
   }

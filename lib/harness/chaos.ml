@@ -1,0 +1,109 @@
+(* Deterministic fault-schedule DSL for chaos soaks.
+
+   A schedule is a list of steps, each an action fired after a virtual-time
+   delay from the previous step. Actions mutate the device's fault model
+   (rates on the one seeded stream) or inject poison at computed addresses,
+   so a fixed schedule + seed + workload is bit-identical across runs —
+   chaos, replayable.
+
+   Actions:
+   - [Corrupt_journal]: poison lines spread across one shard's journal
+     sub-region — latent structural damage the patrol detects and the
+     repair daemon heals (re-replay + wipe + scrub).
+   - [Poison_burst]: poison lines over free blocks of one shard's data
+     range — scrub-healable noise that must not quarantine anything.
+   - [Transient_storm] / [Storm_end]: open and close a window in which
+     loads fault transiently at [rate] — exercises the retry/backoff
+     policy under load.
+
+   Run the schedule with {!spawn} (a background process on the virtual
+   clock) from inside a simulation process. *)
+
+module Proc = Hinfs_sim.Proc
+module Device = Hinfs_nvmm.Device
+module Config = Hinfs_nvmm.Config
+module Fault = Hinfs_nvmm.Fault
+module Pmfs = Hinfs_pmfs.Pmfs
+module Layout = Hinfs_pmfs.Layout
+module Fs_ctx = Hinfs_pmfs.Fs_ctx
+
+type action =
+  | Corrupt_journal of { shard : int; lines : int }
+  | Poison_burst of { shard : int; lines : int }
+  | Transient_storm of { rate : float }
+  | Storm_end
+
+type step = { after_ns : int; action : action }
+
+let pp_action ppf = function
+  | Corrupt_journal { shard; lines } ->
+    Fmt.pf ppf "corrupt-journal(shard %d, %d lines)" shard lines
+  | Poison_burst { shard; lines } ->
+    Fmt.pf ppf "poison-burst(shard %d, %d lines)" shard lines
+  | Transient_storm { rate } -> Fmt.pf ppf "transient-storm(%.4f)" rate
+  | Storm_end -> Fmt.pf ppf "storm-end"
+
+let fault_model device =
+  match Device.fault_model device with
+  | Some fm -> fm
+  | None -> invalid_arg "Chaos: device has no fault model attached"
+
+(* Poison [lines] cachelines spread evenly across shard [shard]'s journal
+   sub-region: deterministic addresses, no draw from the fault stream. *)
+let corrupt_journal fs ~shard ~lines =
+  let device = Pmfs.device fs in
+  let fm = fault_model device in
+  let geo = Pmfs.geometry fs in
+  let bs = geo.Layout.block_size in
+  let ls = (Device.config device).Config.cacheline_size in
+  let first_block, blocks = Layout.journal_region geo shard in
+  let total_lines = blocks * bs / ls in
+  let base_line = first_block * bs / ls in
+  let n = min lines total_lines in
+  let stride = max 1 (total_lines / max 1 n) in
+  for k = 0 to n - 1 do
+    Fault.poison_line fm (base_line + (k * stride mod total_lines))
+  done
+
+(* Poison one line in each of the first [lines] free blocks of shard
+   [shard]'s data range (skips allocated blocks: bursts must be
+   scrub-healable, not data loss). *)
+let poison_burst fs ~shard ~lines =
+  let device = Pmfs.device fs in
+  let fm = fault_model device in
+  let geo = Pmfs.geometry fs in
+  let bs = geo.Layout.block_size in
+  let ls = (Device.config device).Config.cacheline_size in
+  let ctx = Pmfs.ctx fs in
+  let first, count = Layout.data_range geo shard in
+  let injected = ref 0 in
+  let b = ref first in
+  while !injected < lines && !b < first + count do
+    if not (Fs_ctx.block_is_allocated ctx !b) then begin
+      Fault.poison_line fm (!b * bs / ls);
+      incr injected
+    end;
+    b := !b + 1
+  done
+
+let apply fs = function
+  | Corrupt_journal { shard; lines } -> corrupt_journal fs ~shard ~lines
+  | Poison_burst { shard; lines } -> poison_burst fs ~shard ~lines
+  | Transient_storm { rate } ->
+    Fault.set_transient_rate (fault_model (Pmfs.device fs)) rate
+  | Storm_end -> Fault.set_transient_rate (fault_model (Pmfs.device fs)) 0.0
+
+(* Execute the schedule on the virtual clock. [on_step] (e.g. a print or a
+   log collector) fires after each action is applied. Call from inside a
+   simulation process; returns once the last step has fired. *)
+let run ?(on_step = fun _ -> ()) fs schedule =
+  List.iter
+    (fun step ->
+      if step.after_ns > 0 then Proc.delay_int step.after_ns;
+      apply fs step.action;
+      on_step step)
+    schedule
+
+(* Spawn the schedule as a background process. *)
+let spawn ?on_step fs schedule =
+  Proc.spawn ~name:"chaos" (fun () -> run ?on_step fs schedule)

@@ -98,6 +98,13 @@ val recover :
     before (epoch-)commit entries, so a crash at any recovery fence and a
     second recovery land on the same final image. *)
 
+val reset_runtime : t -> unit
+(** Re-arm a live log handle after its region was recovered and wiped
+    out-of-band ({!recover} run by the online shard-repair path while the
+    mount still holds this [t]): marks every slot free and drops pending
+    cleaning work (the wipe already zeroed it). Raises [Invalid_argument]
+    if transactions are live — quarantine the shard first. *)
+
 val set_fault_injector : t -> (unit -> bool) option -> unit
 (** Operation-level fault hook, polled once per entry-slot allocation: when
     it returns [true] the allocation raises {!Journal_full} exactly as a

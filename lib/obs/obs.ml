@@ -45,6 +45,8 @@ type kind =
   | Nvcache_replay
   | Snapshot_commit
   | Snapshot_gc
+  | Dev_retry
+  | Health_repair
 
 type ev =
   | Ev_bbm_eager
@@ -53,6 +55,8 @@ type ev =
   | Ev_mmap_unpin
   | Ev_dead_drop
   | Ev_proc_spawn
+  | Ev_quarantine
+  | Ev_readmit
 
 let kind_index = function
   | Op_open -> 0
@@ -86,6 +90,8 @@ let kind_index = function
   | Nvcache_replay -> 28
   | Snapshot_commit -> 29
   | Snapshot_gc -> 30
+  | Dev_retry -> 31
+  | Health_repair -> 32
 
 let all_kinds =
   [
@@ -94,7 +100,7 @@ let all_kinds =
     Op_truncate; Op_mmap; Op_munmap; Op_msync; Op_sync_all; Op_unmount;
     Journal_commit; Journal_recover; Writeback; Buffer_fetch; Flush; Fence;
     Slot_wait; Nvcache_append; Nvcache_destage; Nvcache_replay;
-    Snapshot_commit; Snapshot_gc;
+    Snapshot_commit; Snapshot_gc; Dev_retry; Health_repair;
   ]
 
 let n_kinds = List.length all_kinds
@@ -131,6 +137,8 @@ let kind_name = function
   | Nvcache_replay -> "nvcache.replay"
   | Snapshot_commit -> "snapshot.commit"
   | Snapshot_gc -> "snapshot.gc"
+  | Dev_retry -> "dev.retry"
+  | Health_repair -> "health.repair"
 
 let ev_name = function
   | Ev_bbm_eager -> "bbm.eager"
@@ -139,6 +147,8 @@ let ev_name = function
   | Ev_mmap_unpin -> "mmap.unpin"
   | Ev_dead_drop -> "buffer.dead_drop"
   | Ev_proc_spawn -> "proc.spawn"
+  | Ev_quarantine -> "health.quarantine"
+  | Ev_readmit -> "health.readmit"
 
 type frame = { fkind : kind; t0 : int64 }
 

@@ -48,6 +48,8 @@ type kind =
   | Nvcache_replay  (** nvcache mount-time log/slot replay *)
   | Snapshot_commit  (** CoW root-swap commit (refcount fixpoint + swap) *)
   | Snapshot_gc  (** CoW snapshot deletion / rollback refcount walk *)
+  | Dev_retry  (** transient-media-read retry backoff (charged on clock) *)
+  | Health_repair  (** repair daemon healing one quarantined shard *)
 
 (** Instant (zero-duration) event kinds. *)
 type ev =
@@ -57,6 +59,8 @@ type ev =
   | Ev_mmap_unpin
   | Ev_dead_drop  (** buffered block dropped without writeback *)
   | Ev_proc_spawn
+  | Ev_quarantine  (** a=shard, b=health state code entering isolation *)
+  | Ev_readmit  (** a=shard, b=repair attempts before success *)
 
 val kind_name : kind -> string
 (** Stable dotted name, e.g. ["op.read"], ["journal.commit"]. *)

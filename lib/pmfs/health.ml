@@ -1,0 +1,224 @@
+(* Per-fault-domain health state machine.
+
+   PR 2's graceful degradation was all-or-nothing: the first unrecoverable
+   media fault flipped the whole mount read-only. With the hot state split
+   into per-shard journals, allocators, and buffer pools (DESIGN §9), the
+   natural blast radius of a fault is one shard, so health is now tracked
+   per fault domain:
+
+   - [Shard s]: shard [s]'s journal sub-region, allocator ranges, inode
+     range, and (for HiNFS) its buffer pool and writeback daemon.
+   - [Mount]: state shared by every shard — superblock, epoch record,
+     directory structure spanning shards — and the only domain for
+     unsharded backends.
+
+   The per-domain state machine is
+
+     Healthy -> Degraded reason -> Quarantined reason -> Repairing reason
+        ^                                                     |
+        +------------------- readmit ------------------------+
+
+   [Degraded] is the detection state: something in the domain is suspect
+   (dropped recovery records, an uncorrectable read, poison found by a
+   patrol scrub). Writes to the domain fail with EROFS; reads still go
+   through, because DRAM-buffered data may be the only good copy left.
+   [Quarantined] is isolation: the repair daemon claimed the domain, every
+   op fails fast (reads EIO, writes EROFS) so repair I/O cannot race
+   foreground traffic. [Repairing] is quarantine plus "repair in flight";
+   ops fail exactly as in quarantine, the state exists so operators (and
+   crash images) can tell a stuck quarantine from active repair. A repair
+   that fails returns the domain to [Degraded] and bumps [attempts]; the
+   daemon gives up after a bounded number of tries and leaves the domain
+   degraded-forever rather than looping.
+
+   The [Mount] domain never advances past [Degraded]: there is no sibling
+   to keep serving while the superblock is quarantined, so mount-level
+   repair (superblock replica rewrite, [Epoch.heal]) happens in place
+   without fencing off the whole FS.
+
+   Transitions fire an optional listener so upper layers can react — HiNFS
+   drops a quarantined shard's DRAM buffers (they will be invalidated by
+   the journal re-replay) and the observability layer emits instants. *)
+
+type state =
+  | Healthy
+  | Degraded of string  (** suspect: reads ok, writes EROFS *)
+  | Quarantined of string  (** isolated: reads EIO, writes EROFS *)
+  | Repairing of string  (** isolated, repair in flight *)
+
+type domain = Mount | Shard of int
+
+let state_name = function
+  | Healthy -> "healthy"
+  | Degraded _ -> "degraded"
+  | Quarantined _ -> "quarantined"
+  | Repairing _ -> "repairing"
+
+let state_reason = function
+  | Healthy -> None
+  | Degraded r | Quarantined r | Repairing r -> Some r
+
+(* Stable integer encoding for gauges and trace output. *)
+let state_code = function
+  | Healthy -> 0
+  | Degraded _ -> 1
+  | Quarantined _ -> 2
+  | Repairing _ -> 3
+
+let domain_name = function
+  | Mount -> "mount"
+  | Shard s -> Printf.sprintf "shard%d" s
+
+type t = {
+  mount : state ref;
+  shards : state array;  (** length = shard count (>= 1) *)
+  attempts : int array;  (** failed repair attempts per shard *)
+  mutable mount_attempts : int;  (** failed in-place mount repairs *)
+  mutable listener : (domain -> state -> state -> unit) option;
+  mutable quarantines : int;  (** domains ever quarantined *)
+  mutable readmits : int;  (** successful repairs back to Healthy *)
+}
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Health.create: shards must be >= 1";
+  {
+    mount = ref Healthy;
+    shards = Array.make shards Healthy;
+    attempts = Array.make shards 0;
+    mount_attempts = 0;
+    listener = None;
+    quarantines = 0;
+    readmits = 0;
+  }
+
+let shard_count t = Array.length t.shards
+let set_listener t f = t.listener <- Some f
+
+let get t = function
+  | Mount -> !(t.mount)
+  | Shard s -> t.shards.(s)
+
+let set t domain next =
+  let prev = get t domain in
+  if prev <> next then begin
+    (match domain with
+    | Mount -> t.mount := next
+    | Shard s -> t.shards.(s) <- next);
+    (match next with
+    | Quarantined _ -> t.quarantines <- t.quarantines + 1
+    | Healthy when prev <> Healthy -> t.readmits <- t.readmits + 1
+    | _ -> ());
+    match t.listener with None -> () | Some f -> f domain prev next
+  end
+
+let repair_attempts t s = t.attempts.(s)
+let note_repair_failure t s = t.attempts.(s) <- t.attempts.(s) + 1
+let reset_repair_attempts t s = t.attempts.(s) <- 0
+let quarantines t = t.quarantines
+let readmits t = t.readmits
+
+(* Degrade keeps the first reason: once a domain is suspect, later faults
+   add nothing, and quarantined/repairing domains are already isolated. *)
+let degrade t domain reason =
+  match get t domain with
+  | Healthy -> set t domain (Degraded reason)
+  | Degraded _ | Quarantined _ | Repairing _ -> ()
+
+(* The repair daemon claims a degraded shard; Mount never quarantines. *)
+let quarantine t s =
+  match t.shards.(s) with
+  | Degraded reason -> set t (Shard s) (Quarantined reason)
+  | Healthy | Quarantined _ | Repairing _ -> ()
+
+let start_repair t s =
+  match t.shards.(s) with
+  | Quarantined reason -> set t (Shard s) (Repairing reason)
+  | Healthy | Degraded _ | Repairing _ -> ()
+
+(* Atomic re-admission: the shard is fully healthy again. *)
+let readmit t s =
+  reset_repair_attempts t s;
+  set t (Shard s) Healthy
+
+(* A failed repair drops the shard back to Degraded so the daemon can
+   retry (or give up) without leaving it stuck in Repairing. *)
+let fail_repair t s reason =
+  note_repair_failure t s;
+  set t (Shard s) (Degraded reason)
+
+(* --- in-place mount repair (unsharded: the only domain there is) ---
+
+   The Mount domain never quarantines — there is no sibling to keep
+   serving — so its repair runs in place against a Degraded mount: reads
+   keep being served throughout, mutations keep failing EROFS, and
+   re-admission is a single Degraded -> Healthy transition once the
+   repair pass has verified the image clean. *)
+
+let mount_repair_attempts t = t.mount_attempts
+
+let readmit_mount t =
+  match !(t.mount) with
+  | Degraded _ ->
+    t.mount_attempts <- 0;
+    set t Mount Healthy
+  | Healthy | Quarantined _ | Repairing _ -> ()
+
+let fail_mount_repair t reason =
+  t.mount_attempts <- t.mount_attempts + 1;
+  match !(t.mount) with
+  | Degraded _ -> set t Mount (Degraded reason)
+  | Healthy | Quarantined _ | Repairing _ -> ()
+
+(* --- op-routing predicates --- *)
+
+(* Writes need the mount and the home shard both write-capable. *)
+let writable_reason t s =
+  match !(t.mount) with
+  | Degraded r | Quarantined r | Repairing r -> Some (Mount, r)
+  | Healthy -> (
+    match t.shards.(s) with
+    | Healthy -> None
+    | Degraded r | Quarantined r | Repairing r -> Some (Shard s, r))
+
+(* Reads survive degradation (DRAM may hold the only good copy) but fail
+   fast on an isolated shard. *)
+let readable_reason t s =
+  match t.shards.(s) with
+  | Healthy | Degraded _ -> None
+  | Quarantined r | Repairing r -> Some (Shard s, r)
+
+let mount_state t = !(t.mount)
+let shard_state t s = t.shards.(s)
+
+let all_healthy t =
+  !(t.mount) = Healthy && Array.for_all (fun s -> s = Healthy) t.shards
+
+(* First non-healthy domain, for one-line summaries. *)
+let worst t =
+  let acc = ref (Mount, !(t.mount)) in
+  (match !(t.mount) with
+  | Healthy ->
+    (try
+       Array.iteri
+         (fun s st ->
+           if st <> Healthy then begin
+             acc := (Shard s, st);
+             raise Exit
+           end)
+         t.shards
+     with Exit -> ())
+  | _ -> ());
+  !acc
+
+let pp ppf t =
+  let pp_domain d st =
+    match st with
+    | Healthy -> Fmt.pf ppf "%s: healthy@," (domain_name d)
+    | st ->
+      Fmt.pf ppf "%s: %s (%s)@," (domain_name d) (state_name st)
+        (match state_reason st with Some r -> r | None -> "")
+  in
+  Fmt.pf ppf "@[<v>";
+  pp_domain Mount !(t.mount);
+  Array.iteri (fun s st -> pp_domain (Shard s) st) t.shards;
+  Fmt.pf ppf "@]"

@@ -33,7 +33,8 @@ type t = {
   mutable mounted : bool;
   recovered_txns : int;
   recovered_by_shard : int array; (* rolled-back txns per shard journal *)
-  mutable read_only : string option; (* degradation reason; None = rw *)
+  health : Health.t; (* per-fault-domain state machine *)
+  mutable retry : Fault.retry_policy; (* transient-read retry/backoff *)
 }
 
 let ctx t = t.ctx
@@ -60,44 +61,122 @@ let free_inodes t = Fs_ctx.free_inodes t.ctx
 let sabotage_skip_epoch = ref false
 let set_sabotage_skip_epoch v = sabotage_skip_epoch := v
 
-(* --- graceful degradation ---
+(* --- graceful degradation (per fault domain) ---
 
-   An unrecoverable metadata fault must not abort the machine: the mount
-   degrades to read-only (mutations raise EROFS, reads are still served),
-   exactly the ladder real PM file systems climb: retry, repair, then
-   fail the writes but keep serving what is still readable. *)
+   An unrecoverable metadata fault must not abort the machine. PR 2
+   degraded the whole mount read-only; with the hot state sharded, the
+   blast radius of a fault is one shard (its journal sub-region, allocator
+   ranges, inode range), so each shard is now its own fault domain with a
+   Healthy -> Degraded -> Quarantined -> Repairing state machine (see
+   {!Health}). Unsharded mounts keep the old behaviour: every fault lands
+   on the [Mount] domain, which only ever reaches [Degraded]. *)
 
-let read_only t = t.read_only <> None
-let read_only_reason t = t.read_only
+let health t = t.health
+let retry_policy t = t.retry
+let set_retry_policy t policy = t.retry <- policy
 
-let degrade t reason =
-  match t.read_only with
-  | Some _ -> () (* first reason wins *)
-  | None -> t.read_only <- Some reason
+(* Whole-mount view, unchanged for shards = 1: [read_only] means no write
+   anywhere can succeed. *)
+let read_only t = Health.mount_state t.health <> Health.Healthy
+
+let read_only_reason t =
+  Health.state_reason (Health.mount_state t.health)
+
+(* Any domain unhealthy: the image must not be certified clean. *)
+let fully_healthy t = Health.all_healthy t.health
+
+(* Route a fault to its owning domain: sharded mounts degrade just the
+   shard, unsharded mounts (and shard-unattributable faults) the mount. *)
+let domain_for t s =
+  if shard_count t > 1 then Health.Shard s else Health.Mount
+
+let degrade t reason = Health.degrade t.health Health.Mount reason
+let degrade_shard t s reason = Health.degrade t.health (domain_for t s) reason
 
 let check_writable t =
-  match t.read_only with
+  match Health.mount_state t.health with
+  | Health.Healthy -> ()
+  | st ->
+    Errno.raise_error EROFS "file system is read-only: %s"
+      (match Health.state_reason st with Some r -> r | None -> "")
+
+(* Writes need the mount and the inode's home shard; reads survive a
+   degraded shard (DRAM or replicas may hold the only good copy) but fail
+   fast once the repair daemon has isolated it. *)
+let check_writable_ino t ~ino =
+  match Health.writable_reason t.health (shard_of_ino t ino) with
   | None -> ()
-  | Some reason ->
-    Errno.raise_error EROFS "file system is read-only: %s" reason
+  | Some (domain, reason) ->
+    Errno.raise_error EROFS "%s is read-only: %s"
+      (Health.domain_name domain) reason
 
-(* Bounded retry for transient media faults; unrecoverable (poisoned-line)
-   faults surface as EIO on the data path. The retry re-runs the whole
-   chunk load and pays its latency again, like a machine-check handler
-   restarting the copy. *)
-let max_read_retries = 3
+let check_readable_ino t ~ino =
+  match Health.readable_reason t.health (shard_of_ino t ino) with
+  | None -> ()
+  | Some (domain, reason) ->
+    Errno.raise_error EIO "%s is quarantined: %s" (Health.domain_name domain)
+      reason
 
+(* Which shard owns a faulting byte address, for blast-radius attribution:
+   journal sub-regions, inode-table slots, and data blocks all map to a
+   shard; superblock / epoch-record / index addresses do not. *)
+let shard_of_addr t addr =
+  let geo = geometry t in
+  let bs = geo.Layout.block_size in
+  let block = addr / bs in
+  if block >= geo.Layout.data_start && block < geo.Layout.data_end then
+    Some (Layout.shard_of_block geo block)
+  else if
+    block >= geo.Layout.itable_start
+    && block < geo.Layout.itable_start + geo.Layout.itable_blocks
+  then begin
+    let itable_addr = geo.Layout.itable_start * bs in
+    let ino = ((addr - itable_addr) / Layout.inode_size) + 1 in
+    if ino >= 1 && ino <= geo.Layout.inode_count then
+      Some (Layout.shard_of_ino geo ino)
+    else None
+  end
+  else if block >= geo.Layout.journal_start
+          && block < geo.Layout.journal_start + geo.Layout.journal_blocks
+  then begin
+    let per = geo.Layout.journal_blocks / geo.Layout.shards in
+    if per = 0 then None
+    else Some (min ((block - geo.Layout.journal_start) / per)
+                 (geo.Layout.shards - 1))
+  end
+  else None
+
+(* Bounded retry for transient media faults, with a configurable
+   deterministic backoff charged on the virtual clock (so retries are
+   visible in the dev.retry histogram, not free). Unrecoverable
+   (poisoned-line) faults degrade the owning fault domain and surface as
+   EIO on the data path: the repair daemon takes it from there. *)
 let read_retrying t ~cat ~addr ~len ~into ~off =
   let stats = Fs_ctx.stats t.ctx in
+  let policy = t.retry in
   let rec go attempt =
     try Device.read (device t) ~cat ~addr ~len ~into ~off with
     | Fault.Media_error { transient = true; _ }
-      when attempt < max_read_retries ->
+      when attempt < policy.Fault.max_retries ->
       Stats.add_media_retry stats;
+      let backoff = Fault.retry_backoff_ns policy ~attempt in
+      if backoff > 0 then begin
+        let t0 = Engine.now (Device.engine (device t)) in
+        Stats.add_time stats cat (Int64.of_int backoff);
+        Proc.delay_int backoff;
+        Obs.span_since Obs.Dev_retry ~t0
+      end;
       go (attempt + 1)
   in
   try go 0 with
-  | Fault.Media_error { addr = fault_addr; _ } ->
+  | Fault.Media_error { addr = fault_addr; transient } ->
+    (match shard_of_addr t fault_addr with
+    | Some s ->
+      degrade_shard t s
+        (Fmt.str "uncorrectable media error at %#x" fault_addr)
+    | None ->
+      degrade t (Fmt.str "uncorrectable media error at %#x" fault_addr));
+    ignore transient;
     Errno.raise_error EIO "uncorrectable NVMM media error at %#x" fault_addr
 
 let now t = Engine.now (Device.engine (device t))
@@ -144,9 +223,11 @@ let rebuild_allocators ctx =
 (* Mount-time poison sweep: a poisoned cacheline inside a live inode's
    slot means metadata we can neither trust nor rebuild — there is no
    replica of the inode table. That is the unrecoverable rung of the
-   degradation ladder: mount read-only. Poison over free inode slots is
-   harmless here (the scrubber zeroes it). *)
-let itable_poison_reason device geo =
+   degradation ladder. The damage is attributed per shard (the inode range
+   is partitioned), so on a sharded mount only the owning shard degrades.
+   Poison over free inode slots is harmless here (the scrubber zeroes
+   it). Returns [(shard, reason)] pairs. *)
+let itable_poison_reasons device geo =
   let bs = geo.Layout.block_size in
   let itable_addr = geo.Layout.itable_start * bs in
   let itable_len = geo.Layout.itable_blocks * bs in
@@ -161,16 +242,27 @@ let itable_poison_reason device geo =
       (Device.verify_range device ~addr:itable_addr ~len:itable_len)
     |> List.sort_uniq compare
   in
-  match bad with
-  | [] -> None
-  | inos ->
-    Some
-      (Fmt.str "poisoned inode table (inode%s %a)"
-         (if List.length inos = 1 then "" else "s")
-         Fmt.(list ~sep:comma int)
-         inos)
+  let by_shard = Hashtbl.create 4 in
+  List.iter
+    (fun ino ->
+      let s = Layout.shard_of_ino geo ino in
+      Hashtbl.replace by_shard s
+        (ino :: (try Hashtbl.find by_shard s with Not_found -> [])))
+    bad;
+  Hashtbl.fold
+    (fun s inos acc ->
+      let inos = List.rev inos in
+      ( s,
+        Fmt.str "poisoned inode table (inode%s %a)"
+          (if List.length inos = 1 then "" else "s")
+          Fmt.(list ~sep:comma int)
+          inos )
+      :: acc)
+    by_shard []
+  |> List.sort compare
 
-let mount device ?(sync_mount = false) ?(journal_cleaner = false) () =
+let mount device ?(sync_mount = false) ?(journal_cleaner = false)
+    ?(retry = Fault.default_retry) () =
   match Layout.read_superblock device with
   | `Absent -> Errno.raise_error EINVAL "no PMFS superblock on device"
   | `Corrupt ->
@@ -234,22 +326,29 @@ let mount device ?(sync_mount = false) ?(journal_cleaner = false) () =
         mounted = true;
         recovered_txns = rolled_back;
         recovered_by_shard = Array.map (fun r -> r.Log.rolled_back) recoveries;
-        read_only = None;
+        health = Health.create ~shards:nshards;
+        retry;
       }
     in
-    if dropped > 0 then
-      degrade t
-        (Fmt.str "%d untrusted journal record(s) dropped during recovery"
-           dropped);
-    (match itable_poison_reason device geo with
-    | Some reason -> degrade t reason
-    | None -> ());
+    (* Dropped (untrusted) journal records degrade only the shard whose
+       sub-region held them: each shard's journal covers that shard's
+       metadata, so siblings stay read-write. *)
+    Array.iteri
+      (fun s r ->
+        if r.Log.dropped > 0 then
+          degrade_shard t s
+            (Fmt.str "%d untrusted journal record(s) dropped during recovery"
+               r.Log.dropped))
+      recoveries;
+    List.iter
+      (fun (s, reason) -> degrade_shard t s reason)
+      (itable_poison_reasons device geo);
     t
 
 let mkfs_and_mount device ?journal_blocks ?inodes_per_mb ?shards ?sync_mount
-    ?journal_cleaner () =
+    ?journal_cleaner ?retry () =
   mkfs device ?journal_blocks ?inodes_per_mb ?shards ();
-  mount device ?sync_mount ?journal_cleaner ()
+  mount device ?sync_mount ?journal_cleaner ?retry ()
 
 (* Wire an operation-level fault injector into every software resource
    path of this mount: data-block allocation, inode allocation, and
@@ -314,10 +413,15 @@ module Data = struct
 
   (* Find-or-allocate the NVMM home block for [fblock] inside [txn];
      zero-filling a fresh block's uncovered range is the caller's job.
-     Updates the inode's block count. Returns the blocks allocated by the
-     call (index nodes + data) so an aborting caller can reclaim them. *)
-  let ensure_block t txn ~ino ~fblock =
-    let block, fresh, allocated = Block_tree.ensure t.ctx txn ~ino ~fblock in
+     Updates the inode's block count. Blocks allocated by the call (index
+     nodes + data) are pushed onto [allocated] *before* the block-count
+     journaling below, which can itself fail mid-op (journal exhaustion,
+     injected fault): recording them first means an aborting caller
+     reclaims them even when this call raises, so a failed write leaks
+     nothing. *)
+  let ensure_block t txn ~ino ~fblock ~allocated =
+    let block, fresh, blocks = Block_tree.ensure t.ctx txn ~ino ~fblock in
+    allocated := blocks @ !allocated;
     if fresh then begin
       let device = device t in
       let geo = geometry t in
@@ -326,7 +430,7 @@ module Data = struct
       Layout.Inode.set_blocks device ~cat:Stats.Other geo ino
         (Layout.Inode.blocks device geo ino + 1)
     end;
-    (block, fresh, allocated)
+    (block, fresh)
 
   (* Journaled size + mtime update. *)
   let update_size t txn ~ino ~size =
@@ -373,6 +477,7 @@ end
 (* --- file read/write --- *)
 
 let read t ~ino ~off ~len ~into ~into_off =
+  check_readable_ino t ~ino;
   check_ino t ino;
   if off < 0 || len < 0 then Errno.raise_error EINVAL "bad read range";
   let geo = geometry t in
@@ -406,7 +511,7 @@ let read t ~ino ~off ~len ~into ~into_off =
    writeback daemons. *)
 let write_direct ?(background = false) ?(cat = Stats.Write_access) t ~ino ~off
     ~src ~src_off ~len =
-  check_writable t;
+  check_writable_ino t ~ino;
   check_ino t ino;
   if off < 0 || len < 0 then Errno.raise_error EINVAL "bad write range";
   let geo = geometry t in
@@ -433,10 +538,9 @@ let write_direct ?(background = false) ?(cat = Stats.Write_access) t ~ino ~off
         match Data.lookup_block t ~ino ~fblock with
         | Some block -> block
         | None ->
-          let block, fresh, blocks =
-            Data.ensure_block t (get_txn ()) ~ino ~fblock
+          let block, fresh =
+            Data.ensure_block t (get_txn ()) ~ino ~fblock ~allocated
           in
-          allocated := blocks @ !allocated;
           if fresh then
             Data.zero_fresh_block ~background t ~cat ~block
               ~covered_start:in_block ~covered_end:(in_block + chunk);
@@ -481,7 +585,7 @@ let write t ~ino ~off ~src ~src_off ~len ~sync =
   write_direct t ~ino ~off ~src ~src_off ~len
 
 let truncate t ~ino ~size =
-  check_writable t;
+  check_writable_ino t ~ino;
   check_ino t ino;
   if size < 0 then Errno.raise_error EINVAL "negative size";
   let geo = geometry t in
@@ -520,6 +624,9 @@ let truncate t ~ino ~size =
   end
 
 let fsync t ~ino =
+  (* Acknowledging durability on an isolated shard would be a lie: fail
+     fast like reads do. Degraded (not yet isolated) shards still fence. *)
+  check_readable_ino t ~ino;
   check_ino t ino;
   (* All PMFS data and committed metadata are already persistent; fsync
      reduces to an ordering fence. *)
@@ -552,7 +659,7 @@ let init_inode t log txn ~ino ~kind =
   Layout.Inode.set_blocks device ~cat:Stats.Other geo ino 0
 
 let create_entry t ~dir name ~kind =
-  check_writable t;
+  check_writable_ino t ~ino:dir;
   check_ino t dir;
   if inode_kind t dir <> Layout.Inode.kind_directory then
     Errno.raise_error ENOTDIR "inode %d is not a directory" dir;
@@ -610,7 +717,7 @@ let free_inode t log txn ~ino =
   detached
 
 let unlink t ~dir name =
-  check_writable t;
+  check_writable_ino t ~ino:dir;
   check_ino t dir;
   match Dir.find t.ctx ~dir name with
   | None -> Errno.raise_error ENOENT "no entry %S" name
@@ -637,7 +744,7 @@ let unlink t ~dir name =
       Fs_ctx.free_ino t.ctx ino
 
 let rmdir t ~dir name =
-  check_writable t;
+  check_writable_ino t ~ino:dir;
   check_ino t dir;
   match Dir.find t.ctx ~dir name with
   | None -> Errno.raise_error ENOENT "no entry %S" name
@@ -744,7 +851,8 @@ let rename_cross_shard t ~src_dir ~src ~dst_dir ~dst ~ino =
   | None -> ()
 
 let rename t ~src_dir ~src ~dst_dir ~dst =
-  check_writable t;
+  check_writable_ino t ~ino:src_dir;
+  check_writable_ino t ~ino:dst_dir;
   check_ino t src_dir;
   check_ino t dst_dir;
   match Dir.find t.ctx ~dir:src_dir src with
@@ -766,9 +874,10 @@ let unmount t =
   if t.mounted then begin
     t.mounted <- false;
     Fs_ctx.iter_shards t.ctx (fun _ sh -> Log.stop_cleaner sh.Fs_ctx.log);
-    (* A degraded mount never certifies the image clean: the next mount
-       must re-run recovery and re-detect the damage. *)
-    if not (read_only t) then
+    (* A mount with any unhealthy fault domain never certifies the image
+       clean: the next mount must re-run recovery and re-detect the
+       damage. *)
+    if fully_healthy t then
       Layout.write_superblock (device t) (geometry t) ~clean:true
   end
 

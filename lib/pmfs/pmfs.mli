@@ -22,7 +22,12 @@ val mkfs :
     into per-shard allocator ranges (Layout v3). *)
 
 val mount :
-  Hinfs_nvmm.Device.t -> ?sync_mount:bool -> ?journal_cleaner:bool -> unit -> t
+  Hinfs_nvmm.Device.t ->
+  ?sync_mount:bool ->
+  ?journal_cleaner:bool ->
+  ?retry:Hinfs_nvmm.Fault.retry_policy ->
+  unit ->
+  t
 (** Mounts the device (running undo-log recovery if the previous session
     did not unmount cleanly) and rebuilds the DRAM allocators from the live
     inode trees. [journal_cleaner] spawns the background log cleaner (call
@@ -35,6 +40,7 @@ val mkfs_and_mount :
   ?shards:int ->
   ?sync_mount:bool ->
   ?journal_cleaner:bool ->
+  ?retry:Hinfs_nvmm.Fault.retry_policy ->
   unit ->
   t
 
@@ -51,23 +57,56 @@ val attach_faultops : t -> Hinfs_nvmm.Faultops.t option -> unit
     slot allocation. [None] detaches. Injected failures take the same
     ENOSPC / [Journal_full] paths genuine exhaustion would. *)
 
-(** {1 Graceful degradation}
+(** {1 Graceful degradation (per fault domain)}
 
-    An unrecoverable metadata fault (poisoned live inode slot, untrusted
-    journal records dropped during recovery) flips the mount to read-only:
-    mutations raise [EROFS], reads are still served. Transient media
-    faults on the data path are retried a bounded number of times;
-    persistent ones surface as [EIO]. *)
+    Each shard is a fault domain with its own
+    [Healthy -> Degraded -> Quarantined -> Repairing] state machine
+    ({!Health}): an unrecoverable metadata fault (poisoned live inode
+    slot, untrusted journal records dropped during recovery) degrades
+    only the owning shard; siblings keep serving read-write. On an
+    unsharded mount every fault lands on the [Mount] domain, reproducing
+    the PR 2 whole-mount behaviour. Transient media faults on the data
+    path are retried under a configurable backoff policy charged on the
+    virtual clock; persistent ones surface as [EIO]. *)
+
+val health : t -> Health.t
+
+val retry_policy : t -> Hinfs_nvmm.Fault.retry_policy
+val set_retry_policy : t -> Hinfs_nvmm.Fault.retry_policy -> unit
 
 val read_only : t -> bool
+(** Whole-mount view: [true] when the [Mount] domain is unhealthy (no
+    write anywhere can succeed). Individual shards may be degraded while
+    this is [false]. *)
+
 val read_only_reason : t -> string option
 
+val fully_healthy : t -> bool
+(** Every fault domain healthy; only then does unmount certify the image
+    clean. *)
+
 val degrade : t -> string -> unit
-(** Flip the mount to read-only with a reason (first reason wins). Used by
-    mount, recovery, and the scrubber when repair is impossible. *)
+(** Degrade the [Mount] domain with a reason (first reason wins). Used
+    for faults no shard owns: superblock, epoch record. *)
+
+val degrade_shard : t -> int -> string -> unit
+(** Degrade shard [s]'s domain ([Mount] when the mount is unsharded). *)
+
+val shard_of_addr : t -> int -> int option
+(** Which shard owns a byte address (journal sub-region, inode-table
+    slot, or data block), for fault attribution; [None] for mount-scoped
+    addresses (superblock, epoch record). *)
 
 val check_writable : t -> unit
-(** Raise [EROFS] when the mount is degraded; mutations call this first. *)
+(** Raise [EROFS] when the [Mount] domain is degraded. *)
+
+val check_writable_ino : t -> ino:int -> unit
+(** Raise [EROFS] when the mount or [ino]'s home shard cannot take
+    writes; mutations call this first. *)
+
+val check_readable_ino : t -> ino:int -> unit
+(** Raise [EIO] when [ino]'s home shard is quarantined or under repair
+    (degraded shards still serve reads). *)
 
 (** {1 Accessors} *)
 
@@ -147,10 +186,12 @@ module Data : sig
 
   val ensure_block :
     t -> Hinfs_journal.Cacheline_log.txn -> ino:int -> fblock:int ->
-    int * bool * int list
+    allocated:int list ref -> int * bool
   (** Find-or-allocate the NVMM home block inside [txn]. Returns
-      [(block, fresh, allocated)] where [allocated] lists every block this
-      call allocated (for reclaim if the transaction aborts). *)
+      [(block, fresh)]; every block the call allocated (index nodes +
+      data) is pushed onto [allocated] before anything that can raise, so
+      the caller can reclaim them when the transaction aborts — even when
+      [ensure_block] itself raises mid-op. *)
 
   val update_size :
     t -> Hinfs_journal.Cacheline_log.txn -> ino:int -> size:int -> unit

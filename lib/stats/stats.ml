@@ -75,6 +75,10 @@ type t = {
   mutable recoveries : int; (* unclean mounts that ran log recovery *)
   mutable recovered_txns : int; (* uncommitted transactions rolled back *)
   mutable recovery_dropped : int; (* journal entries dropped as unusable *)
+  (* fault-domain health accounting *)
+  mutable shard_quarantines : int; (* shards claimed for isolation *)
+  mutable shard_repairs : int; (* online repairs completed successfully *)
+  mutable shard_repair_failures : int; (* repair attempts that failed *)
   (* block-tier request accounting (NVMMBD) *)
   mutable block_read_requests : int;
   mutable block_write_requests : int;
@@ -130,6 +134,9 @@ let create () =
     recoveries = 0;
     recovered_txns = 0;
     recovery_dropped = 0;
+    shard_quarantines = 0;
+    shard_repairs = 0;
+    shard_repair_failures = 0;
     block_read_requests = 0;
     block_write_requests = 0;
     block_absorbed_writes = 0;
@@ -170,6 +177,9 @@ let reset t =
   t.recoveries <- 0;
   t.recovered_txns <- 0;
   t.recovery_dropped <- 0;
+  t.shard_quarantines <- 0;
+  t.shard_repairs <- 0;
+  t.shard_repair_failures <- 0;
   t.block_read_requests <- 0;
   t.block_write_requests <- 0;
   t.block_absorbed_writes <- 0
@@ -316,6 +326,18 @@ let add_recovery t ~rolled_back ~dropped =
 let recoveries t = t.recoveries
 let recovered_txns t = t.recovered_txns
 let recovery_dropped t = t.recovery_dropped
+
+(* --- fault-domain health --- *)
+
+let add_quarantine t = t.shard_quarantines <- t.shard_quarantines + 1
+
+let add_shard_repair t ~ok =
+  if ok then t.shard_repairs <- t.shard_repairs + 1
+  else t.shard_repair_failures <- t.shard_repair_failures + 1
+
+let shard_quarantines t = t.shard_quarantines
+let shard_repairs t = t.shard_repairs
+let shard_repair_failures t = t.shard_repair_failures
 
 (* --- block-tier requests --- *)
 

@@ -139,6 +139,19 @@ val recoveries : t -> int
 val recovered_txns : t -> int
 val recovery_dropped : t -> int
 
+(** {1 Fault-domain health}
+
+    Counters for the per-shard health state machine: shards claimed for
+    isolation by the repair daemon, and online repairs that completed or
+    failed (a failed repair returns the shard to degraded for another
+    attempt). *)
+
+val add_quarantine : t -> unit
+val add_shard_repair : t -> ok:bool -> unit
+val shard_quarantines : t -> int
+val shard_repairs : t -> int
+val shard_repair_failures : t -> int
+
 (** {1 Block-tier requests}
 
     Per-request counters for the NVMMBD block layer, so destage and

@@ -1,4 +1,14 @@
-(** POSIX-flavoured file system error codes. *)
+(** POSIX-flavoured file system error codes.
+
+    Fault-domain contract: backends with per-shard fault domains scope
+    these errors to the failing domain, not the mount. An op landing in a
+    {e Degraded} domain raises [EROFS] for mutations while reads are
+    still served; once the domain is {e Quarantined} or {e Repairing},
+    reads and fsync raise [EIO] as well — both fail fast, before any
+    state is touched. Ops on healthy sibling domains of the same mount
+    must keep succeeding; only a mount-scoped fault (superblock, whole-
+    mount degradation on unsharded backends) makes every mutation raise
+    [EROFS]. *)
 
 type t =
   | ENOENT
@@ -10,8 +20,8 @@ type t =
   | EINVAL
   | ENOTEMPTY
   | EFBIG
-  | EROFS
-  | EIO  (** uncorrectable media error reached the data path *)
+  | EROFS  (** mutation into a read-only mount or degraded fault domain *)
+  | EIO  (** uncorrectable media error, or a quarantined fault domain *)
 
 exception Fs_error of t * string
 

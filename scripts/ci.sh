@@ -3,6 +3,11 @@
 # smoke aliases re-run explicitly so their output lands in the CI log
 # even when dune serves them from cache, and finally the perf-baseline
 # determinism check.
+#
+# The oracle-checked soaks additionally run under a small SOAK_SEED
+# matrix: every seed drives a different op mix, crash fence, and fault
+# schedule, so three seeds triple the state space each gate covers
+# without touching the (seeded, reproducible) default runtest pass.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -11,10 +16,14 @@ dune build
 dune runtest
 
 dune build @crashmc-recovery --force
-dune build @torture-soak --force
 dune build @obs-smoke --force
-dune build @nvcache-soak --force
-dune build @snapshot-soak --force
-dune build @shard-soak --force
+
+for seed in 4242 1001 90210; do
+  SOAK_SEED=$seed dune build @torture-soak --force
+  SOAK_SEED=$seed dune build @nvcache-soak --force
+  SOAK_SEED=$seed dune build @snapshot-soak --force
+  SOAK_SEED=$seed dune build @shard-soak --force
+  SOAK_SEED=$seed dune build @chaos-soak --force
+done
 
 sh scripts/bench_check.sh

@@ -187,7 +187,11 @@ let run_soak () =
         done;
         if Rng.int rng 2 = 0 then begin
           Cowfs.txn_commit fs;
-          List.iter (fun (n, d) -> Hashtbl.replace oracle n d) !staged;
+          (* [staged] is newest-first; replay oldest-first so that when a
+             name was written twice inside the transaction the oracle
+             keeps the newest data, as the file system does. *)
+          List.iter (fun (n, d) -> Hashtbl.replace oracle n d)
+            (List.rev !staged);
           incr ops_ok
         end
         else begin

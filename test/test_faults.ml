@@ -354,6 +354,172 @@ let test_itable_poison_mounts_read_only () =
              Pmfs.unlink fs ~dir:root "victim"));
       ignore stats)
 
+(* --- per-shard fault domains --- *)
+
+module Vfs = Hinfs_vfs.Vfs
+module Types = Hinfs_vfs.Types
+module Health = Hinfs_pmfs.Health
+module Obs = Hinfs_obs.Obs
+module Hist = Hinfs_obs.Hist
+
+(* Satellite: ops crossing the VFS boundary into a quarantined shard fail
+   fast (reads/fsync EIO, mutations EROFS) while sibling shards in the
+   same mount keep serving create/write/fsync — and the mount itself
+   never goes read-only. *)
+let test_quarantine_vfs_boundary () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let fs = Pmfs.mkfs_and_mount d ~journal_blocks:32 ~shards:4 () in
+      let h = Pmfs.handle fs in
+      (* One directory per shard, names derived from the owner probe. *)
+      let dir_of = Array.make 4 None in
+      for i = 0 to 15 do
+        let name = Fmt.str "c%d" i in
+        let ino = Pmfs.mkdir fs ~dir:root name in
+        let s = Pmfs.shard_of_ino fs ino in
+        if dir_of.(s) = None then dir_of.(s) <- Some name
+      done;
+      let dir s = Option.get dir_of.(s) in
+      let victim = 1 in
+      let sibling = 2 in
+      let payload = Bytes.make 512 'q' in
+      let vfile = Fmt.str "/%s/f" (dir victim) in
+      let sfile = Fmt.str "/%s/f" (dir sibling) in
+      let vfd = h.Vfs.open_ vfile { Types.creat with Types.read = true } in
+      let sfd = h.Vfs.open_ sfile { Types.creat with Types.read = true } in
+      ignore (h.Vfs.pwrite vfd ~off:0 payload 512);
+      ignore (h.Vfs.pwrite sfd ~off:0 payload 512);
+      h.Vfs.fsync vfd;
+      h.Vfs.fsync sfd;
+      (* Degraded: reads still served, mutations rejected. *)
+      Pmfs.degrade_shard fs victim "test: induced fault";
+      let buf = Bytes.create 512 in
+      check_int "degraded shard still serves reads" 512
+        (h.Vfs.pread vfd ~off:0 buf 512);
+      check_bool "degraded shard rejects writes EROFS" true
+        (raises_errno Errno.EROFS (fun () -> h.Vfs.pwrite vfd ~off:0 payload 512));
+      (* Quarantined: reads fail fast too. *)
+      Health.quarantine (Pmfs.health fs) victim;
+      check_bool "quarantined shard read raises EIO" true
+        (raises_errno Errno.EIO (fun () -> h.Vfs.pread vfd ~off:0 buf 512));
+      check_bool "quarantined shard fsync raises EIO" true
+        (raises_errno Errno.EIO (fun () -> h.Vfs.fsync vfd));
+      check_bool "quarantined shard create raises EROFS" true
+        (raises_errno Errno.EROFS (fun () ->
+             h.Vfs.open_ (Fmt.str "/%s/new" (dir victim)) Types.creat));
+      (* Containment: the sibling shard and the mount are untouched. *)
+      check_bool "mount never flips read-only" false (Pmfs.read_only fs);
+      let nfd =
+        h.Vfs.open_
+          (Fmt.str "/%s/new" (dir sibling))
+          { Types.creat with Types.read = true }
+      in
+      ignore (h.Vfs.pwrite nfd ~off:0 payload 512);
+      h.Vfs.fsync nfd;
+      check_int "sibling shard serves reads" 512 (h.Vfs.pread nfd ~off:0 buf 512);
+      (* Re-admission restores the victim to full service. *)
+      Health.start_repair (Pmfs.health fs) victim;
+      check_bool "repairing shard still fails reads" true
+        (raises_errno Errno.EIO (fun () -> h.Vfs.pread vfd ~off:0 buf 512));
+      Health.readmit (Pmfs.health fs) victim;
+      ignore (h.Vfs.pwrite vfd ~off:0 payload 512);
+      h.Vfs.fsync vfd;
+      check_int "re-admitted shard serves reads" 512
+        (h.Vfs.pread vfd ~off:0 buf 512);
+      check_bool "all domains healthy again" true (Pmfs.fully_healthy fs))
+
+(* Satellite: the transient-read retry policy is configurable and its
+   backoff is charged on the virtual clock, visible in the dev.retry
+   histogram. *)
+let test_retry_backoff_charged () =
+  let obs_ref = ref None in
+  Fun.protect ~finally:(fun () -> Obs.uninstall ()) (fun () ->
+      Testkit.run_sim (fun engine ->
+          let obs = Obs.create engine in
+          Obs.install obs;
+          obs_ref := Some obs;
+          let stats = Stats.create () in
+          let d, fs = Testkit.make_pmfs ~stats engine in
+          Pmfs.set_retry_policy fs
+            { Fault.max_retries = 2; backoff_ns = 5_000; backoff_multiplier = 2 };
+          let len = 4096 in
+          let payload = Testkit.pattern_bytes ~seed:21 len in
+          let ino = Pmfs.create_file fs ~dir:root "jittery" in
+          ignore
+            (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len ~sync:true);
+          (* Every fresh line faults once; a single-line read therefore
+             faults on the first attempt and succeeds on the retry. *)
+          Device.set_fault_model d
+            (Some (Fault.create ~transient_rate:1.0 ~seed:11L ()));
+          let t0 = Engine.now engine in
+          let buf = Bytes.create line_size in
+          let n =
+            Pmfs.read fs ~ino ~off:0 ~len:line_size ~into:buf ~into_off:0
+          in
+          check_int "read completes under storm" line_size n;
+          Testkit.check_bytes "retried read returns true data"
+            (Bytes.sub payload 0 line_size)
+            buf;
+          let retries = Stats.media_retries stats in
+          check_bool "retries recorded" true (retries > 0);
+          let elapsed = Int64.sub (Engine.now engine) t0 in
+          check_bool "backoff charged on the virtual clock" true
+            (Int64.compare elapsed (Int64.of_int (retries * 5_000)) >= 0);
+          check_bool "no degradation from transient faults" true
+            (Pmfs.fully_healthy fs));
+      match !obs_ref with
+      | None -> Alcotest.fail "obs sink never installed"
+      | Some obs ->
+        check_bool "dev.retry histogram populated" true
+          ((Obs.hist obs Obs.Dev_retry).Hist.count > 0))
+
+(* An unsharded mount is its own (only) fault domain, and it is not
+   degraded-forever: the repair pass runs in place — journal re-replay,
+   scrub, fsck — and re-admits the mount once the image verifies clean. *)
+let test_mount_repair_in_place () =
+  Testkit.run_sim (fun engine ->
+      let stats = Stats.create () in
+      let d, fs = Testkit.make_pmfs ~stats engine in
+      let len = 4096 in
+      let payload = Testkit.pattern_bytes ~seed:33 len in
+      let ino = Pmfs.create_file fs ~dir:root "survivor" in
+      ignore (Pmfs.write fs ~ino ~off:0 ~src:payload ~src_off:0 ~len ~sync:true);
+      (* Latent damage the scrubber can heal: poison over the (idle)
+         journal region, plus the mount-level degradation a foreground
+         uncorrectable metadata read would have caused. *)
+      let fm = Fault.create ~seed:5L () in
+      Device.set_fault_model d (Some fm);
+      let geo = Pmfs.geometry fs in
+      let bs = geo.Hinfs_pmfs.Layout.block_size in
+      let first_block, _ = Hinfs_pmfs.Layout.journal_region geo 0 in
+      Fault.poison_line fm (first_block * bs / line_size);
+      Pmfs.degrade fs "uncorrectable media error (injected)";
+      check_bool "mount degraded read-only" true (Pmfs.read_only fs);
+      check_bool "mutations fail EROFS while degraded" true
+        (raises_errno Errno.EROFS (fun () ->
+             ignore (Pmfs.create_file fs ~dir:root "blocked")));
+      check_int "reads still served while degraded" len
+        (Pmfs.read fs ~ino ~off:0 ~len ~into:(Bytes.create len) ~into_off:0);
+      (* One in-place repair pass: drain (trivially empty), journal
+         re-replay, epoch heal, scrub, fsck verify, re-admit. *)
+      let repaired, failed = Hinfs_fsck.Repair.run_once fs in
+      check_int "one repair completed" 1 repaired;
+      check_int "no repair failed" 0 failed;
+      check_bool "mount re-admitted" true (Pmfs.fully_healthy fs);
+      check_bool "journal poison healed" true
+        (Device.verify_range d ~addr:(first_block * bs) ~len:bs = []);
+      (* Full read-write service is restored and data survived. *)
+      let ino2 = Pmfs.create_file fs ~dir:root "after-heal" in
+      ignore (Pmfs.write fs ~ino:ino2 ~off:0 ~src:payload ~src_off:0 ~len ~sync:true);
+      let buf = Bytes.create len in
+      check_int "survivor still reads" len
+        (Pmfs.read fs ~ino ~off:0 ~len ~into:buf ~into_off:0);
+      Testkit.check_bytes "survivor content intact" payload buf;
+      (* A healthy mount is a no-op for the next pass. *)
+      let r2, f2 = Hinfs_fsck.Repair.run_once fs in
+      check_int "healthy mount needs no repair" 0 r2;
+      check_int "healthy mount fails no repair" 0 f2)
+
 let () =
   Alcotest.run "faults"
     [
@@ -388,5 +554,14 @@ let () =
         [
           Alcotest.test_case "itable poison mounts read-only" `Quick
             test_itable_poison_mounts_read_only;
+        ] );
+      ( "fault-domains",
+        [
+          Alcotest.test_case "quarantine at the VFS boundary" `Quick
+            test_quarantine_vfs_boundary;
+          Alcotest.test_case "retry backoff charged on virtual clock" `Quick
+            test_retry_backoff_charged;
+          Alcotest.test_case "unsharded mount repaired in place" `Quick
+            test_mount_repair_in_place;
         ] );
     ]

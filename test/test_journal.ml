@@ -313,6 +313,88 @@ let test_block_journal_discards_uncommitted () =
       check_bool "not replayed" false replayed;
       Testkit.check_bytes "home untouched" before (Blockdev.peek_block bdev 300))
 
+(* --- epoch record: heal and generation reset --- *)
+
+module Epoch = Hinfs_journal.Epoch
+module Fault = Hinfs_nvmm.Fault
+
+let epoch_block = 12
+
+(* A poisoned epoch-record line reads conservatively as "no epoch
+   committed"; [Epoch.heal] re-persists the runtime watermark over the
+   untimed reliable path, clearing the poison without losing the
+   committed epoch. *)
+let test_epoch_heal_poisoned_record () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let fm = Fault.create ~seed:5L () in
+      Device.set_fault_model d (Some fm);
+      let ep = Epoch.create d ~block:epoch_block in
+      Epoch.commit ep 3;
+      check_int "watermark persisted" 3
+        (Epoch.read_committed d ~block:epoch_block);
+      let cfg = Device.config d in
+      let bs = cfg.Hinfs_nvmm.Config.block_size in
+      let ls = cfg.Hinfs_nvmm.Config.cacheline_size in
+      Fault.poison_line fm (epoch_block * bs / ls);
+      check_int "poisoned record reads as no commit" 0
+        (Epoch.read_committed d ~block:epoch_block);
+      Epoch.heal ep;
+      check_int "healed record restores watermark" 3
+        (Epoch.read_committed d ~block:epoch_block);
+      check_bool "poison cleared by heal" true
+        (Device.verify_range d ~addr:(epoch_block * bs) ~len:64 = []);
+      (* Healing is idempotent. *)
+      Epoch.heal ep;
+      check_int "second heal is a no-op" 3
+        (Epoch.read_committed d ~block:epoch_block))
+
+(* A crash in the middle of the mount-time generation reset must leave
+   the record reading as either the old watermark or zero — the reset
+   store is recorder-visible, so crash enumeration covers it, and the
+   single-cacheline record can never read as garbage. *)
+let test_epoch_reset_recrash () =
+  Testkit.run_sim (fun engine ->
+      let d = Testkit.make_device engine in
+      let ep = Epoch.create d ~block:epoch_block in
+      Epoch.commit ep 7;
+      Device.enable_recording d;
+      let captured = ref None in
+      Device.set_on_fence d (fun () ->
+          if !captured = None && Device.pending_choice_lines d > 0 then
+            captured :=
+              Some (Device.capture_crash_state ~label:"epoch-reset" d));
+      Epoch.reset d ~block:epoch_block;
+      Device.disable_recording d;
+      check_int "reset applied on the live device" 0
+        (Epoch.read_committed d ~block:epoch_block);
+      match !captured with
+      | None -> Alcotest.fail "reset fence captured no crash state"
+      | Some state ->
+        let counts =
+          List.map (fun (_, c) -> Array.length c) state.Device.cs_choices
+        in
+        check_bool "reset store is a crash choice" true (counts <> []);
+        (* Enumerate every materialisation of the single choice line. *)
+        List.iteri
+          (fun li n ->
+            for c = 0 to n - 1 do
+              let vec = Array.make (List.length counts) 0 in
+              vec.(li) <- c;
+              let image = Device.materialize_crash_image state ~choice:vec in
+              let d2 =
+                Device.of_snapshot engine (Stats.create ())
+                  Testkit.small_config image
+              in
+              let got = Epoch.read_committed d2 ~block:epoch_block in
+              check_bool
+                (Printf.sprintf "mid-reset image reads old or zero (got %d)"
+                   got)
+                true
+                (got = 0 || got = 7)
+            done)
+          counts)
+
 let () =
   Alcotest.run "journal"
     [
@@ -343,5 +425,12 @@ let () =
           Alcotest.test_case "replay" `Quick test_block_journal_replay;
           Alcotest.test_case "discard uncommitted" `Quick
             test_block_journal_discards_uncommitted;
+        ] );
+      ( "epoch-record",
+        [
+          Alcotest.test_case "heal poisoned record" `Quick
+            test_epoch_heal_poisoned_record;
+          Alcotest.test_case "re-crash mid generation reset" `Quick
+            test_epoch_reset_recrash;
         ] );
     ]

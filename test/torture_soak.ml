@@ -2,7 +2,10 @@
    and failure-atomic operations. One seeded run composes every failure
    mode the robustness work covers, on a single oracle-checked op mix:
 
-   - media faults (low-rate poison + transient) on the live device;
+   - media faults (low-rate poison + transient) on the live device; an
+     unrecoverable metadata fault may degrade the whole (unsharded) mount
+     read-only mid-round — EROFS then counts as a failed op and a
+     round-end online repair pass re-admits the mount;
    - operation-level mid-transaction faults (forced ENOSPC, out-of-inodes,
      journal exhaustion) through {!Hinfs_nvmm.Faultops};
    - a crash captured at a seeded fence *mid-round* via the persistence
@@ -34,6 +37,7 @@ module Layout = Hinfs_pmfs.Layout
 module Log = Hinfs_journal.Cacheline_log
 module Errno = Hinfs_vfs.Errno
 module Fsck = Hinfs_fsck.Fsck
+module Repair = Hinfs_fsck.Repair
 module Obs = Hinfs_obs.Obs
 
 (* Override the soak seed with SOAK_SEED=<int64> to reproduce or widen a
@@ -83,6 +87,7 @@ type round_outcome = {
 type outcome = {
   o_rounds : round_outcome list;
   o_injected : (string * int) list;
+  o_mount_repairs : int;  (* in-place heals of a degraded mount *)
   o_live_leaks : int * int;
   o_live_violations : int;
 }
@@ -164,6 +169,7 @@ let run_soak () =
         else Some arr.(Rng.int rng (Array.length arr))
       in
       let ops_ok = ref 0 and ops_failed = ref 0 in
+      let mount_repairs = ref 0 in
       let in_flight = ref None in
       (* A failed or EIO-hit write must be metadata-atomic, but the data
          range may be torn: rebase the oracle on what is actually there
@@ -197,7 +203,7 @@ let run_soak () =
                 { ino; content = Bytes.empty; tainted = false };
               incr ops_ok
             | exception
-                ( Errno.Fs_error ((Errno.ENOSPC | Errno.EIO), _)
+                ( Errno.Fs_error ((Errno.ENOSPC | Errno.EIO | Errno.EROFS), _)
                 | Log.Journal_full ) ->
               incr ops_failed
           end
@@ -223,7 +229,7 @@ let run_soak () =
             Hashtbl.replace oracle name { e with content = updated };
             incr ops_ok
           | exception
-              ( Errno.Fs_error ((Errno.ENOSPC | Errno.EIO), _)
+              ( Errno.Fs_error ((Errno.ENOSPC | Errno.EIO | Errno.EROFS), _)
               | Log.Journal_full ) ->
             incr ops_failed;
             rebase name)
@@ -259,7 +265,7 @@ let run_soak () =
             Hashtbl.remove oracle name;
             incr ops_ok
           | exception
-              ( Errno.Fs_error ((Errno.ENOSPC | Errno.EIO), _)
+              ( Errno.Fs_error ((Errno.ENOSPC | Errno.EIO | Errno.EROFS), _)
               | Log.Journal_full ) ->
             incr ops_failed)
       in
@@ -283,12 +289,25 @@ let run_soak () =
             end;
             incr fences);
         let ok0 = !ops_ok and failed0 = !ops_failed in
-        for _ = 1 to ops_per_round do
-          (match Rng.int rng 10 with
+        let debug_leaks = Sys.getenv_opt "LEAK_DEBUG" <> None in
+        let last_leaked = ref 0 in
+        for opi = 1 to ops_per_round do
+          let kind = Rng.int rng 10 in
+          (match kind with
           | 0 | 1 -> do_create ()
           | 2 | 3 | 4 | 5 -> do_write ()
           | 6 | 7 | 8 -> do_read ()
           | _ -> do_unlink ());
+          if debug_leaks then begin
+            let r = Fsck.check_pmfs fs in
+            if r.Fsck.leaked_blocks <> !last_leaked then begin
+              Fmt.epr "LEAK round=%d op=%d kind=%d target=%a: %d -> %d leaked@."
+                round opi kind
+                Fmt.(option string)
+                !in_flight !last_leaked r.Fsck.leaked_blocks;
+              last_leaked := r.Fsck.leaked_blocks
+            end
+          end;
           in_flight := None
         done;
         Device.disable_recording d;
@@ -342,7 +361,18 @@ let run_soak () =
             r_digest2 = digest2;
             r_rolled_back2 = rolled_back2;
           }
-          :: !round_outcomes
+          :: !round_outcomes;
+        (* A metadata media fault may have degraded the (unsharded) mount
+           read-only mid-round — the whole-mount rung of the degradation
+           ladder. That is a legal outcome, not the end of the soak: run
+           one online repair pass (journal re-replay, epoch heal, scrub,
+           fsck-verify, re-admit) and carry on read-write. Unhealable
+           damage leaves the mount degraded; later mutations keep
+           counting as failed ops. *)
+        if Pmfs.read_only fs then begin
+          let healed, _failed = Repair.run_once fs in
+          mount_repairs := !mount_repairs + healed
+        end
       done;
       (* The live mount must end the run leak-free: every aborted
          operation returned its blocks, inodes, and journal slots. *)
@@ -365,6 +395,7 @@ let run_soak () =
               List.map
                 (fun k -> (Faultops.kind_name k, Faultops.injected fops k))
                 Faultops.kinds;
+            o_mount_repairs = !mount_repairs;
             o_live_leaks = (freport.Fsck.leaked_blocks, freport.Fsck.leaked_inodes);
             o_live_violations = List.length live_violations;
           });
@@ -398,6 +429,8 @@ let () =
   Fmt.pr "injected: %a@."
     Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
     o1.o_injected;
+  if o1.o_mount_repairs > 0 then
+    Fmt.pr "mount degraded and repaired online %d time(s)@." o1.o_mount_repairs;
   let lb, li = o1.o_live_leaks in
   if lb > 0 || li > 0 then fail "live mount leaks: %d blocks, %d inodes" lb li;
   (* Non-vacuity: every fault kind fired, at least one recovery really
