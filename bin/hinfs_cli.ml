@@ -774,13 +774,131 @@ let health_cmd =
     Term.(const health_run $ scrub_size_arg $ health_shards_arg
           $ health_victim_arg)
 
+(* --- serve: client fleet through the request-level serving layer --- *)
+
+module Server = Hinfs_server.Server
+module Clients = Hinfs_server.Clients
+module Ofcache = Hinfs_server.Ofcache
+module Fhandle = Hinfs_server.Fhandle
+module Session = Hinfs_server.Session
+
+let clients_arg =
+  let doc = "Simulated client processes in the fleet." in
+  Arg.(value & opt int 64 & info [ "clients" ] ~doc)
+
+let ops_per_client_arg =
+  let doc = "Requests issued per client (plus the initial CREATE)." in
+  Arg.(value & opt int 50 & info [ "ops-per-client" ] ~doc)
+
+let workers_arg =
+  let doc = "Server worker fibers draining the request queue." in
+  Arg.(value & opt int 8 & info [ "workers" ] ~doc)
+
+let cache_cap_arg =
+  let doc = "Open-file cache capacity (LRU, flush-on-evict)." in
+  Arg.(value & opt int 64 & info [ "cache-cap" ] ~doc)
+
+let lease_ms_arg =
+  let doc = "Session lease in virtual milliseconds." in
+  Arg.(value & opt int 50 & info [ "lease-ms" ] ~doc)
+
+let serve_seed_arg =
+  let doc = "Deterministic seed for the client fleet and the mount." in
+  Arg.(value & opt int64 7L & info [ "seed" ] ~doc)
+
+(* One serving cell: mount [fs], run the fleet through the full codec +
+   session + handle-table + open-file-cache path, and report request
+   throughput with per-class and per-phase latency tables. *)
+let serve_run fs latency buffer_mb shards clients ops_per_client workers
+    cache_cap lease_ms seed trace_out =
+  let spec = { (spec_of latency buffer_mb shards) with Experiment.seed } in
+  let cfg =
+    {
+      Clients.default with
+      Clients.clients;
+      ops_per_client;
+      shards = max 1 shards;
+      seed;
+    }
+  in
+  Fmt.pr "# serve %d clients x %d ops on %s (%d shards, %d workers)@."
+    clients ops_per_client (Fixtures.name fs) shards workers;
+  let cell, _stats, obs =
+    Experiment.with_env_obs ~trace:(trace_out <> None) spec fs (fun env ->
+        let srv =
+          Server.create ~workers ~cache_cap
+            ~lease_ns:(Int64.of_int (lease_ms * 1_000_000))
+            env.Hinfs_harness.Fixtures.engine env.Hinfs_harness.Fixtures.handle
+        in
+        Server.start srv;
+        let t0 = Hinfs_sim.Proc.now () in
+        let total = Clients.run env.Hinfs_harness.Fixtures.engine srv cfg in
+        let t1 = Hinfs_sim.Proc.now () in
+        let cache = Server.cache srv in
+        let summary =
+          ( total,
+            Int64.sub t1 t0,
+            Server.served srv,
+            Server.err_replies srv,
+            Server.expired_replies srv,
+            (Ofcache.hits cache, Ofcache.misses cache, Ofcache.evictions cache),
+            ( Fhandle.live (Server.handles srv),
+              Fhandle.total (Server.handles srv),
+              Fhandle.estale_total (Server.handles srv) ),
+            Session.expired_total (Server.sessions srv) )
+        in
+        Ofcache.drop_all cache;
+        Server.stop srv;
+        summary)
+  in
+  let ( total, elapsed_ns, served, errs, expired, (hits, misses, evictions),
+        (fh_live, fh_total, estales), sess_expired ) =
+    cell
+  in
+  let secs = Int64.to_float elapsed_ns /. 1e9 in
+  Fmt.pr "%d requests in %.2f virtual ms: %.0f req/s@." total (secs *. 1e3)
+    (if secs > 0.0 then float_of_int total /. secs else 0.0);
+  Fmt.pr
+    "served %d (%d errors, %d expired-session replies); open-file cache \
+     %d hits / %d misses / %d evictions; handles %d live / %d minted, %d \
+     ESTALE served; %d session(s) expired@."
+    served errs expired hits misses evictions fh_live fh_total estales
+    sess_expired;
+  Report.latency Fmt.stdout obs;
+  Report.gauges Fmt.stdout obs;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Hinfs_harness.Profile.write_file path (Obs.chrome_trace obs);
+    Fmt.pr "trace written to %s@." path);
+  let open_spans = Obs.open_spans obs and mismatches = Obs.mismatches obs in
+  if open_spans > 0 || mismatches > 0 then begin
+    Fmt.epr "hinfs-cli: span accounting broken (%d open, %d mismatched)@."
+      open_spans mismatches;
+    1
+  end
+  else 0
+
+let serve_cmd =
+  let doc =
+    "Drive a simulated client fleet through the NFS-style serving layer \
+     (sessions, stable handles, open-file cache) and report per-request- \
+     class latency tails"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_run $ fs_arg $ latency_arg $ buffer_arg $ shards_arg
+      $ clients_arg $ ops_per_client_arg $ workers_arg $ cache_cap_arg
+      $ lease_ms_arg $ serve_seed_arg $ trace_out_arg)
+
 let cmd =
   let doc = "HiNFS-reproduction workbench" in
   Cmd.group ~default:run_term
     (Cmd.info "hinfs-cli" ~doc)
     [
       run_cmd; profile_cmd; crashmc_cmd; scrub_cmd; nvcache_cmd; snapshot_cmd;
-      health_cmd;
+      health_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

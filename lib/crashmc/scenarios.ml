@@ -888,6 +888,92 @@ let pmfs_shard_repair =
     verify = verify_pmfs;
   }
 
+(* --- served COMMIT durability: the NFS-style contract under crash ---
+
+   A small PMFS served through lib/server: a synchronous client drives
+   CREATE / unstable WRITE / COMMIT / stable WRITE / REMOVE through the
+   full codec + session + handle-table + open-file-cache path, with
+   crash enumeration armed across every request. The oracle follows the
+   protocol's promise exactly: between an unstable WRITE and its COMMIT
+   ack nothing is promised (the server may have placed any part of the
+   data), but once COMMIT — or a FILE_SYNC write — is acknowledged the
+   bytes must appear in every legal crash image. *)
+
+module Server = Hinfs_server.Server
+module Wire = Hinfs_server.Wire
+module Ofcache = Hinfs_server.Ofcache
+
+let serve_blk = 512
+
+let serve_content tag nblocks =
+  String.init (nblocks * serve_blk) (fun i ->
+      Char.chr (Char.code 'a' + (Hashtbl.hash (tag, i / 16) mod 26)))
+
+let pmfs_serve_commit =
+  {
+    name = "pmfs-serve-commit";
+    config = small_config;
+    expect_violation = false;
+    run =
+      (fun device ctl ->
+        let fs = Pmfs.mkfs_and_mount device ~journal_blocks:16 () in
+        let srv =
+          Server.create ~workers:2 ~cache_cap:4 (Device.engine device)
+            (Pmfs.handle fs)
+        in
+        Server.start srv;
+        let sid = Server.establish srv in
+        let rpc req =
+          match Server.rpc srv ~sid req with
+          | Wire.R_err e ->
+            Errno.raise_error e "serve scenario: %s failed" (Wire.req_name req)
+          | reply -> reply
+        in
+        ctl.start ();
+        (* CREATE is journaled metadata: durable once acknowledged. *)
+        ctl.expect "f" (Either (Absent, Content ""));
+        let fh =
+          match rpc (Wire.Create "/f") with
+          | Wire.R_handle (fh, _) -> fh
+          | _ -> failwith "serve scenario: unexpected CREATE reply"
+        in
+        ctl.expect "f" (Exactly (Content ""));
+        ctl.checkpoint "created";
+        (* Two unstable WRITEs: nothing promised until COMMIT returns. *)
+        let d2 = serve_content "f-v1" 2 in
+        ctl.retract "f";
+        ignore (rpc (Wire.Write (fh, 0, String.sub d2 0 serve_blk, false)));
+        ignore
+          (rpc (Wire.Write (fh, serve_blk, String.sub d2 serve_blk serve_blk,
+                            false)));
+        (match rpc (Wire.Commit fh) with
+        | Wire.R_ok _ -> ()
+        | _ -> failwith "serve scenario: unexpected COMMIT reply");
+        ctl.expect "f" (Exactly (Content d2));
+        ctl.checkpoint "committed";
+        (* A stable (FILE_SYNC) append: durable at the WRITE ack itself. *)
+        let d3 = serve_content "f-v2" 1 in
+        ctl.retract "f";
+        ignore (rpc (Wire.Write (fh, 2 * serve_blk, d3, true)));
+        ctl.expect "f" (Exactly (Content (d2 ^ d3)));
+        ctl.checkpoint "stable-written";
+        (* REMOVE drops the cached open and stales the handle before the
+           unlink; the lapsed handle must be answered with ESTALE, never
+           stale data. *)
+        ctl.expect "f" (Either (Content (d2 ^ d3), Absent));
+        (match rpc (Wire.Remove "/f") with
+        | Wire.R_ok _ -> ()
+        | _ -> failwith "serve scenario: unexpected REMOVE reply");
+        ctl.expect "f" (Exactly Absent);
+        ctl.checkpoint "removed";
+        (match Server.rpc srv ~sid (Wire.Getattr fh) with
+        | Wire.R_err Errno.ESTALE -> ()
+        | _ -> failwith "serve scenario: removed handle not ESTALE");
+        Ofcache.drop_all (Server.cache srv);
+        Server.stop srv);
+    verify = verify_pmfs;
+  }
+
 let all =
   [
     pmfs_create_write;
@@ -896,6 +982,7 @@ let all =
     pmfs_torn_txn;
     pmfs_rename_cross_shard;
     pmfs_shard_repair;
+    pmfs_serve_commit;
     hinfs_fsync;
     hinfs_unlink_buffered;
     nvlog_fsync_destage;

@@ -26,9 +26,14 @@ let summary_json (s : Hist.summary) =
       ("max", Ojson.Int s.Hist.max);
     ]
 
+(* Both syscall op classes ("op.*") and serving-layer request classes
+   ("req.*") are latency classes: they land in "latency_ns" where the
+   bench_compare gate watches their p50/p99. Internal phases (including
+   the srv.* breakdowns) land in "phases_ns". *)
 let is_op_kind k =
   let n = Obs.kind_name k in
-  String.length n > 3 && String.sub n 0 3 = "op."
+  (String.length n > 3 && String.sub n 0 3 = "op.")
+  || (String.length n > 4 && String.sub n 0 4 = "req.")
 
 (* One benchmark cell: a (workload, fs) run with its obs sink. *)
 let experiment_json ~name ~fs ~ops ~elapsed_ns obs =

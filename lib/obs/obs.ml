@@ -47,6 +47,21 @@ type kind =
   | Snapshot_gc
   | Dev_retry
   | Health_repair
+  (* Serving-layer request classes (lib/server): one span per request,
+     covering decode -> dispatch -> encode on the worker fiber. *)
+  | Req_lookup
+  | Req_getattr
+  | Req_read
+  | Req_write
+  | Req_create
+  | Req_remove
+  | Req_rename
+  | Req_commit
+  (* Serving-layer internal phases, for tail breakdowns. *)
+  | Srv_queue (* fan-in wait: enqueue on the client to pickup by a worker *)
+  | Srv_decode
+  | Srv_encode
+  | Srv_flush (* durability work: stable writes, COMMIT, eviction flushes *)
 
 type ev =
   | Ev_bbm_eager
@@ -57,6 +72,9 @@ type ev =
   | Ev_proc_spawn
   | Ev_quarantine
   | Ev_readmit
+  | Ev_session_expire
+  | Ev_estale
+  | Ev_oc_evict
 
 let kind_index = function
   | Op_open -> 0
@@ -92,6 +110,18 @@ let kind_index = function
   | Snapshot_gc -> 30
   | Dev_retry -> 31
   | Health_repair -> 32
+  | Req_lookup -> 33
+  | Req_getattr -> 34
+  | Req_read -> 35
+  | Req_write -> 36
+  | Req_create -> 37
+  | Req_remove -> 38
+  | Req_rename -> 39
+  | Req_commit -> 40
+  | Srv_queue -> 41
+  | Srv_decode -> 42
+  | Srv_encode -> 43
+  | Srv_flush -> 44
 
 let all_kinds =
   [
@@ -101,6 +131,8 @@ let all_kinds =
     Journal_commit; Journal_recover; Writeback; Buffer_fetch; Flush; Fence;
     Slot_wait; Nvcache_append; Nvcache_destage; Nvcache_replay;
     Snapshot_commit; Snapshot_gc; Dev_retry; Health_repair;
+    Req_lookup; Req_getattr; Req_read; Req_write; Req_create; Req_remove;
+    Req_rename; Req_commit; Srv_queue; Srv_decode; Srv_encode; Srv_flush;
   ]
 
 let n_kinds = List.length all_kinds
@@ -139,6 +171,18 @@ let kind_name = function
   | Snapshot_gc -> "snapshot.gc"
   | Dev_retry -> "dev.retry"
   | Health_repair -> "health.repair"
+  | Req_lookup -> "req.lookup"
+  | Req_getattr -> "req.getattr"
+  | Req_read -> "req.read"
+  | Req_write -> "req.write"
+  | Req_create -> "req.create"
+  | Req_remove -> "req.remove"
+  | Req_rename -> "req.rename"
+  | Req_commit -> "req.commit"
+  | Srv_queue -> "srv.queue"
+  | Srv_decode -> "srv.decode"
+  | Srv_encode -> "srv.encode"
+  | Srv_flush -> "srv.flush"
 
 let ev_name = function
   | Ev_bbm_eager -> "bbm.eager"
@@ -149,6 +193,9 @@ let ev_name = function
   | Ev_proc_spawn -> "proc.spawn"
   | Ev_quarantine -> "health.quarantine"
   | Ev_readmit -> "health.readmit"
+  | Ev_session_expire -> "session.expire"
+  | Ev_estale -> "server.estale"
+  | Ev_oc_evict -> "server.oc_evict"
 
 type frame = { fkind : kind; t0 : int64 }
 

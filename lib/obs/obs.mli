@@ -50,6 +50,18 @@ type kind =
   | Snapshot_gc  (** CoW snapshot deletion / rollback refcount walk *)
   | Dev_retry  (** transient-media-read retry backoff (charged on clock) *)
   | Health_repair  (** repair daemon healing one quarantined shard *)
+  | Req_lookup  (** serving layer: LOOKUP request, decode to reply *)
+  | Req_getattr
+  | Req_read
+  | Req_write
+  | Req_create
+  | Req_remove
+  | Req_rename
+  | Req_commit
+  | Srv_queue  (** request fan-in wait: client enqueue to worker pickup *)
+  | Srv_decode  (** request decode on the worker *)
+  | Srv_encode  (** reply encode on the worker *)
+  | Srv_flush  (** serving-layer durability: stable write / COMMIT fsync *)
 
 (** Instant (zero-duration) event kinds. *)
 type ev =
@@ -61,6 +73,9 @@ type ev =
   | Ev_proc_spawn
   | Ev_quarantine  (** a=shard, b=health state code entering isolation *)
   | Ev_readmit  (** a=shard, b=repair attempts before success *)
+  | Ev_session_expire  (** a=session id, b=cached opens reclaimed *)
+  | Ev_estale  (** a=handle slot, b=generation that went stale *)
+  | Ev_oc_evict  (** a=inode evicted from the open-file cache, b=1 if dirty *)
 
 val kind_name : kind -> string
 (** Stable dotted name, e.g. ["op.read"], ["journal.commit"]. *)

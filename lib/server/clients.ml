@@ -1,0 +1,223 @@
+(* Simulated client fleet driving the server.
+
+   Each client is one simulation process with its own seeded RNG and its
+   own session; the fleet shares a zipf-hot read set (the paper's skewed
+   working sets, §3.2) spread round-robin over per-shard directories,
+   while every client owns a private write file and a private scratch
+   file — so writes never conflict across clients and the crash-soak
+   oracle can reason per path.
+
+   The mix exercises the whole handle lifecycle: open/close churn drops
+   the client-side handle cache (forcing fresh LOOKUPs), scratch files
+   are removed and re-created at the same path (generation bumps), and
+   renamed back and forth (handle follows the object). Writes alternate
+   stable/unstable with periodic COMMITs — the NFS-style durability
+   discipline the serve soak verifies against crash images. *)
+
+module Proc = Hinfs_sim.Proc
+module Condvar = Hinfs_sim.Condvar
+module Engine = Hinfs_sim.Engine
+module Rng = Hinfs_sim.Rng
+module Zipf = Hinfs_sim.Zipf
+module Vfs = Hinfs_vfs.Vfs
+module Types = Hinfs_vfs.Types
+module Errno = Hinfs_vfs.Errno
+
+type config = {
+  clients : int;
+  ops_per_client : int;
+  hot_files : int; (* shared zipf-hot read set size *)
+  theta : float; (* zipf skew *)
+  io_bytes : int;
+  file_span : int; (* private write file wraps at this size *)
+  stable_every : int; (* every Nth write is stable (FILE_SYNC) *)
+  shards : int; (* /s0../sN-1 dirs, round-robin placement *)
+  seed : int64;
+}
+
+let default =
+  {
+    clients = 64;
+    ops_per_client = 50;
+    hot_files = 64;
+    theta = 0.9;
+    io_bytes = 4096;
+    file_span = 65536;
+    stable_every = 4;
+    shards = 1;
+    seed = 7L;
+  }
+
+let shard_dir cfg j = Printf.sprintf "/s%d" (j mod cfg.shards)
+let hot_path cfg j = Printf.sprintf "%s/h%d" (shard_dir cfg j) j
+let own_path cfg i = Printf.sprintf "%s/c%d" (shard_dir cfg i) i
+
+let scratch_path cfg i flip =
+  Printf.sprintf "%s/t%d%c" (shard_dir cfg i) i (if flip then 'b' else 'a')
+
+(* Populate shard dirs and the hot read set directly through the VFS —
+   fixture work, not served traffic. Call from inside a process. *)
+let setup vfs cfg =
+  for s = 0 to cfg.shards - 1 do
+    let d = Printf.sprintf "/s%d" s in
+    if not (vfs.Vfs.exists d) then vfs.Vfs.mkdir d
+  done;
+  let block = Bytes.make cfg.io_bytes 'h' in
+  for j = 0 to cfg.hot_files - 1 do
+    let p = hot_path cfg j in
+    if not (vfs.Vfs.exists p) then begin
+      let fd = vfs.Vfs.open_ p Types.creat in
+      ignore (vfs.Vfs.write fd block cfg.io_bytes);
+      ignore (vfs.Vfs.write fd block cfg.io_bytes);
+      vfs.Vfs.fsync fd;
+      vfs.Vfs.close fd
+    end
+  done
+
+type client = {
+  idx : int;
+  mutable sid : int;
+  rng : Rng.t;
+  fhs : (string, Wire.fh) Hashtbl.t; (* client-side handle cache *)
+  mutable writes : int;
+  mutable scratch_flip : bool;
+  mutable scratch_live : bool;
+  mutable ops : int;
+}
+
+(* An R_expired reply means the lease lapsed: re-establish and retry.
+   Handles survive the reconnect — only the session is new. *)
+let rec rpc_sess srv c req attempts =
+  match Server.rpc srv ~sid:c.sid req with
+  | Wire.R_expired when attempts > 0 ->
+    c.sid <- Server.establish srv;
+    rpc_sess srv c req (attempts - 1)
+  | reply -> reply
+
+let lookup_fh srv c path =
+  match Hashtbl.find_opt c.fhs path with
+  | Some fh -> fh
+  | None -> (
+    match rpc_sess srv c (Wire.Lookup path) 3 with
+    | Wire.R_handle (fh, _) ->
+      Hashtbl.replace c.fhs path fh;
+      fh
+    | Wire.R_err e -> Errno.raise_error e "LOOKUP %s failed" path
+    | _ -> failwith "unexpected LOOKUP reply")
+
+(* Run a handle-based request, recovering from ESTALE with a fresh
+   LOOKUP — the protocol's only stale-handle recovery. *)
+let rec with_fh srv c path f attempts =
+  let fh = lookup_fh srv c path in
+  match f fh with
+  | Wire.R_err Errno.ESTALE when attempts > 0 ->
+    Hashtbl.remove c.fhs path;
+    with_fh srv c path f (attempts - 1)
+  | reply -> reply
+
+let read_hot srv c cfg zipf =
+  let j = Zipf.sample zipf c.rng in
+  let path = hot_path cfg j in
+  let off = Rng.int c.rng (cfg.io_bytes + 1) in
+  ignore
+    (with_fh srv c path
+       (fun fh -> rpc_sess srv c (Wire.Read (fh, off, cfg.io_bytes)) 3)
+       2)
+
+let write_own srv c cfg =
+  let path = own_path cfg c.idx in
+  c.writes <- c.writes + 1;
+  let stable = c.writes mod cfg.stable_every = 0 in
+  let off = c.writes * cfg.io_bytes mod cfg.file_span in
+  let data = String.make cfg.io_bytes (Char.chr (97 + (c.idx mod 26))) in
+  ignore
+    (with_fh srv c path
+       (fun fh -> rpc_sess srv c (Wire.Write (fh, off, data, stable)) 3)
+       2)
+
+let getattr_hot srv c cfg zipf =
+  let path = hot_path cfg (Zipf.sample zipf c.rng) in
+  ignore
+    (with_fh srv c path (fun fh -> rpc_sess srv c (Wire.Getattr fh) 3) 2)
+
+let commit_own srv c cfg =
+  let path = own_path cfg c.idx in
+  ignore (with_fh srv c path (fun fh -> rpc_sess srv c (Wire.Commit fh) 3) 2)
+
+(* Open/close churn plus a remove/re-create cycle on the private scratch
+   path: the re-create mints a fresh generation at the same path. *)
+let churn srv c cfg =
+  Hashtbl.reset c.fhs;
+  let p = scratch_path cfg c.idx c.scratch_flip in
+  if c.scratch_live then begin
+    ignore (rpc_sess srv c (Wire.Remove p) 3);
+    c.scratch_live <- false
+  end
+  else begin
+    ignore (rpc_sess srv c (Wire.Create p) 3);
+    c.scratch_live <- true
+  end
+
+let rename_scratch srv c cfg =
+  if c.scratch_live then begin
+    let src = scratch_path cfg c.idx c.scratch_flip in
+    let dst = scratch_path cfg c.idx (not c.scratch_flip) in
+    match rpc_sess srv c (Wire.Rename (src, dst)) 3 with
+    | Wire.R_ok _ ->
+      c.scratch_flip <- not c.scratch_flip;
+      Hashtbl.remove c.fhs src
+    | _ -> ()
+  end
+  else commit_own srv c cfg
+
+let client_loop srv cfg zipf c =
+  (match rpc_sess srv c (Wire.Create (own_path cfg c.idx)) 3 with
+  | Wire.R_handle (fh, _) -> Hashtbl.replace c.fhs (own_path cfg c.idx) fh
+  | _ -> ());
+  c.ops <- c.ops + 1;
+  for _k = 1 to cfg.ops_per_client do
+    let r = Rng.float c.rng in
+    if r < 0.55 then read_hot srv c cfg zipf
+    else if r < 0.80 then write_own srv c cfg
+    else if r < 0.88 then getattr_hot srv c cfg zipf
+    else if r < 0.93 then commit_own srv c cfg
+    else if r < 0.97 then churn srv c cfg
+    else rename_scratch srv c cfg;
+    c.ops <- c.ops + 1;
+    Proc.delay_int (Rng.int_in_range c.rng ~lo:200 ~hi:2000)
+  done
+
+(* Spawn the fleet and block the calling process until every client is
+   done. Returns total requests issued. *)
+let run engine server cfg =
+  setup (Server.vfs server) cfg;
+  let zipf = Zipf.create ~n:cfg.hot_files ~theta:cfg.theta in
+  let done_cv = Condvar.create engine in
+  let remaining = ref cfg.clients in
+  let total = ref 0 in
+  for i = 0 to cfg.clients - 1 do
+    Proc.spawn
+      ~name:(Printf.sprintf "client%d" i)
+      (fun () ->
+        let seed =
+          Int64.add cfg.seed (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)
+        in
+        let c =
+          {
+            idx = i;
+            sid = Server.establish server;
+            rng = Rng.create ~seed;
+            fhs = Hashtbl.create 16;
+            writes = 0;
+            scratch_flip = false;
+            scratch_live = false;
+            ops = 0;
+          }
+        in
+        client_loop server cfg zipf c;
+        total := !total + c.ops;
+        decr remaining;
+        if !remaining = 0 then ignore (Condvar.broadcast done_cv))
+  done;
+  if !remaining > 0 then Condvar.wait done_cv;
+  !total

@@ -1,0 +1,257 @@
+(* Request/reply wire codec for the serving layer.
+
+   The protocol is a compact NFS-flavoured subset: stateless-per-request
+   messages identified by a one-byte tag, integers as fixed 8-byte LE,
+   strings length-prefixed. Every request carries a generation-stamped
+   file handle or a path, never a raw fd — the server's handle table is
+   the only identity that crosses the wire (and survives reconnect).
+
+   Encoding is a real byte round-trip, not an in-memory variant pass:
+   the dispatch loop decodes what the client encoded, so codec cost and
+   framing bugs are part of what the serve benchmarks measure. *)
+
+module Types = Hinfs_vfs.Types
+module Errno = Hinfs_vfs.Errno
+module Obs = Hinfs_obs.Obs
+
+(* File handle: slot in the low 32 bits, generation in the high 32. The
+   generation makes a recreated path distinguishable from the file a
+   client had open before the unlink — same slot number, different gen
+   still fails resolution with ESTALE. *)
+type fh = int64
+
+let fh_make ~slot ~gen =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int gen) 32)
+    (Int64.logand (Int64.of_int slot) 0xFFFFFFFFL)
+
+let fh_slot fh = Int64.to_int (Int64.logand fh 0xFFFFFFFFL)
+let fh_gen fh = Int64.to_int (Int64.shift_right_logical fh 32)
+
+type req =
+  | Lookup of string  (** path -> handle + attributes *)
+  | Getattr of fh
+  | Read of fh * int * int  (** offset, length *)
+  | Write of fh * int * string * bool  (** offset, data, stable? *)
+  | Create of string  (** create + open; replies like Lookup *)
+  | Remove of string
+  | Rename of string * string
+  | Commit of fh  (** make every unstable write to the file durable *)
+
+type reply =
+  | R_handle of fh * Types.stat
+  | R_attr of Types.stat
+  | R_data of string
+  | R_written of int * int64  (** bytes accepted, write verifier *)
+  | R_ok of int64  (** verifier *)
+  | R_err of Errno.t
+  | R_expired  (** session lease lapsed; re-establish and retry *)
+
+let kind_of_req : req -> Obs.kind = function
+  | Lookup _ -> Obs.Req_lookup
+  | Getattr _ -> Obs.Req_getattr
+  | Read _ -> Obs.Req_read
+  | Write _ -> Obs.Req_write
+  | Create _ -> Obs.Req_create
+  | Remove _ -> Obs.Req_remove
+  | Rename _ -> Obs.Req_rename
+  | Commit _ -> Obs.Req_commit
+
+let req_name = function
+  | Lookup _ -> "LOOKUP"
+  | Getattr _ -> "GETATTR"
+  | Read _ -> "READ"
+  | Write _ -> "WRITE"
+  | Create _ -> "CREATE"
+  | Remove _ -> "REMOVE"
+  | Rename _ -> "RENAME"
+  | Commit _ -> "COMMIT"
+
+(* Errno codes are part of the wire format: keep them stable. *)
+let errno_to_code : Errno.t -> int = function
+  | ENOENT -> 1
+  | EEXIST -> 2
+  | EISDIR -> 3
+  | ENOTDIR -> 4
+  | ENOSPC -> 5
+  | EBADF -> 6
+  | EINVAL -> 7
+  | ENOTEMPTY -> 8
+  | EFBIG -> 9
+  | EROFS -> 10
+  | EIO -> 11
+  | ESTALE -> 12
+
+let errno_of_code : int -> Errno.t = function
+  | 1 -> ENOENT
+  | 2 -> EEXIST
+  | 3 -> EISDIR
+  | 4 -> ENOTDIR
+  | 5 -> ENOSPC
+  | 6 -> EBADF
+  | 7 -> EINVAL
+  | 8 -> ENOTEMPTY
+  | 9 -> EFBIG
+  | 10 -> EROFS
+  | 11 -> EIO
+  | 12 -> ESTALE
+  | n -> invalid_arg (Printf.sprintf "Wire.errno_of_code: %d" n)
+
+(* --- primitives --- *)
+
+let put_i64 b v = Buffer.add_int64_le b v
+let put_int b v = Buffer.add_int64_le b (Int64.of_int v)
+let put_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let put_str b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let get_i64 buf pos =
+  let v = Bytes.get_int64_le buf !pos in
+  pos := !pos + 8;
+  v
+
+let get_int buf pos = Int64.to_int (get_i64 buf pos)
+
+let get_bool buf pos =
+  let c = Bytes.get buf !pos in
+  incr pos;
+  c <> '\000'
+
+let get_str buf pos =
+  let n = get_int buf pos in
+  let s = Bytes.sub_string buf !pos n in
+  pos := !pos + n;
+  s
+
+let put_stat b (st : Types.stat) =
+  put_int b st.ino;
+  put_int b (match st.kind with Types.Regular -> 0 | Types.Directory -> 1);
+  put_int b st.size;
+  put_int b st.nlink;
+  put_int b st.blocks;
+  put_i64 b st.mtime_ns
+
+let get_stat buf pos : Types.stat =
+  let ino = get_int buf pos in
+  let kind =
+    match get_int buf pos with
+    | 0 -> Types.Regular
+    | 1 -> Types.Directory
+    | n -> invalid_arg (Printf.sprintf "Wire.get_stat: bad kind %d" n)
+  in
+  let size = get_int buf pos in
+  let nlink = get_int buf pos in
+  let blocks = get_int buf pos in
+  let mtime_ns = get_i64 buf pos in
+  { ino; kind; size; nlink; blocks; mtime_ns }
+
+(* --- requests --- *)
+
+let encode_req req =
+  let b = Buffer.create 64 in
+  (match req with
+  | Lookup path ->
+    Buffer.add_char b '\001';
+    put_str b path
+  | Getattr fh ->
+    Buffer.add_char b '\002';
+    put_i64 b fh
+  | Read (fh, off, len) ->
+    Buffer.add_char b '\003';
+    put_i64 b fh;
+    put_int b off;
+    put_int b len
+  | Write (fh, off, data, stable) ->
+    Buffer.add_char b '\004';
+    put_i64 b fh;
+    put_int b off;
+    put_str b data;
+    put_bool b stable
+  | Create path ->
+    Buffer.add_char b '\005';
+    put_str b path
+  | Remove path ->
+    Buffer.add_char b '\006';
+    put_str b path
+  | Rename (src, dst) ->
+    Buffer.add_char b '\007';
+    put_str b src;
+    put_str b dst
+  | Commit fh ->
+    Buffer.add_char b '\008';
+    put_i64 b fh);
+  Buffer.to_bytes b
+
+let decode_req buf =
+  let pos = ref 1 in
+  match Bytes.get buf 0 with
+  | '\001' -> Lookup (get_str buf pos)
+  | '\002' -> Getattr (get_i64 buf pos)
+  | '\003' ->
+    let fh = get_i64 buf pos in
+    let off = get_int buf pos in
+    let len = get_int buf pos in
+    Read (fh, off, len)
+  | '\004' ->
+    let fh = get_i64 buf pos in
+    let off = get_int buf pos in
+    let data = get_str buf pos in
+    let stable = get_bool buf pos in
+    Write (fh, off, data, stable)
+  | '\005' -> Create (get_str buf pos)
+  | '\006' -> Remove (get_str buf pos)
+  | '\007' ->
+    let src = get_str buf pos in
+    let dst = get_str buf pos in
+    Rename (src, dst)
+  | '\008' -> Commit (get_i64 buf pos)
+  | c -> invalid_arg (Printf.sprintf "Wire.decode_req: bad tag %d" (Char.code c))
+
+(* --- replies --- *)
+
+let encode_reply reply =
+  let b = Buffer.create 64 in
+  (match reply with
+  | R_handle (fh, st) ->
+    Buffer.add_char b '\001';
+    put_i64 b fh;
+    put_stat b st
+  | R_attr st ->
+    Buffer.add_char b '\002';
+    put_stat b st
+  | R_data data ->
+    Buffer.add_char b '\003';
+    put_str b data
+  | R_written (n, verifier) ->
+    Buffer.add_char b '\004';
+    put_int b n;
+    put_i64 b verifier
+  | R_ok verifier ->
+    Buffer.add_char b '\005';
+    put_i64 b verifier
+  | R_err code ->
+    Buffer.add_char b '\006';
+    put_int b (errno_to_code code)
+  | R_expired -> Buffer.add_char b '\007');
+  Buffer.to_bytes b
+
+let decode_reply buf =
+  let pos = ref 1 in
+  match Bytes.get buf 0 with
+  | '\001' ->
+    let fh = get_i64 buf pos in
+    let st = get_stat buf pos in
+    R_handle (fh, st)
+  | '\002' -> R_attr (get_stat buf pos)
+  | '\003' -> R_data (get_str buf pos)
+  | '\004' ->
+    let n = get_int buf pos in
+    let verifier = get_i64 buf pos in
+    R_written (n, verifier)
+  | '\005' -> R_ok (get_i64 buf pos)
+  | '\006' -> R_err (errno_of_code (get_int buf pos))
+  | '\007' -> R_expired
+  | c ->
+    invalid_arg (Printf.sprintf "Wire.decode_reply: bad tag %d" (Char.code c))

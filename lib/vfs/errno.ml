@@ -12,6 +12,7 @@ type t =
   | EFBIG
   | EROFS
   | EIO
+  | ESTALE
 
 exception Fs_error of t * string
 
@@ -27,6 +28,7 @@ let to_string = function
   | EFBIG -> "EFBIG"
   | EROFS -> "EROFS"
   | EIO -> "EIO"
+  | ESTALE -> "ESTALE"
 
 let raise_error code fmt =
   Fmt.kstr (fun msg -> raise (Fs_error (code, msg))) fmt

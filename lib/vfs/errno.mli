@@ -8,7 +8,18 @@
     state is touched. Ops on healthy sibling domains of the same mount
     must keep succeeding; only a mount-scoped fault (superblock, whole-
     mount degradation on unsharded backends) makes every mutation raise
-    [EROFS]. *)
+    [EROFS].
+
+    Stale-handle contract: [ESTALE] is raised only by serving layers that
+    hand out identity tokens outliving a single syscall (the lib/server
+    file-handle table). A handle goes permanently stale when the object it
+    named stops being that object: the path was unlinked (even if later
+    re-created — the re-creation carries a fresh generation), the path was
+    renamed over, or the whole tree was replaced under it by a
+    [rollback]/[snapshot_delete] on the snapshot surface. Revalidation
+    must fail with [ESTALE] {e before} touching any inode state, so a
+    stale handle can never read or mutate whichever unrelated inode now
+    holds its old inode number; the client's recovery is a fresh LOOKUP. *)
 
 type t =
   | ENOENT
@@ -22,6 +33,7 @@ type t =
   | EFBIG
   | EROFS  (** mutation into a read-only mount or degraded fault domain *)
   | EIO  (** uncorrectable media error, or a quarantined fault domain *)
+  | ESTALE  (** file handle outlived the object it named (see above) *)
 
 exception Fs_error of t * string
 

@@ -4,18 +4,28 @@
 Usage: bench_compare.py COMMITTED FRESH
 
 For every experiment (name, fs) present in both artifacts, compare the
-p50 and p99 of the core op classes. A fresh value more than THRESHOLD
-above the committed one is a regression and fails the gate (exit 1).
-Improvements and sub-threshold noise pass silently; experiments present
-on only one side are listed but do not gate, so adding a new bench cell
-never trips the check.
+p50 and p99 of the core latency classes: the syscall op classes for
+workload cells, and the request classes (req.*) for the serving-layer
+client-sweep cells (name starting with "serve"). A fresh value more
+than THRESHOLD above the committed one is a regression and fails the
+gate (exit 1). Improvements and sub-threshold noise pass silently;
+experiments present on only one side are listed but do not gate, so
+adding a new bench cell never trips the check.
 """
 import json
 import sys
 
 THRESHOLD = 0.10
 OPS = ("op.read", "op.write", "op.open", "op.fsync")
+SERVE_OPS = (
+    "req.lookup", "req.getattr", "req.read", "req.write",
+    "req.create", "req.remove", "req.rename", "req.commit",
+)
 QUANTILES = ("p50", "p99")
+
+
+def ops_for(name):
+    return SERVE_OPS if name.startswith("serve") else OPS
 
 
 def cells(artifact):
@@ -37,7 +47,7 @@ def main():
     regressions = []
     shared = sorted(set(committed) & set(fresh))
     for key in shared:
-        for op in OPS:
+        for op in ops_for(key[0]):
             old = committed[key].get(op)
             new = fresh[key].get(op)
             if not old or not new:
@@ -62,7 +72,8 @@ def main():
         for r in regressions:
             print("bench_compare REGRESSION: " + r, file=sys.stderr)
         return 1
-    print("bench_compare OK: %d shared cells within +%.0f%% on %s x %s"
+    print("bench_compare OK: %d shared cells within +%.0f%% on %s "
+          "(req.* for serve cells) x %s"
           % (len(shared), 100.0 * THRESHOLD, "/".join(OPS),
              "/".join(QUANTILES)))
     return 0

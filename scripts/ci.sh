@@ -24,6 +24,7 @@ for seed in 4242 1001 90210; do
   SOAK_SEED=$seed dune build @snapshot-soak --force
   SOAK_SEED=$seed dune build @shard-soak --force
   SOAK_SEED=$seed dune build @chaos-soak --force
+  SOAK_SEED=$seed dune build @serve-soak --force
 done
 
 sh scripts/bench_check.sh
